@@ -1,0 +1,72 @@
+// vroom-bench regenerates the paper's tables and figures from the
+// simulated corpus.
+//
+// Usage:
+//
+//	vroom-bench [-fig all|fig01,...] [-scale quick|half|full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vroom/internal/experiments"
+)
+
+func main() {
+	var (
+		figs  = flag.String("fig", "all", "comma-separated figure ids, or 'all' (see -list)")
+		scale = flag.String("scale", "half", "corpus scale: quick (3+3 sites), half (15+15), full (50+50, the paper's)")
+		seed  = flag.Int64("seed", 2017, "corpus seed")
+		list  = flag.Bool("list", false, "list figure ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	o := experiments.DefaultOptions()
+	o.Seed = *seed
+	switch *scale {
+	case "quick":
+		o.NewsSites, o.SportsSites, o.Top100Sites = 3, 3, 6
+		o.LoadsPerSite = 1
+	case "half":
+		o.NewsSites, o.SportsSites, o.Top100Sites = 15, 15, 30
+		o.LoadsPerSite = 1
+	case "full":
+		// The paper's scale: top 50 News + top 50 Sports, Alexa top 100.
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := experiments.IDs()
+	if *figs != "all" {
+		ids = strings.Split(*figs, ",")
+	}
+	start := time.Now()
+	for _, id := range ids {
+		run, ok := experiments.Registry[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		res, err := run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Text)
+		fmt.Printf("  [%s completed in %.1fs]\n\n", id, time.Since(t0).Seconds())
+	}
+	fmt.Printf("all done in %.1fs (scale=%s, seed=%d)\n", time.Since(start).Seconds(), *scale, *seed)
+}

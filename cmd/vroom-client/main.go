@@ -1,0 +1,85 @@
+// vroom-client loads a page from a vroom-server over real HTTP/2, using
+// either Vroom's staged request scheduler or baseline fetch-on-discovery,
+// and reports per-resource timings.
+//
+// Usage:
+//
+//	vroom-client -server 127.0.0.1:8443 -root https://www.dailynews00.com/ [-staged=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+
+	"vroom/internal/h1"
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+	"vroom/internal/wire"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:8443", "vroom-server address")
+		rootRaw = flag.String("root", "", "root page URL (as recorded in the archive)")
+		staged  = flag.Bool("staged", true, "use Vroom's staged scheduler")
+		proto   = flag.String("proto", "h2", "wire protocol: h2 or h1")
+		verbose = flag.Bool("v", false, "print every fetch")
+	)
+	flag.Parse()
+	if *rootRaw == "" {
+		fmt.Fprintln(os.Stderr, "need -root")
+		os.Exit(2)
+	}
+	root, err := urlutil.Parse(*rootRaw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	c := &wire.Client{Staged: *staged}
+	if *proto == "h1" {
+		c.DialOrigin = func(origin string) (wire.OriginConn, error) {
+			u, err := urlutil.Parse(origin + "/")
+			if err != nil {
+				return nil, err
+			}
+			return &h1.Pool{Authority: u.Host, Dial: func() (net.Conn, error) { return net.Dial("tcp", *server) }}, nil
+		}
+	} else {
+		c.Dial = func(string) (net.Conn, error) { return net.Dial("tcp", *server) }
+	}
+	rep, err := c.LoadPage(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sort.Slice(rep.Fetches, func(i, j int) bool { return rep.Fetches[i].Done.Before(rep.Fetches[j].Done) })
+	if *verbose {
+		for _, f := range rep.Fetches {
+			mark := " "
+			if f.Pushed {
+				mark = "P"
+			}
+			fmt.Printf("%s %-4s %7dB %8.1fms  %s\n", mark, prioName(f.Priority), f.Bytes,
+				f.Done.Sub(rep.Started).Seconds()*1000, f.URL)
+		}
+	}
+	fmt.Printf("loaded %s: %d resources, %d pushed, %.1f KB, %.0f ms (staged=%v)\n",
+		rep.Root, len(rep.Fetches), rep.Pushed, float64(rep.Bytes)/1024,
+		rep.Total().Seconds()*1000, *staged)
+}
+
+func prioName(p hints.Priority) string {
+	switch p {
+	case hints.High:
+		return "high"
+	case hints.Semi:
+		return "semi"
+	default:
+		return "low"
+	}
+}

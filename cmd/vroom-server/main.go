@@ -1,0 +1,85 @@
+// vroom-server replays a recorded page over real HTTP/2 with Vroom's
+// dependency hints and server push, Mahimahi-style: a single listener
+// serves every authority in the archive.
+//
+// Usage:
+//
+//	vroom-server -archive page.json -listen :8443 [-hints=false] [-push=false]
+//	vroom-server -site dailynews00 -listen :8443   # generate + serve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"vroom/internal/core"
+	"vroom/internal/h1"
+	"vroom/internal/replay"
+	"vroom/internal/webpage"
+	"vroom/internal/wire"
+)
+
+func main() {
+	var (
+		archivePath = flag.String("archive", "", "replay archive (JSON) to serve")
+		siteName    = flag.String("site", "", "generate and serve this site instead (e.g. dailynews00)")
+		seed        = flag.Int64("seed", 2017, "generator seed when using -site")
+		listen      = flag.String("listen", "127.0.0.1:8443", "listen address (h2c)")
+		sendHints   = flag.Bool("hints", true, "attach dependency-hint headers")
+		push        = flag.Bool("push", true, "push high-priority same-origin dependencies (h2 only)")
+		think       = flag.Duration("think", 10*time.Millisecond, "per-request server think time")
+		proto       = flag.String("proto", "h2", "wire protocol: h2 or h1")
+	)
+	flag.Parse()
+
+	at := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	device := webpage.PhoneSmall
+	var (
+		archive  *replay.Archive
+		resolver *core.Resolver
+		err      error
+	)
+	switch {
+	case *archivePath != "":
+		archive, err = replay.LoadFile(*archivePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Without the generating site we cannot train offline; online
+		// analysis of the archived bodies still provides hints.
+		resolver = core.NewResolver(core.ResolverConfig{UseOnline: true})
+	case *siteName != "":
+		site := webpage.NewSite(*siteName, webpage.News, *seed)
+		archive = replay.FromSnapshot(site.Snapshot(at, webpage.Profile{Device: device, UserID: 11}, 1))
+		resolver = wire.TrainResolver(site, at, device)
+	default:
+		fmt.Fprintln(os.Stderr, "need -archive or -site")
+		os.Exit(2)
+	}
+
+	srv := wire.NewServer(archive, resolver, device, wire.ServerConfig{
+		SendHints: *sendHints, Push: *push, ThinkTime: *think,
+	})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d resources (root %s) on %s  proto=%s hints=%v push=%v\n",
+		archive.Len(), archive.RootURL, l.Addr(), *proto, *sendHints, *push)
+	switch *proto {
+	case "h1":
+		h1srv := &h1.Server{Handler: srv}
+		err = h1srv.Serve(l)
+	default:
+		err = srv.H2().Serve(l)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

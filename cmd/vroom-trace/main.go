@@ -1,0 +1,78 @@
+// vroom-trace loads one generated page under a policy and prints a
+// WProf-style waterfall plus a phase summary, for inspecting why a policy
+// is fast or slow.
+//
+// Usage:
+//
+//	vroom-trace -site dailynews00 -policy vroom [-rows 40] [-width 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vroom/internal/har"
+	"vroom/internal/runner"
+	"vroom/internal/trace"
+	"vroom/internal/webpage"
+)
+
+func main() {
+	var (
+		siteName = flag.String("site", "dailynews00", "site name (category inferred from the name)")
+		policy   = flag.String("policy", "vroom", strings.Join(policyNames(), "|"))
+		seed     = flag.Int64("seed", 2017, "generator seed")
+		rows     = flag.Int("rows", 48, "max waterfall rows (0 = all)")
+		width    = flag.Int("width", 90, "waterfall width")
+		allRes   = flag.Bool("all", false, "include speculative fetches")
+		harOut   = flag.String("har", "", "also write a HAR 1.2 file to this path")
+	)
+	flag.Parse()
+
+	cat := webpage.News
+	switch {
+	case strings.HasPrefix(*siteName, "sport"):
+		cat = webpage.Sports
+	case strings.HasPrefix(*siteName, "popular"):
+		cat = webpage.Top100
+	}
+	site := webpage.NewSite(*siteName, cat, *seed)
+	res, err := runner.Run(site, runner.Policy(*policy), runner.Options{
+		Time:    time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC),
+		Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 11},
+		Nonce:   1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(trace.Summary(res))
+	fmt.Println()
+	fmt.Print(trace.Waterfall(res, trace.Options{Width: *width, MaxRows: *rows, RequiredOnly: !*allRes}))
+
+	if *harOut != "" {
+		f, err := os.Create(*harOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		start := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+		if err := har.FromResult(res, site.RootURL().String(), start).Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nHAR written to %s\n", *harOut)
+	}
+}
+
+func policyNames() []string {
+	out := make([]string, 0, len(runner.AllPolicies()))
+	for _, p := range runner.AllPolicies() {
+		out = append(out, string(p))
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package vroom_test
+
+import (
+	"fmt"
+	"time"
+
+	"vroom"
+)
+
+// Example demonstrates the basic comparison the paper makes: the same page
+// loaded under the HTTP/2 baseline and under Vroom.
+func Example() {
+	site := vroom.NewSite("example-news", vroom.CategoryNews, 7)
+	h2, err := vroom.LoadPage(site, vroom.PolicyH2, vroom.LoadOptions{})
+	if err != nil {
+		panic(err)
+	}
+	vr, err := vroom.LoadPage(site, vroom.PolicyVroom, vroom.LoadOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(vr.PLT < h2.PLT)
+	// Output: true
+}
+
+// ExampleResolver shows server-side dependency resolution: training on
+// periodic offline loads and producing Table-1 hints for a served HTML.
+func ExampleResolver() {
+	site := vroom.NewSite("example-news", vroom.CategoryNews, 7)
+	at := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+
+	resolver := vroom.NewResolver(vroom.DefaultResolverConfig())
+	resolver.Train(site, at, vroom.DevicePhoneSmall)
+
+	sn := site.Snapshot(at, vroom.Profile{Device: vroom.DevicePhoneSmall, UserID: 1}, 1)
+	hs := resolver.HintsFor(sn.Root, sn.RootResource().Body, vroom.DevicePhoneSmall)
+
+	headers := vroom.FormatHints(hs)
+	fmt.Println(len(headers["link"]) > 0)          // high-priority preloads
+	fmt.Println(len(headers["x-unimportant"]) > 0) // images etc.
+	fmt.Println(headers["access-control-expose-headers"] != nil)
+	// Output:
+	// true
+	// true
+	// true
+}
+
+// ExampleLoadPage_lowerBound computes the paper's §2 lower bound for one
+// site: the max of a CPU-bottleneck load and a network-bottleneck load.
+func ExampleLoadPage_lowerBound() {
+	site := vroom.NewSite("example-news", vroom.CategoryNews, 7)
+	cpu, _ := vroom.LoadPage(site, vroom.PolicyCPUOnly, vroom.LoadOptions{})
+	net, _ := vroom.LoadPage(site, vroom.PolicyNetworkOnly, vroom.LoadOptions{})
+	bound := cpu.PLT
+	if net.PLT > bound {
+		bound = net.PLT
+	}
+	fmt.Println(bound > 0)
+	// Output: true
+}

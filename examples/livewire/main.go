@@ -1,0 +1,70 @@
+// livewire runs the whole Vroom pipeline over real HTTP/2 connections on an
+// emulated LTE link: record a generated page into a replay archive, serve
+// it with dependency hints + server push, and load it with the staged
+// client versus the baseline client.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"vroom"
+	"vroom/internal/netem"
+	"vroom/internal/urlutil"
+)
+
+func main() {
+	at := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	site := vroom.NewSite("livewire-news", vroom.CategoryNews, 99)
+	snapshot := site.Snapshot(at, vroom.Profile{Device: vroom.DevicePhoneSmall, UserID: 3}, 1)
+	archive := vroom.RecordSnapshot(snapshot)
+	resolver := vroom.TrainResolver(site, at, vroom.DevicePhoneSmall)
+
+	fmt.Printf("recorded %s: %d resources\n", archive.RootURL, archive.Len())
+
+	type result struct {
+		label  string
+		total  time.Duration
+		high   time.Duration
+		pushed int
+		kb     float64
+	}
+	run := func(label string, cfg vroom.WireServerConfig, staged bool) result {
+		srv := vroom.NewWireServer(archive, resolver, vroom.DevicePhoneSmall, cfg)
+		link := netem.Listen(netem.LTE())
+		go srv.H2().Serve(link)
+		defer func() { srv.H2().Close(); link.Close() }()
+
+		client := &vroom.WireClient{
+			Dial:   func(string) (net.Conn, error) { return link.Dial() },
+			Staged: staged,
+		}
+		root, err := urlutil.Parse(archive.RootURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := client.LoadPage(root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var lastHigh time.Time
+		for _, f := range rep.Fetches {
+			if f.Priority == vroom.HintHigh && f.Done.After(lastHigh) {
+				lastHigh = f.Done
+			}
+		}
+		return result{label, rep.Total(), lastHigh.Sub(rep.Started), rep.Pushed, float64(rep.Bytes) / 1024}
+	}
+
+	baseline := run("h2 baseline", vroom.WireServerConfig{}, false)
+	vr := run("vroom (hints+push+staged)", vroom.WireServerConfig{SendHints: true, Push: true}, true)
+
+	for _, r := range []result{baseline, vr} {
+		fmt.Printf("%-26s total=%7.0fms  high-priority-done=%7.0fms  pushed=%2d  %.0f KB\n",
+			r.label, r.total.Seconds()*1000, r.high.Seconds()*1000, r.pushed, r.kb)
+	}
+	fmt.Println("\nvroom delivers everything the CPU must process earlier; the emulated link")
+	fmt.Println("carries real HTTP/2 frames, HPACK, flow control, and PUSH_PROMISE.")
+}

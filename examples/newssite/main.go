@@ -1,0 +1,60 @@
+// newssite reproduces the paper's headline comparison (Fig. 13) on a small
+// News/Sports corpus: page-load-time quartiles for the lower bound, Vroom,
+// incremental adoption, HTTP/2, and HTTP/1.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vroom"
+	"vroom/internal/metrics"
+)
+
+func main() {
+	corpus := vroom.GenerateCorpus(vroom.CorpusConfig{Seed: 7, NumNews: 5, NumSports: 5})
+
+	policies := []struct {
+		label string
+		pol   vroom.Policy
+	}{
+		{"vroom", vroom.PolicyVroom},
+		{"vroom first-party only", vroom.PolicyVroomFirstParty},
+		{"http/2 baseline", vroom.PolicyH2},
+		{"http/1.1 (status quo)", vroom.PolicyHTTP1},
+	}
+
+	var rows []metrics.TableRow
+	bound := metrics.NewDist()
+	for _, s := range corpus.Sites {
+		cpu, err := vroom.LoadPage(s, vroom.PolicyCPUOnly, vroom.LoadOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		net, err := vroom.LoadPage(s, vroom.PolicyNetworkOnly, vroom.LoadOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := cpu.PLT
+		if net.PLT > m {
+			m = net.PLT
+		}
+		bound.AddDuration(m)
+	}
+	rows = append(rows, metrics.TableRow{Label: "lower bound", Dist: bound})
+
+	for _, pc := range policies {
+		d := metrics.NewDist()
+		for _, s := range corpus.Sites {
+			res, err := vroom.LoadPage(s, pc.pol, vroom.LoadOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			d.AddDuration(res.PLT)
+		}
+		rows = append(rows, metrics.TableRow{Label: pc.label, Dist: d})
+	}
+
+	fmt.Print(metrics.Table("page load time (s) across 10 News/Sports sites", rows))
+	fmt.Println("\npaper shape: http/1.1 > http/2 > vroom ≈ lower bound (10.5 → 7.3 → 5.1 ≈ 5.0 s medians)")
+}

@@ -1,0 +1,40 @@
+// Quickstart: generate one News site and load it under the HTTP/2 baseline
+// and under Vroom, printing the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vroom"
+)
+
+func main() {
+	site := vroom.NewSite("mynews", vroom.CategoryNews, 42)
+
+	for _, pol := range []vroom.Policy{vroom.PolicyH2, vroom.PolicyVroom} {
+		res, err := vroom.LoadPage(site, pol, vroom.LoadOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s PLT=%.2fs  above-the-fold=%.2fs  speed-index=%.0f  cpu-idle=%.0f%%  resources=%d\n",
+			pol, res.PLT.Seconds(), res.AFT.Seconds(), res.SpeedIndex, res.IdleFrac*100, res.NumRequired)
+	}
+
+	// The lower bound of §2: the better of fully-using-the-CPU and
+	// fully-using-the-network.
+	cpu, err := vroom.LoadPage(site, vroom.PolicyCPUOnly, vroom.LoadOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := vroom.LoadPage(site, vroom.PolicyNetworkOnly, vroom.LoadOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := cpu.PLT
+	if net.PLT > bound {
+		bound = net.PLT
+	}
+	fmt.Printf("lower bound (max of cpu-only %.2fs, network-only %.2fs) = %.2fs\n",
+		cpu.PLT.Seconds(), net.PLT.Seconds(), bound.Seconds())
+}

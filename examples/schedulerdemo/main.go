@@ -1,0 +1,51 @@
+// schedulerdemo reproduces Fig. 11's insight on one site: how push-all-
+// fetch-ASAP delays the first resources the CPU needs, while Vroom's staged
+// scheduling delivers them in processing order without individual delays.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vroom"
+	"vroom/internal/hints"
+)
+
+func main() {
+	site := vroom.NewSite("eurosport-like", vroom.CategorySports, 17)
+
+	arrivals := func(pol vroom.Policy) (map[string]time.Duration, []string) {
+		res, err := vroom.LoadPage(site, pol, vroom.LoadOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := make(map[string]time.Duration)
+		var order []string
+		for _, rt := range res.Resources {
+			if rt.Required && rt.Priority == hints.High && rt.ArrivedAt > 0 {
+				m[rt.URL] = rt.ArrivedAt
+				order = append(order, rt.URL)
+			}
+		}
+		return m, order
+	}
+
+	base, order := arrivals(vroom.PolicyH2)
+	asap, _ := arrivals(vroom.PolicyPushAllFetchASAP)
+	stgd, _ := arrivals(vroom.PolicyVroom)
+
+	fmt.Println("receipt-time change vs HTTP/2 baseline for the first 10 processed resources")
+	fmt.Printf("%-3s %9s %14s %10s\n", "id", "base (s)", "push-asap Δ(s)", "vroom Δ(s)")
+	n := 0
+	for _, u := range order {
+		if n >= 10 {
+			break
+		}
+		da, dv := asap[u]-base[u], stgd[u]-base[u]
+		fmt.Printf("%-3d %9.2f %+14.2f %+10.2f\n", n+1, base[u].Seconds(), da.Seconds(), dv.Seconds())
+		n++
+	}
+	fmt.Println("\npaper: fetch-ASAP speeds some resources but delays others (bandwidth contention);")
+	fmt.Println("vroom matches its overall gains without delaying any early resource (Fig. 11).")
+}

@@ -1,0 +1,3 @@
+module vroom
+
+go 1.22

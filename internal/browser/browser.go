@@ -1,0 +1,409 @@
+// Package browser implements a deterministic simulated mobile browser
+// engine: a single main thread that parses HTML, executes scripts in
+// document order, and decodes subresources, coupled to a transport through
+// which it fetches resources. Fetch issuance is delegated to a pluggable
+// Scheduler so that the baseline (fetch on discovery), Vroom's staged
+// scheduler, and Polaris-style prioritization can be compared on identical
+// engine mechanics.
+//
+// The engine models the two couplings the paper identifies (§2-§3): the CPU
+// cannot process a resource before the network delivers it, and the network
+// cannot fetch a resource before CPU-driven parsing/execution (or a server
+// hint) discovers it.
+package browser
+
+import (
+	"fmt"
+	"time"
+
+	"vroom/internal/event"
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// Fetched is a completed response delivered by the transport.
+type Fetched struct {
+	URL urlutil.URL
+	// Res is the resource content; nil when the server had no content for
+	// the URL (a stale hint), in which case the body was a small error
+	// page.
+	Res *webpage.Resource
+	// Size is the number of bytes transferred.
+	Size int
+	// Pushed marks server-initiated delivery (HTTP/2 PUSH).
+	Pushed bool
+	// NotModified marks a 304 revalidation: the client's expired cached
+	// copy is still valid and only headers crossed the network.
+	NotModified bool
+	// Hints are the dependency hints carried on the response headers.
+	Hints []hints.Hint
+}
+
+// Transport issues fetches on behalf of the browser. Implementations attach
+// the server model and simulated network.
+type Transport interface {
+	Fetch(u urlutil.URL, done func(*Fetched))
+}
+
+// EntryState tracks a resource's lifecycle within a load.
+type EntryState int
+
+// Entry states.
+const (
+	StateKnown EntryState = iota // URL known, no fetch issued
+	StateInFlight
+	StateArrived
+	StateProcessed
+)
+
+// Entry is the per-URL bookkeeping of a load.
+type Entry struct {
+	URL urlutil.URL
+	Res *webpage.Resource
+
+	State EntryState
+	// Required: the page load cannot complete without this resource (it
+	// was discovered by actual parsing/execution, not just hinted).
+	Required bool
+	// Priority classifies the entry for scheduling (derived from how the
+	// page uses it, or from its hint).
+	Priority hints.Priority
+	Pushed   bool
+
+	// Size is the number of bytes transferred for this entry.
+	Size int
+
+	DiscoveredAt time.Time // first knowledge (hint, push promise, or parse)
+	RequiredAt   time.Time
+	RequestedAt  time.Time
+	ArrivedAt    time.Time
+	ProcessedAt  time.Time
+
+	waiters           []func(*Entry)
+	procWaiters       []func()
+	processingStarted bool
+	gated             bool // executed by a document's sync-script pump
+	execAsync         bool
+}
+
+// Load is one page load in progress.
+type Load struct {
+	Eng       *event.Engine
+	Transport Transport
+	Cfg       Config
+	Sched     Scheduler
+
+	Root  urlutil.URL
+	start time.Time
+
+	entries map[string]*Entry
+	order   []string
+
+	// main-thread accounting
+	cpuFreeAt time.Time
+	busyTotal time.Duration
+
+	outstandingRequired int
+	finished            bool
+	finishedAt          time.Time
+	finalizeQueued      bool
+
+	paints []paintEvent
+
+	// syncChains tracks in-order execution of synchronous scripts per
+	// document.
+	docs map[string]*docState
+
+	// OnFinish, when set, fires once when the load completes.
+	OnFinish func()
+}
+
+type paintEvent struct {
+	at     time.Time
+	weight float64
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Costs is the CPU cost model; zero value means MobileCosts.
+	Costs Costs
+	// CPUScale divides all CPU costs (1.0 = Nexus-6-class phone; larger
+	// is faster). Zero means 1.0.
+	CPUScale float64
+	// Cache is the warm browser cache; nil means cold.
+	Cache *Cache
+	// CacheHitDelay is the local lookup latency for a fresh cache entry.
+	CacheHitDelay time.Duration
+	// NoProcessing zeroes all CPU costs (the network-bottleneck lower
+	// bound of §2: resources fetched but not evaluated).
+	NoProcessing bool
+}
+
+func (c Config) costs() Costs {
+	if c.Costs == (Costs{}) {
+		return MobileCosts()
+	}
+	return c.Costs
+}
+
+func (c Config) scale() float64 {
+	if c.CPUScale <= 0 {
+		return 1.0
+	}
+	return c.CPUScale
+}
+
+// docState tracks incremental parsing of one HTML document.
+type docState struct {
+	entry    *Entry
+	steps    []docStep
+	idx      int
+	running  bool
+	waiting  bool
+	finished bool
+	inline   []webpage.Discovered
+	iframes  []webpage.Discovered
+}
+
+// NewLoad prepares a page load for the given root URL.
+func NewLoad(eng *event.Engine, tr Transport, cfg Config, sched Scheduler, root urlutil.URL) *Load {
+	if sched == nil {
+		sched = &FetchASAP{}
+	}
+	l := &Load{
+		Eng:       eng,
+		Transport: tr,
+		Cfg:       cfg,
+		Sched:     sched,
+		Root:      root,
+		entries:   make(map[string]*Entry),
+		docs:      make(map[string]*docState),
+	}
+	return l
+}
+
+// Start begins the load at the current simulation time.
+func (l *Load) Start() {
+	l.start = l.Eng.Now()
+	l.cpuFreeAt = l.start
+	l.Sched.Start(l)
+	l.Require(l.Root, hints.High)
+}
+
+// StartTime returns when the load began.
+func (l *Load) StartTime() time.Time { return l.start }
+
+// Entry returns (creating) the bookkeeping entry for a URL.
+func (l *Load) Entry(u urlutil.URL) *Entry {
+	key := u.String()
+	e, ok := l.entries[key]
+	if !ok {
+		e = &Entry{URL: u, DiscoveredAt: l.Eng.Now(), Priority: hints.Low}
+		l.entries[key] = e
+		l.order = append(l.order, key)
+	}
+	return e
+}
+
+// Entries returns all entries in discovery order.
+func (l *Load) Entries() []*Entry {
+	out := make([]*Entry, 0, len(l.order))
+	for _, k := range l.order {
+		out = append(out, l.entries[k])
+	}
+	return out
+}
+
+// Hint registers a dependency hint: the URL becomes known and is handed to
+// the scheduler, which decides when (or whether) to fetch it.
+func (l *Load) Hint(h hints.Hint) {
+	e := l.Entry(h.URL)
+	if h.Priority < e.Priority {
+		e.Priority = h.Priority
+	}
+	l.Sched.OnHint(l, e, h)
+}
+
+// Require marks a resource as needed by the page (discovered through actual
+// parsing/execution, or the root itself). The scheduler is told so it can
+// issue or reorder the fetch.
+func (l *Load) Require(u urlutil.URL, prio hints.Priority) *Entry {
+	e := l.Entry(u)
+	if prio < e.Priority {
+		e.Priority = prio
+	}
+	if !e.Required {
+		e.Required = true
+		e.RequiredAt = l.Eng.Now()
+		l.outstandingRequired++
+		if e.State == StateArrived {
+			l.beginProcessing(e)
+		} else {
+			l.Sched.OnRequired(l, e)
+		}
+	}
+	return e
+}
+
+// FetchNow issues the network fetch for an entry unless one is already in
+// flight or the resource is already local. Schedulers call this.
+func (l *Load) FetchNow(e *Entry) {
+	if e.State != StateKnown {
+		return
+	}
+	e.State = StateInFlight
+	e.RequestedAt = l.Eng.Now()
+	if l.Cfg.Cache != nil {
+		if res, ok := l.Cfg.Cache.Get(e.URL.String(), l.Eng.Now()); ok {
+			delay := l.Cfg.CacheHitDelay
+			if delay <= 0 {
+				delay = time.Millisecond
+			}
+			l.Eng.ScheduleAfter(delay, "cache-hit", func() {
+				l.deliver(e, &Fetched{URL: e.URL, Res: res, Size: 0})
+			})
+			return
+		}
+	}
+	l.Transport.Fetch(e.URL, func(f *Fetched) { l.deliver(e, f) })
+}
+
+// PushPromise records a server's announcement that it will push u; the
+// browser will not issue its own request for a promised resource.
+func (l *Load) PushPromise(u urlutil.URL) {
+	e := l.Entry(u)
+	if e.State == StateKnown {
+		e.State = StateInFlight
+		e.Pushed = true
+		e.RequestedAt = l.Eng.Now()
+	}
+}
+
+// PushArrived delivers a pushed response body.
+func (l *Load) PushArrived(f *Fetched) {
+	e := l.Entry(f.URL)
+	e.Pushed = true
+	if e.State == StateProcessed || e.State == StateArrived {
+		return // duplicate push of something we already have
+	}
+	e.State = StateInFlight
+	l.deliver(e, f)
+}
+
+// deliver finalizes arrival of a response (fetched, pushed, or cache hit).
+func (l *Load) deliver(e *Entry, f *Fetched) {
+	if e.State == StateArrived || e.State == StateProcessed {
+		return
+	}
+	e.State = StateArrived
+	e.ArrivedAt = l.Eng.Now()
+	e.Res = f.Res
+	e.Size = f.Size
+	if f.Pushed {
+		e.Pushed = true
+	}
+	if l.Cfg.Cache != nil && f.Res != nil && f.Res.Cacheable {
+		l.Cfg.Cache.Put(e.URL.String(), f.Res, l.Eng.Now())
+	}
+	for _, h := range f.Hints {
+		l.Hint(h)
+	}
+	if e.Required {
+		l.beginProcessing(e)
+	}
+	for _, w := range e.waiters {
+		w(e)
+	}
+	e.waiters = nil
+	l.Sched.OnArrived(l, e)
+}
+
+// onEntryDone marks a required entry fully processed and checks completion.
+func (l *Load) onEntryDone(e *Entry) {
+	if e.State == StateProcessed {
+		return
+	}
+	e.State = StateProcessed
+	e.ProcessedAt = l.Eng.Now()
+	if e.Res != nil && e.Res.ViewportWeight > 0 {
+		l.paints = append(l.paints, paintEvent{at: e.ProcessedAt, weight: e.Res.ViewportWeight})
+	}
+	for _, w := range e.procWaiters {
+		w()
+	}
+	e.procWaiters = nil
+	if e.Required {
+		l.outstandingRequired--
+		l.checkFinished()
+	}
+}
+
+// checkFinished fires the onload event once every required resource is
+// fetched and processed, after a final layout task.
+func (l *Load) checkFinished() {
+	if l.finished || l.outstandingRequired > 0 || l.finalizeQueued {
+		return
+	}
+	l.finalizeQueued = true
+	l.runTask(l.cost(l.Cfg.costs().Finalize), "finalize", func() {
+		l.finalizeQueued = false
+		if l.outstandingRequired > 0 {
+			return // finalize raced with a late discovery; it will re-run
+		}
+		l.finished = true
+		l.finishedAt = l.Eng.Now()
+		if l.OnFinish != nil {
+			l.OnFinish()
+		}
+	})
+}
+
+// Finished reports whether onload has fired.
+func (l *Load) Finished() bool { return l.finished }
+
+// cost scales a CPU cost by the configured CPU speed.
+func (l *Load) cost(d time.Duration) time.Duration {
+	if l.Cfg.NoProcessing {
+		return 0
+	}
+	return time.Duration(float64(d) / l.Cfg.scale())
+}
+
+// runTask queues a task on the main thread (FIFO) and invokes fn when it
+// completes.
+func (l *Load) runTask(d time.Duration, name string, fn func()) {
+	now := l.Eng.Now()
+	start := l.cpuFreeAt
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(d)
+	l.cpuFreeAt = end
+	l.busyTotal += d
+	l.Eng.Schedule(end, "task:"+name, fn)
+}
+
+// onArrivedOrNow runs fn immediately if the entry has arrived, or when it
+// does.
+func (l *Load) onArrivedOrNow(e *Entry, fn func(*Entry)) {
+	if e.State == StateArrived || e.State == StateProcessed {
+		fn(e)
+		return
+	}
+	e.waiters = append(e.waiters, fn)
+}
+
+// onProcessed runs fn immediately if the entry is fully processed, or when
+// it becomes so.
+func (l *Load) onProcessed(e *Entry, fn func()) {
+	if e.State == StateProcessed {
+		fn()
+		return
+	}
+	e.procWaiters = append(e.procWaiters, fn)
+}
+
+func (l *Load) String() string {
+	return fmt.Sprintf("load(%s, %d entries, required out %d)", l.Root, len(l.entries), l.outstandingRequired)
+}

@@ -1,0 +1,148 @@
+package browser
+
+import (
+	"sort"
+	"time"
+
+	"vroom/internal/hints"
+)
+
+// ResourceTiming is the per-resource timeline extracted from a finished
+// load, used by the per-resource figures (Fig. 11, Fig. 16).
+type ResourceTiming struct {
+	URL          string
+	Priority     hints.Priority
+	Required     bool
+	Pushed       bool
+	Size         int
+	DiscoveredAt time.Duration // relative to load start
+	RequestedAt  time.Duration
+	ArrivedAt    time.Duration
+	ProcessedAt  time.Duration
+}
+
+// Result summarizes a finished load.
+type Result struct {
+	Scheduler string
+	// PLT is the page load time (start to onload).
+	PLT time.Duration
+	// AFT is the above-the-fold time: the last visual change.
+	AFT time.Duration
+	// SpeedIndex integrates visual incompleteness over time (ms).
+	SpeedIndex float64
+	// CPUBusy is total main-thread busy time; IdleFrac is the share of
+	// the load the main thread spent idle (≈ critical-path network wait,
+	// Fig. 4).
+	CPUBusy  time.Duration
+	IdleFrac float64
+	// DiscoverAll/FetchAll are when the last required resource became
+	// known / finished arriving. The High variants cover only
+	// high-priority (processed, non-iframe) resources (Fig. 16).
+	DiscoverAll  time.Duration
+	FetchAll     time.Duration
+	DiscoverHigh time.Duration
+	FetchHigh    time.Duration
+	// BytesFetched counts all delivered bytes; WastedBytes those of
+	// speculative fetches (hints/pushes) the page never needed.
+	BytesFetched int64
+	WastedBytes  int64
+	NumRequired  int
+	NumFetched   int
+	Resources    []ResourceTiming
+}
+
+// Result computes the load summary. It must be called after the load
+// finished.
+func (l *Load) Result() Result {
+	r := Result{Scheduler: l.Sched.Name()}
+	if !l.finished {
+		return r
+	}
+	start := l.start
+	r.PLT = l.finishedAt.Sub(start)
+	r.CPUBusy = l.busyTotal
+	if r.PLT > 0 {
+		idle := r.PLT - l.busyTotal
+		if idle < 0 {
+			idle = 0
+		}
+		r.IdleFrac = float64(idle) / float64(r.PLT)
+	}
+	for _, e := range l.Entries() {
+		if e.State == StateArrived || e.State == StateProcessed {
+			r.NumFetched++
+			r.BytesFetched += int64(e.Size)
+			if !e.Required {
+				r.WastedBytes += int64(e.Size)
+			}
+		}
+		rt := ResourceTiming{
+			URL:      e.URL.String(),
+			Priority: e.Priority,
+			Required: e.Required,
+			Pushed:   e.Pushed,
+			Size:     e.Size,
+		}
+		if !e.DiscoveredAt.IsZero() {
+			rt.DiscoveredAt = e.DiscoveredAt.Sub(start)
+		}
+		if !e.RequestedAt.IsZero() {
+			rt.RequestedAt = e.RequestedAt.Sub(start)
+		}
+		if !e.ArrivedAt.IsZero() {
+			rt.ArrivedAt = e.ArrivedAt.Sub(start)
+		}
+		if !e.ProcessedAt.IsZero() {
+			rt.ProcessedAt = e.ProcessedAt.Sub(start)
+		}
+		r.Resources = append(r.Resources, rt)
+		if !e.Required {
+			continue
+		}
+		r.NumRequired++
+		if rt.DiscoveredAt > r.DiscoverAll {
+			r.DiscoverAll = rt.DiscoveredAt
+		}
+		if rt.ArrivedAt > r.FetchAll {
+			r.FetchAll = rt.ArrivedAt
+		}
+		if e.Priority == hints.High {
+			if rt.DiscoveredAt > r.DiscoverHigh {
+				r.DiscoverHigh = rt.DiscoveredAt
+			}
+			if rt.ArrivedAt > r.FetchHigh {
+				r.FetchHigh = rt.ArrivedAt
+			}
+		}
+	}
+	r.AFT, r.SpeedIndex = l.visualMetrics()
+	return r
+}
+
+// visualMetrics computes above-the-fold time and Speed Index from the paint
+// event log: AFT is the last visual change; Speed Index integrates
+// (1 - completeness) over time, in milliseconds.
+func (l *Load) visualMetrics() (time.Duration, float64) {
+	if len(l.paints) == 0 {
+		return l.finishedAt.Sub(l.start), float64(l.finishedAt.Sub(l.start).Milliseconds())
+	}
+	paints := make([]paintEvent, len(l.paints))
+	copy(paints, l.paints)
+	sort.Slice(paints, func(i, j int) bool { return paints[i].at.Before(paints[j].at) })
+	var total float64
+	for _, p := range paints {
+		total += p.weight
+	}
+	aft := paints[len(paints)-1].at.Sub(l.start)
+	// Integrate incompleteness.
+	var si float64
+	var done float64
+	prev := time.Duration(0)
+	for _, p := range paints {
+		at := p.at.Sub(l.start)
+		si += (1 - done/total) * float64((at - prev).Milliseconds())
+		done += p.weight
+		prev = at
+	}
+	return aft, si
+}

@@ -1,0 +1,159 @@
+package browser
+
+import (
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+)
+
+// Scheduler owns fetch issuance for a load. The browser reports hints,
+// requirements (real discoveries), and arrivals; the scheduler decides when
+// each fetch goes out by calling Load.FetchNow. This is the seam between
+// the baseline browser behaviour and Vroom's staged client scheduler
+// (§4.3/§5.2).
+type Scheduler interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Start is called once when the load begins.
+	Start(l *Load)
+	// OnHint is called for each dependency hint as it is parsed from a
+	// response.
+	OnHint(l *Load, e *Entry, h hints.Hint)
+	// OnRequired is called when parsing/execution discovers the page
+	// needs e (and no fetch has completed yet).
+	OnRequired(l *Load, e *Entry)
+	// OnArrived is called when any response finishes arriving.
+	OnArrived(l *Load, e *Entry)
+}
+
+// FetchASAP is the baseline browser behaviour: fetch every resource the
+// moment it is discovered; ignore dependency hints (a non-Vroom client).
+type FetchASAP struct {
+	// FollowHints makes the client also fetch hinted URLs immediately —
+	// the "Push All, Fetch ASAP" strawman of §4.3 when combined with a
+	// push-everything server.
+	FollowHints bool
+	// ThrottleDelayable reproduces the HTTP/1.1-era browser resource
+	// scheduler: while any high-priority request is outstanding, at most
+	// MaxDelayable low-priority ("delayable") requests are in flight.
+	// Chrome applied this to HTTP/1.1 origins; HTTP/2 streams are cheap
+	// and exempt.
+	ThrottleDelayable bool
+	// MaxDelayable bounds in-flight low-priority requests while
+	// throttling (default 10, Chrome's historical limit).
+	MaxDelayable int
+
+	highInFlight int
+	lowInFlight  int
+	held         []*Entry
+	inFlight     map[string]hints.Priority
+}
+
+// Name implements Scheduler.
+func (s *FetchASAP) Name() string {
+	switch {
+	case s.FollowHints:
+		return "fetch-asap+hints"
+	case s.ThrottleDelayable:
+		return "fetch-asap+h1-throttle"
+	}
+	return "fetch-asap"
+}
+
+// Start implements Scheduler.
+func (s *FetchASAP) Start(*Load) {
+	s.inFlight = make(map[string]hints.Priority)
+	if s.MaxDelayable <= 0 {
+		s.MaxDelayable = 10
+	}
+}
+
+// OnHint implements Scheduler.
+func (s *FetchASAP) OnHint(l *Load, e *Entry, h hints.Hint) {
+	if s.FollowHints {
+		s.fetch(l, e)
+	}
+}
+
+// OnRequired implements Scheduler.
+func (s *FetchASAP) OnRequired(l *Load, e *Entry) { s.fetch(l, e) }
+
+func (s *FetchASAP) fetch(l *Load, e *Entry) {
+	if e.State != StateKnown {
+		return
+	}
+	// Chrome's HTTP/1.1-era resource scheduler: delayable requests are
+	// held entirely while layout-blocking fetches are outstanding, and
+	// capped at MaxDelayable in flight for the rest of the load.
+	if s.ThrottleDelayable && e.Priority == hints.Low &&
+		(s.highInFlight > 0 || s.lowInFlight >= s.MaxDelayable) {
+		s.held = append(s.held, e)
+		return
+	}
+	s.track(e)
+	l.FetchNow(e)
+}
+
+func (s *FetchASAP) track(e *Entry) {
+	if s.inFlight == nil {
+		s.inFlight = make(map[string]hints.Priority)
+	}
+	key := e.URL.String()
+	if _, dup := s.inFlight[key]; dup {
+		return
+	}
+	s.inFlight[key] = e.Priority
+	if e.Priority == hints.Low {
+		s.lowInFlight++
+	} else {
+		s.highInFlight++
+	}
+}
+
+// OnArrived implements Scheduler.
+func (s *FetchASAP) OnArrived(l *Load, e *Entry) {
+	key := e.URL.String()
+	if p, ok := s.inFlight[key]; ok {
+		delete(s.inFlight, key)
+		if p == hints.Low {
+			s.lowInFlight--
+		} else {
+			s.highInFlight--
+		}
+	}
+	// Drain held delayable requests as capacity frees up.
+	for len(s.held) > 0 && s.highInFlight == 0 && s.lowInFlight < s.MaxDelayable {
+		next := s.held[0]
+		s.held = s.held[1:]
+		if next.State != StateKnown {
+			continue
+		}
+		s.track(next)
+		l.FetchNow(next)
+	}
+}
+
+// ListScheduler fetches a fixed URL list at load start (used for the
+// network-bottleneck lower bound: every resource is known upfront and
+// fetched without evaluation, §2).
+type ListScheduler struct {
+	URLs []urlutil.URL
+}
+
+// Name implements Scheduler.
+func (s *ListScheduler) Name() string { return "list-upfront" }
+
+// Start implements Scheduler.
+func (s *ListScheduler) Start(l *Load) {
+	for _, u := range s.URLs {
+		l.FetchNow(l.Entry(u))
+	}
+}
+
+// OnHint implements Scheduler.
+func (s *ListScheduler) OnHint(*Load, *Entry, hints.Hint) {}
+
+// OnRequired implements Scheduler.
+func (s *ListScheduler) OnRequired(l *Load, e *Entry) { l.FetchNow(e) }
+
+// OnArrived implements Scheduler.
+func (s *ListScheduler) OnArrived(*Load, *Entry) {}

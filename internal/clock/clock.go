@@ -1,0 +1,63 @@
+// Package clock provides a clock abstraction so that the simulation core can
+// run against a deterministic virtual clock while wire-level components use
+// the wall clock.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+}
+
+// Wall is the real-time clock backed by time.Now.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Virtual is a manually advanced clock. The zero value starts at the zero
+// time and is ready to use.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a virtual clock starting at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d. Negative durations are ignored.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	v.mu.Unlock()
+}
+
+// Set moves the clock to t if t is not before the current time.
+// It returns true if the clock was updated.
+func (v *Virtual) Set(t time.Time) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.Before(v.now) {
+		return false
+	}
+	v.now = t
+	return true
+}

@@ -1,0 +1,56 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWall(t *testing.T) {
+	var c Clock = Wall{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("wall clock went backwards")
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("start at %v", v.Now())
+	}
+	v.Advance(time.Hour)
+	if !v.Now().Equal(start.Add(time.Hour)) {
+		t.Fatalf("after advance: %v", v.Now())
+	}
+	v.Advance(-time.Hour) // ignored
+	if !v.Now().Equal(start.Add(time.Hour)) {
+		t.Fatal("negative advance moved the clock")
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	start := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Set(start.Add(time.Minute)) {
+		t.Fatal("forward set rejected")
+	}
+	if v.Set(start) {
+		t.Fatal("backward set accepted")
+	}
+	if !v.Now().Equal(start.Add(time.Minute)) {
+		t.Fatalf("clock at %v", v.Now())
+	}
+}
+
+func TestVirtualZeroValue(t *testing.T) {
+	var v Virtual
+	if !v.Now().IsZero() {
+		t.Fatal("zero-value clock should start at zero time")
+	}
+	v.Advance(time.Second)
+	if v.Now().IsZero() {
+		t.Fatal("advance on zero value failed")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"time"
+
+	"vroom/internal/webpage"
+)
+
+// This file implements §4.1.2's device-equivalence-class discovery: "after
+// a few loads of a page, the server can bin all device types into a few
+// equivalence classes", so offline resolution runs per class rather than
+// per device model.
+
+// EquivalenceClasses groups device classes whose stable resource sets for
+// a site overlap at least threshold (intersection-over-union). Each group
+// shares one offline-resolution pipeline; the first member is the group's
+// emulated representative.
+func EquivalenceClasses(site *webpage.Site, now time.Time, devices []webpage.DeviceClass, threshold float64) [][]webpage.DeviceClass {
+	r := NewResolver(DefaultResolverConfig())
+	sets := make(map[webpage.DeviceClass]map[string]bool, len(devices))
+	for _, d := range devices {
+		r.Train(site, now, d)
+		set := make(map[string]bool)
+		for _, dep := range r.Stable(site.RootURL(), d) {
+			set[dep.URL.String()] = true
+		}
+		sets[d] = set
+	}
+	var groups [][]webpage.DeviceClass
+	for _, d := range devices {
+		placed := false
+		for gi, g := range groups {
+			if setIoU(sets[g[0]], sets[d]) >= threshold {
+				groups[gi] = append(groups[gi], d)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []webpage.DeviceClass{d})
+		}
+	}
+	return groups
+}
+
+// setIoU computes intersection-over-union of two URL sets.
+func setIoU(a, b map[string]bool) float64 {
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TrainClasses trains the resolver once per equivalence-class
+// representative and aliases the remaining members to it, cutting offline
+// emulation cost from one pipeline per device model to one per class.
+func (r *Resolver) TrainClasses(site *webpage.Site, now time.Time, classes [][]webpage.DeviceClass) {
+	for _, group := range classes {
+		if len(group) == 0 {
+			continue
+		}
+		rep := group[0]
+		r.Train(site, now, rep)
+		for _, member := range group[1:] {
+			r.aliasDevice(site, rep, member)
+		}
+	}
+}
+
+// aliasDevice copies every stable set trained for rep to member.
+func (r *Resolver) aliasDevice(site *webpage.Site, rep, member webpage.DeviceClass) {
+	suffixRep := "|" + rep.String()
+	for key, deps := range r.stable {
+		if len(key) > len(suffixRep) && key[len(key)-len(suffixRep):] == suffixRep {
+			base := key[:len(key)-len(suffixRep)]
+			r.stable[base+"|"+member.String()] = deps
+		}
+	}
+}

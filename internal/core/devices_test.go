@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"vroom/internal/webpage"
+)
+
+func TestEquivalenceClassesGroupPhones(t *testing.T) {
+	site := webpage.NewSite("eqtest", webpage.Top100, 404)
+	devices := []webpage.DeviceClass{webpage.PhoneSmall, webpage.PhoneLarge, webpage.Tablet}
+	groups := EquivalenceClasses(site, trainTime, devices, 0.9)
+	if len(groups) < 2 {
+		t.Fatalf("all devices collapsed into %d group(s); tablet should differ", len(groups))
+	}
+	// The two phone classes should land in the same group (Fig. 9:
+	// Nexus 6 vs OnePlus 3).
+	find := func(d webpage.DeviceClass) int {
+		for gi, g := range groups {
+			for _, m := range g {
+				if m == d {
+					return gi
+				}
+			}
+		}
+		return -1
+	}
+	if find(webpage.PhoneSmall) != find(webpage.PhoneLarge) {
+		t.Errorf("phone classes split across groups: %v", groups)
+	}
+	if find(webpage.PhoneSmall) == find(webpage.Tablet) {
+		t.Errorf("tablet grouped with phones: %v", groups)
+	}
+}
+
+func TestTrainClassesAliasesRepresentative(t *testing.T) {
+	site := webpage.NewSite("eqtest", webpage.Top100, 405)
+	r := NewResolver(DefaultResolverConfig())
+	classes := [][]webpage.DeviceClass{{webpage.PhoneSmall, webpage.PhoneLarge}, {webpage.Tablet}}
+	r.TrainClasses(site, trainTime, classes)
+	small := r.Stable(site.RootURL(), webpage.PhoneSmall)
+	large := r.Stable(site.RootURL(), webpage.PhoneLarge)
+	if len(small) == 0 || len(large) != len(small) {
+		t.Fatalf("alias broken: %d vs %d deps", len(large), len(small))
+	}
+	for i := range small {
+		if small[i].URL != large[i].URL {
+			t.Fatalf("aliased sets differ at %d", i)
+		}
+	}
+	if len(r.Stable(site.RootURL(), webpage.Tablet)) == 0 {
+		t.Fatal("tablet class untrained")
+	}
+}

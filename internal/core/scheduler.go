@@ -1,0 +1,121 @@
+package core
+
+import (
+	"vroom/internal/browser"
+	"vroom/internal/hints"
+)
+
+// StagedScheduler is Vroom's client-side request scheduler (§4.3, §5.2).
+//
+// High-priority resources — everything that must be parsed or executed —
+// are fetched the moment they are hinted or discovered, in the order the
+// hints list them (which is client processing order). Semi-important and
+// unimportant resources are held back: the semi stage opens once every
+// known high-priority resource has been received, and the low stage once
+// the semi stage drains. This keeps the access link clear for the resources
+// the CPU is waiting on, so receipt order tracks processing order (Fig. 11).
+type StagedScheduler struct {
+	stage       hints.Priority // highest priority class currently allowed out
+	rootArrived bool
+	pending     map[hints.Priority][]*browser.Entry
+	outstanding map[hints.Priority]int
+	issued      map[string]hints.Priority
+	queued      map[string]bool
+}
+
+// NewStagedScheduler returns a scheduler at the high stage.
+func NewStagedScheduler() *StagedScheduler {
+	return &StagedScheduler{
+		stage:       hints.High,
+		pending:     make(map[hints.Priority][]*browser.Entry),
+		outstanding: make(map[hints.Priority]int),
+		issued:      make(map[string]hints.Priority),
+		queued:      make(map[string]bool),
+	}
+}
+
+// Name implements browser.Scheduler.
+func (s *StagedScheduler) Name() string { return "vroom-staged" }
+
+// Start implements browser.Scheduler.
+func (s *StagedScheduler) Start(*browser.Load) {}
+
+// OnHint implements browser.Scheduler: hinted resources are prefetched
+// according to their stage.
+func (s *StagedScheduler) OnHint(l *browser.Load, e *browser.Entry, h hints.Hint) {
+	s.fetchOrQueue(l, e, h.Priority)
+}
+
+// OnRequired implements browser.Scheduler: real discoveries follow the same
+// stage discipline; high-priority needs always go out immediately.
+func (s *StagedScheduler) OnRequired(l *browser.Load, e *browser.Entry) {
+	s.fetchOrQueue(l, e, e.Priority)
+}
+
+func (s *StagedScheduler) fetchOrQueue(l *browser.Load, e *browser.Entry, p hints.Priority) {
+	if e.State != browser.StateKnown {
+		return // already in flight or arrived
+	}
+	if p <= s.stage {
+		s.issue(l, e, p)
+		return
+	}
+	key := e.URL.String()
+	if !s.queued[key] {
+		s.queued[key] = true
+		s.pending[p] = append(s.pending[p], e)
+	}
+}
+
+func (s *StagedScheduler) issue(l *browser.Load, e *browser.Entry, p hints.Priority) {
+	if e.State != browser.StateKnown {
+		return
+	}
+	key := e.URL.String()
+	if _, dup := s.issued[key]; !dup {
+		s.issued[key] = p
+		s.outstanding[p]++
+	}
+	l.FetchNow(e)
+}
+
+// OnArrived implements browser.Scheduler: arrivals retire outstanding
+// fetches and may open the next stage.
+func (s *StagedScheduler) OnArrived(l *browser.Load, e *browser.Entry) {
+	if e.URL == l.Root {
+		s.rootArrived = true
+	}
+	key := e.URL.String()
+	if p, ok := s.issued[key]; ok {
+		delete(s.issued, key)
+		s.outstanding[p]--
+	}
+	s.advance(l)
+}
+
+// advance opens the semi stage once all known high-priority fetches have
+// been received (and the root's hints are in), then the low stage once the
+// semi stage drains.
+func (s *StagedScheduler) advance(l *browser.Load) {
+	for {
+		switch {
+		case s.stage == hints.High && s.rootArrived && s.outstanding[hints.High] == 0:
+			s.stage = hints.Semi
+			s.flush(l, hints.Semi)
+		case s.stage == hints.Semi && s.outstanding[hints.High] == 0 && s.outstanding[hints.Semi] == 0:
+			s.stage = hints.Low
+			s.flush(l, hints.Low)
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (s *StagedScheduler) flush(l *browser.Load, p hints.Priority) {
+	queue := s.pending[p]
+	s.pending[p] = nil
+	for _, e := range queue {
+		s.issue(l, e, p)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/event"
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// recordingTransport resolves fetches from a snapshot after a fixed delay
+// and records issue order.
+type recordingTransport struct {
+	eng   *event.Engine
+	sn    *webpage.Snapshot
+	delay time.Duration
+	log   []struct {
+		url string
+		at  time.Time
+	}
+}
+
+func (rt *recordingTransport) Fetch(u urlutil.URL, done func(*browser.Fetched)) {
+	rt.log = append(rt.log, struct {
+		url string
+		at  time.Time
+	}{u.String(), rt.eng.Now()})
+	rt.eng.ScheduleAfter(rt.delay, "fetch", func() {
+		if res, ok := rt.sn.Lookup(u); ok {
+			done(&browser.Fetched{URL: u, Res: res, Size: res.Size})
+			return
+		}
+		done(&browser.Fetched{URL: u, Size: 100})
+	})
+}
+
+func TestStagedSchedulerHoldsLowUntilHighDone(t *testing.T) {
+	site := webpage.NewSite("stagetest", webpage.Top100, 99)
+	sn := site.Snapshot(trainTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}, 1)
+	eng := event.New(trainTime)
+	tr := &recordingTransport{eng: eng, sn: sn, delay: 80 * time.Millisecond}
+	sched := NewStagedScheduler()
+	l := browser.NewLoad(eng, tr, browser.Config{}, sched, sn.Root)
+	l.Start()
+
+	// Hint a high and a low resource immediately (as if from headers).
+	var high, low urlutil.URL
+	for _, r := range sn.Ordered() {
+		if high.IsZero() && r.Type == webpage.JS && !r.Async && !r.InIframe {
+			high = r.URL
+		}
+		if low.IsZero() && r.Type == webpage.Image {
+			low = r.URL
+		}
+	}
+	l.Hint(hints.Hint{URL: high, Priority: hints.High})
+	l.Hint(hints.Hint{URL: low, Priority: hints.Low})
+
+	if _, err := eng.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Finished() {
+		t.Fatalf("unfinished: %s", l)
+	}
+
+	at := map[string]time.Time{}
+	for _, e := range tr.log {
+		if _, dup := at[e.url]; !dup {
+			at[e.url] = e.at
+		}
+	}
+	rootAt, highAt, lowAt := at[sn.Root.String()], at[high.String()], at[low.String()]
+	if highAt.IsZero() || lowAt.IsZero() {
+		t.Fatal("hinted resources never fetched")
+	}
+	// The high hint goes out immediately at hint time, before the root
+	// response; the low hint waits for the high stage to clear, i.e., at
+	// least until the root and high fetches complete.
+	if highAt.After(rootAt.Add(time.Millisecond)) {
+		t.Errorf("high hint not fetched immediately: %v vs root %v", highAt, rootAt)
+	}
+	if !lowAt.After(highAt.Add(tr.delay - time.Millisecond)) {
+		t.Errorf("low hint fetched before high stage drained: low at %v, high at %v (+%v delay)",
+			lowAt.Sub(rootAt), highAt.Sub(rootAt), tr.delay)
+	}
+}
+
+func TestStagedSchedulerFetchesRequiredHighImmediately(t *testing.T) {
+	site := webpage.NewSite("stagetest", webpage.Top100, 99)
+	sn := site.Snapshot(trainTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}, 1)
+	eng := event.New(trainTime)
+	tr := &recordingTransport{eng: eng, sn: sn, delay: 50 * time.Millisecond}
+	l := browser.NewLoad(eng, tr, browser.Config{}, NewStagedScheduler(), sn.Root)
+	l.Start()
+	if _, err := eng.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Finished() {
+		t.Fatal("load with no hints at all must still finish under the staged scheduler")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+func TestPageType(t *testing.T) {
+	cases := map[string]string{
+		"https://www.a.com/":                    "landing",
+		"https://www.a.com/article/story1.html": "article",
+		"https://www.a.com/sports/game2.html":   "sports",
+		"https://www.a.com/about.html":          "leaf",
+	}
+	for raw, want := range cases {
+		if got := PageType(urlutil.MustParse(raw)); got != want {
+			t.Errorf("PageType(%s) = %q, want %q", raw, got, want)
+		}
+	}
+}
+
+func TestArticlePagesShareTemplate(t *testing.T) {
+	site := webpage.NewSite("tmpl", webpage.News, 77)
+	if site.NumPages() < 3 {
+		t.Fatalf("site has only %d pages", site.NumPages())
+	}
+	p := webpage.Profile{Device: webpage.PhoneSmall, UserID: 4}
+	a := site.PageSnapshot(1, trainTime, p, 1)
+	b := site.PageSnapshot(2, trainTime, p, 1)
+	aSet, bSet := a.URLSet(), b.URLSet()
+	shared := 0
+	for u := range aSet {
+		if bSet[u] && u != a.Root.String() {
+			shared++
+		}
+	}
+	if shared < 5 {
+		t.Fatalf("articles share only %d resources; template broken", shared)
+	}
+	if a.Root == b.Root {
+		t.Fatal("article roots identical")
+	}
+}
+
+// TestTemplateHintsCoverUnseenPage is the extension's headline property:
+// training on the landing page and ONE article gives useful hints for an
+// article the server never crawled.
+func TestTemplateHintsCoverUnseenPage(t *testing.T) {
+	site := webpage.NewSite("tmpl", webpage.News, 78)
+	if site.NumPages() < 4 {
+		t.Skip("need at least 3 articles")
+	}
+	r := NewResolver(DefaultResolverConfig())
+	r.TrainTemplates(site, trainTime, webpage.PhoneSmall, []int{0, 1})
+
+	p := webpage.Profile{Device: webpage.PhoneSmall, UserID: 4}
+	unseenIdx := 3
+	sn := site.PageSnapshot(unseenIdx, trainTime, p, 1)
+	hs := r.HintsForPage(site, sn.Root, sn.RootResource().Body, webpage.PhoneSmall)
+	if len(hs) == 0 {
+		t.Fatal("no hints for unseen page")
+	}
+	got := map[string]bool{}
+	for _, h := range hs {
+		got[h.URL.String()] = true
+	}
+	// Every stable template resource of the unseen page should be hinted:
+	// measure coverage over the page's non-volatile, non-iframe deps.
+	coverage := func(hintSet map[string]bool) float64 {
+		covered, total := 0, 0
+		for _, d := range DocDeps(sn, sn.RootResource()) {
+			res, ok := sn.LookupString(d.URL.String())
+			if !ok || res.Unpredictable || res.Personalized {
+				continue
+			}
+			total++
+			if hintSet[d.URL.String()] {
+				covered++
+			}
+		}
+		if total == 0 {
+			t.Fatal("degenerate page")
+		}
+		return float64(covered) / float64(total)
+	}
+	tmplCov := coverage(got)
+
+	// Reference: a resolver that offline-crawled every page (expensive).
+	full := NewResolver(DefaultResolverConfig())
+	all := make([]int, site.NumPages())
+	for i := range all {
+		all[i] = i
+	}
+	full.TrainTemplates(site, trainTime, webpage.PhoneSmall, all)
+	fullSet := map[string]bool{}
+	for _, h := range full.HintsForPage(site, sn.Root, sn.RootResource().Body, webpage.PhoneSmall) {
+		fullSet[h.URL.String()] = true
+	}
+	fullCov := coverage(fullSet)
+	t.Logf("coverage: template-trained %.0f%%, fully-trained %.0f%%", tmplCov*100, fullCov*100)
+	if tmplCov < fullCov-0.05 {
+		t.Errorf("template hints cover %.0f%% vs %.0f%% with full per-page training", tmplCov*100, fullCov*100)
+	}
+	if tmplCov < 0.6 {
+		t.Errorf("template coverage %.0f%% too low to be useful", tmplCov*100)
+	}
+	// And no hinted URL should be junk relative to this load beyond the
+	// usual volatile slack.
+	stale := 0
+	for u := range got {
+		if _, ok := sn.LookupString(u); !ok {
+			stale++
+		}
+	}
+	if stale > len(got)/4 {
+		t.Errorf("%d of %d template hints are stale", stale, len(got))
+	}
+}
+
+func TestHintsForPageFallsBackWithoutTemplates(t *testing.T) {
+	site := webpage.NewSite("tmpl", webpage.News, 79)
+	r := NewResolver(DefaultResolverConfig())
+	r.Train(site, trainTime, webpage.PhoneSmall)
+	sn := site.Snapshot(trainTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 4}, 1)
+	viaPage := r.HintsForPage(site, sn.Root, sn.RootResource().Body, webpage.PhoneSmall)
+	direct := r.HintsFor(sn.Root, sn.RootResource().Body, webpage.PhoneSmall)
+	if len(viaPage) != len(direct) {
+		t.Fatalf("fallback mismatch: %d vs %d hints", len(viaPage), len(direct))
+	}
+}
+
+// sanity: priorities survive the template path.
+func TestTemplateHintPriorities(t *testing.T) {
+	site := webpage.NewSite("tmpl", webpage.News, 80)
+	if site.NumPages() < 3 {
+		t.Skip("need articles")
+	}
+	r := NewResolver(DefaultResolverConfig())
+	r.TrainTemplates(site, trainTime, webpage.PhoneSmall, []int{0, 1})
+	sn := site.PageSnapshot(2, trainTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 4}, 1)
+	hs := r.HintsForPage(site, sn.Root, sn.RootResource().Body, webpage.PhoneSmall)
+	last := hints.High
+	for _, h := range hs {
+		if h.Priority < last {
+			t.Fatal("template hints not priority-sorted")
+		}
+		last = h.Priority
+	}
+}

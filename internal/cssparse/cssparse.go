@@ -1,0 +1,202 @@
+// Package cssparse implements a small CSS scanner that extracts the resource
+// references a browser would fetch from a stylesheet: url(...) tokens
+// (background images, fonts inside @font-face) and @import rules.
+//
+// It is a lexical scanner, not a full CSS parser: it understands comments,
+// strings, and the url() functional notation, which is all that resource
+// discovery needs.
+package cssparse
+
+import (
+	"strings"
+)
+
+// RefKind classifies a stylesheet reference.
+type RefKind int
+
+// Reference kinds.
+const (
+	RefImport RefKind = iota // @import — another stylesheet, must be processed
+	RefURL                   // url(...) — images, fonts; fetched lazily when matched
+)
+
+// Reference is one resource reference found in a stylesheet.
+type Reference struct {
+	Raw  string // unresolved URL text
+	Kind RefKind
+	// FontFace marks url() references appearing inside an @font-face block;
+	// browsers fetch those with higher priority than background images.
+	FontFace bool
+}
+
+// Extract scans a stylesheet and returns its references in document order.
+func Extract(css string) []Reference {
+	var (
+		refs      []Reference
+		i         int
+		fontDepth = -1 // brace depth at which an @font-face block opened
+		depth     int
+	)
+	n := len(css)
+	for i < n {
+		c := css[i]
+		switch {
+		case c == '/' && i+1 < n && css[i+1] == '*':
+			end := strings.Index(css[i+2:], "*/")
+			if end < 0 {
+				return refs
+			}
+			i += 2 + end + 2
+		case c == '"' || c == '\'':
+			_, next := scanString(css, i)
+			i = next
+		case c == '{':
+			depth++
+			i++
+		case c == '}':
+			depth--
+			if fontDepth >= 0 && depth < fontDepth {
+				fontDepth = -1
+			}
+			i++
+		case c == '@':
+			word := ident(css[i+1:])
+			switch strings.ToLower(word) {
+			case "import":
+				raw, next := scanImport(css, i+1+len(word))
+				if raw != "" {
+					refs = append(refs, Reference{Raw: raw, Kind: RefImport})
+				}
+				i = next
+			case "font-face":
+				fontDepth = depth + 1
+				i += 1 + len(word)
+			default:
+				i += 1 + len(word)
+				if word == "" {
+					i++
+				}
+			}
+		case c == 'u' || c == 'U':
+			if raw, next, ok := scanURLFunc(css, i); ok {
+				refs = append(refs, Reference{Raw: raw, Kind: RefURL, FontFace: fontDepth >= 0 && depth >= fontDepth})
+				i = next
+			} else {
+				i++
+			}
+		default:
+			i++
+		}
+	}
+	return refs
+}
+
+// ExtractURLs returns just the raw URL strings, in order. It adapts Extract
+// to the htmlparse.InlineScanner signature.
+func ExtractURLs(css string) []string {
+	refs := Extract(css)
+	out := make([]string, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, r.Raw)
+	}
+	return out
+}
+
+// ident returns the leading CSS identifier of s.
+func ident(s string) string {
+	var i int
+	for i < len(s) {
+		c := s[i]
+		if !(c == '-' || c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')) {
+			break
+		}
+		i++
+	}
+	return s[:i]
+}
+
+// scanString scans a quoted string starting at i (css[i] is the quote) and
+// returns its content and the index just past the closing quote.
+func scanString(css string, i int) (string, int) {
+	quote := css[i]
+	j := i + 1
+	var b strings.Builder
+	for j < len(css) {
+		c := css[j]
+		if c == '\\' && j+1 < len(css) {
+			b.WriteByte(css[j+1])
+			j += 2
+			continue
+		}
+		if c == quote {
+			return b.String(), j + 1
+		}
+		b.WriteByte(c)
+		j++
+	}
+	return b.String(), j
+}
+
+// scanImport scans the URL of an @import rule starting just past "@import".
+func scanImport(css string, i int) (string, int) {
+	for i < len(css) && isCSSSpace(css[i]) {
+		i++
+	}
+	if i >= len(css) {
+		return "", i
+	}
+	switch css[i] {
+	case '"', '\'':
+		raw, next := scanString(css, i)
+		return strings.TrimSpace(raw), skipToSemicolon(css, next)
+	case 'u', 'U':
+		if raw, next, ok := scanURLFunc(css, i); ok {
+			return raw, skipToSemicolon(css, next)
+		}
+	}
+	return "", skipToSemicolon(css, i)
+}
+
+func skipToSemicolon(css string, i int) int {
+	for i < len(css) && css[i] != ';' {
+		i++
+	}
+	if i < len(css) {
+		i++
+	}
+	return i
+}
+
+// scanURLFunc scans a url(...) token starting at i if present.
+func scanURLFunc(css string, i int) (raw string, next int, ok bool) {
+	rest := css[i:]
+	if len(rest) < 4 || !strings.EqualFold(rest[:4], "url(") {
+		return "", i, false
+	}
+	j := i + 4
+	for j < len(css) && isCSSSpace(css[j]) {
+		j++
+	}
+	if j >= len(css) {
+		return "", j, false
+	}
+	if css[j] == '"' || css[j] == '\'' {
+		s, after := scanString(css, j)
+		for after < len(css) && css[after] != ')' {
+			after++
+		}
+		if after < len(css) {
+			after++
+		}
+		return strings.TrimSpace(s), after, true
+	}
+	end := strings.IndexByte(css[j:], ')')
+	if end < 0 {
+		return "", len(css), false
+	}
+	return strings.TrimSpace(css[j : j+end]), j + end + 1, true
+}
+
+func isCSSSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}

@@ -1,0 +1,105 @@
+package cssparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func raws(refs []Reference) []string {
+	out := make([]string, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, r.Raw)
+	}
+	return out
+}
+
+func TestExtractURLForms(t *testing.T) {
+	css := `
+	.a { background: url(/img/plain.png); }
+	.b { background-image: url("quoted.jpg"); }
+	.c { background: URL( 'single.gif' ) no-repeat; }
+	.d { background: url(  spaced.webp  ); }
+	`
+	got := raws(Extract(css))
+	want := []string{"/img/plain.png", "quoted.jpg", "single.gif", "spaced.webp"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestExtractImports(t *testing.T) {
+	css := `
+	@import "first.css";
+	@import url(second.css);
+	@import url("third.css") screen;
+	body { color: red }
+	`
+	refs := Extract(css)
+	if len(refs) != 3 {
+		t.Fatalf("refs: %v", refs)
+	}
+	for i, want := range []string{"first.css", "second.css", "third.css"} {
+		if refs[i].Kind != RefImport || refs[i].Raw != want {
+			t.Errorf("ref %d = %+v, want import %q", i, refs[i], want)
+		}
+	}
+}
+
+func TestExtractFontFace(t *testing.T) {
+	css := `
+	@font-face {
+		font-family: "X";
+		src: url("/font/x.woff2") format("woff2"), url(/font/x.woff) format("woff");
+	}
+	.later { background: url(/img/after.png); }
+	`
+	refs := Extract(css)
+	if len(refs) != 3 {
+		t.Fatalf("refs: %v", refs)
+	}
+	if !refs[0].FontFace || !refs[1].FontFace {
+		t.Error("font-face urls not flagged")
+	}
+	if refs[2].FontFace {
+		t.Error("url after @font-face block wrongly flagged")
+	}
+}
+
+func TestExtractSkipsComments(t *testing.T) {
+	css := `/* url(/should/not/appear.png) */ .a { background: url(/real.png) } /* @import "no.css"; */`
+	got := raws(Extract(css))
+	if !reflect.DeepEqual(got, []string{"/real.png"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExtractSkipsStrings(t *testing.T) {
+	css := `.a::before { content: "url(/fake.png)"; } .b { background: url(/real.png) }`
+	got := raws(Extract(css))
+	if !reflect.DeepEqual(got, []string{"/real.png"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExtractMalformed(t *testing.T) {
+	for _, css := range []string{
+		"", "/* unterminated", `.a { background: url(`, `@import`, `@import ;`,
+		`"unterminated string`, "}} {{", "@media screen {",
+	} {
+		_ = Extract(css) // must not panic
+	}
+}
+
+func TestExtractURLsAdapter(t *testing.T) {
+	got := ExtractURLs(`@import "a.css"; .x{background:url(b.png)}`)
+	if !reflect.DeepEqual(got, []string{"a.css", "b.png"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEscapedQuoteInString(t *testing.T) {
+	refs := Extract(`.a { background: url("we\"ird.png") }`)
+	if len(refs) != 1 || refs[0].Raw != `we"ird.png` {
+		t.Fatalf("refs: %v", refs)
+	}
+}

@@ -1,0 +1,25 @@
+package cssparse
+
+import "testing"
+
+// FuzzExtract checks the CSS scanner is total on arbitrary input.
+func FuzzExtract(f *testing.F) {
+	for _, s := range []string{
+		"",
+		".a { background: url(/x.png) }",
+		`@import "a.css"; @font-face { src: url('f.woff2') }`,
+		"/* unterminated",
+		`url(`, `url("`, "@", "@media screen { .a { color: red } }",
+		"}}}{{{", `.a::before{content:"url(fake)"}`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, css string) {
+		refs := Extract(css)
+		for _, r := range refs {
+			if len(r.Raw) > len(css) {
+				t.Fatalf("ref longer than input: %q", r.Raw)
+			}
+		}
+	})
+}

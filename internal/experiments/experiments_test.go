@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllFiguresRunQuick(t *testing.T) {
+	o := QuickOptions()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Registry[id](o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID %q != %q", res.ID, id)
+			}
+			if len(res.Series) == 0 {
+				t.Error("no series produced")
+			}
+			for _, row := range res.Series {
+				if row.Dist == nil || row.Dist.N() == 0 {
+					t.Errorf("series %q empty", row.Label)
+				}
+			}
+			if !strings.Contains(res.Text, res.ID) {
+				t.Errorf("text rendering missing figure id:\n%s", res.Text)
+			}
+			t.Logf("\n%s", res.Text)
+		})
+	}
+}
+
+func TestShapeOrderings(t *testing.T) {
+	// The qualitative relationships the paper's figures establish must
+	// hold at moderate scale.
+	o := QuickOptions()
+	o.NewsSites, o.SportsSites = 8, 8
+	o.Top100Sites = 10
+
+	f13, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := map[string]float64{}
+	for _, row := range f13.Series {
+		med[row.Label] = row.Dist.Median()
+	}
+	bound, vroom, h2, h1 := med["lower bound PLT"], med["vroom PLT"], med["http/2 baseline PLT"], med["http/1.1 PLT"]
+	if !(bound < vroom && vroom < h2 && h2 <= h1+0.8) {
+		t.Errorf("PLT ordering violated: bound=%.2f vroom=%.2f h2=%.2f h1=%.2f", bound, vroom, h2, h1)
+	}
+	if (h2-vroom)/h2 < 0.08 {
+		t.Errorf("vroom improvement over h2 too small: %.2f vs %.2f", vroom, h2)
+	}
+
+	f21, err := Fig21(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := map[string]float64{}
+	for _, row := range f21.Series {
+		fn[row.Label] = row.Dist.Median()
+	}
+	if fn["false negatives, vroom"] > 0.15 {
+		t.Errorf("vroom FN median %.2f too high", fn["false negatives, vroom"])
+	}
+	if fn["false negatives, offline only"] < fn["false negatives, vroom"] {
+		t.Error("offline-only should miss more than vroom")
+	}
+	if fn["false negatives, online only"] > 0.02 {
+		t.Errorf("online-only FN median %.2f should be ~0", fn["false negatives, online only"])
+	}
+	if fn["false positives, online only"] < fn["false positives, vroom"] {
+		t.Error("online-only should return more extraneous URLs than vroom")
+	}
+}

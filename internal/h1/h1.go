@@ -1,0 +1,282 @@
+// Package h1 implements the HTTP/1.1 wire protocol subset the reproduction
+// needs as its status-quo baseline: a keep-alive text-protocol server and a
+// client pool with the classic six-connections-per-origin limit and no
+// multiplexing — each connection carries one outstanding request at a time.
+//
+// Request/Response types are shared with package h2 so the wire-level page
+// loader can drive either protocol through one interface.
+package h1
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vroom/internal/h2"
+)
+
+// Handler serves HTTP/1.1 requests (same shape as h2.Handler's requests).
+type Handler interface {
+	ServeH1(r *h2.Request) *h2.Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(*h2.Request) *h2.Response
+
+// ServeH1 implements Handler.
+func (f HandlerFunc) ServeH1(r *h2.Request) *h2.Response { return f(r) }
+
+// Server is a minimal keep-alive HTTP/1.1 server.
+type Server struct {
+	Handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// Close shuts down every connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	for {
+		req, keepAlive, err := ReadRequest(br)
+		if err != nil {
+			return
+		}
+		var resp *h2.Response
+		if s.Handler != nil {
+			resp = s.Handler.ServeH1(req)
+		}
+		if resp == nil {
+			resp = &h2.Response{Status: 500}
+		}
+		if err := WriteResponse(bw, resp, keepAlive); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if !keepAlive {
+			return
+		}
+	}
+}
+
+// ReadRequest parses one HTTP/1.1 request from the stream, reporting
+// whether the connection should stay open.
+func ReadRequest(br *bufio.Reader) (*h2.Request, bool, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, false, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, false, fmt.Errorf("h1: malformed request line %q", line)
+	}
+	req := &h2.Request{Method: parts[0], Path: parts[1], Scheme: "https", Header: map[string][]string{}}
+	keepAlive := parts[2] == "HTTP/1.1"
+	cl := 0
+	for {
+		h, err := readLine(br)
+		if err != nil {
+			return nil, false, err
+		}
+		if h == "" {
+			break
+		}
+		name, value, ok := cutHeader(h)
+		if !ok {
+			return nil, false, fmt.Errorf("h1: malformed header %q", h)
+		}
+		switch name {
+		case "host":
+			req.Authority = value
+		case "content-length":
+			cl, _ = strconv.Atoi(value)
+		case "connection":
+			switch strings.ToLower(value) {
+			case "close":
+				keepAlive = false
+			case "keep-alive":
+				keepAlive = true
+			}
+		default:
+			req.Header[name] = append(req.Header[name], value)
+		}
+	}
+	if cl > 0 {
+		req.Body = make([]byte, cl)
+		if _, err := io.ReadFull(br, req.Body); err != nil {
+			return nil, false, err
+		}
+	}
+	return req, keepAlive, nil
+}
+
+// WriteRequest serializes a request.
+func WriteRequest(w io.Writer, req *h2.Request) error {
+	var b strings.Builder
+	method := req.Method
+	if method == "" {
+		method = "GET"
+	}
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, req.Path)
+	fmt.Fprintf(&b, "host: %s\r\n", req.Authority)
+	for name, vals := range req.Header {
+		for _, v := range vals {
+			fmt.Fprintf(&b, "%s: %s\r\n", strings.ToLower(name), v)
+		}
+	}
+	if len(req.Body) > 0 {
+		fmt.Fprintf(&b, "content-length: %d\r\n", len(req.Body))
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	if len(req.Body) > 0 {
+		if _, err := w.Write(req.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteResponse serializes a response with an explicit content length.
+func WriteResponse(w io.Writer, resp *h2.Response, keepAlive bool) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, statusText(resp.Status))
+	for name, vals := range resp.Header {
+		for _, v := range vals {
+			fmt.Fprintf(&b, "%s: %s\r\n", strings.ToLower(name), v)
+		}
+	}
+	fmt.Fprintf(&b, "content-length: %d\r\n", len(resp.Body))
+	if !keepAlive {
+		b.WriteString("connection: close\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	_, err := w.Write(resp.Body)
+	return err
+}
+
+// ReadResponse parses one response.
+func ReadResponse(br *bufio.Reader) (*h2.Response, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("h1: malformed status line %q", line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("h1: bad status in %q", line)
+	}
+	resp := &h2.Response{Status: status, Header: map[string][]string{}}
+	cl := -1
+	for {
+		h, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if h == "" {
+			break
+		}
+		name, value, ok := cutHeader(h)
+		if !ok {
+			return nil, fmt.Errorf("h1: malformed header %q", h)
+		}
+		if name == "content-length" {
+			cl, _ = strconv.Atoi(value)
+			continue
+		}
+		resp.Header[name] = append(resp.Header[name], value)
+	}
+	if cl < 0 {
+		return nil, fmt.Errorf("h1: missing content-length")
+	}
+	resp.Body = make([]byte, cl)
+	if _, err := io.ReadFull(br, resp.Body); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func cutHeader(h string) (name, value string, ok bool) {
+	i := strings.IndexByte(h, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	return strings.ToLower(strings.TrimSpace(h[:i])), strings.TrimSpace(h[i+1:]), true
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 304:
+		return "Not Modified"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}

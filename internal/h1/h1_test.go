@@ -1,0 +1,156 @@
+package h1
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vroom/internal/h2"
+)
+
+func startServer(t *testing.T, h Handler) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Handler: h}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close(); l.Close() }
+}
+
+func echo() Handler {
+	return HandlerFunc(func(r *h2.Request) *h2.Response {
+		return &h2.Response{
+			Status: 200,
+			Header: map[string][]string{"x-path": {r.Path}},
+			Body:   append([]byte("echo:"), r.Body...),
+		}
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	addr, stop := startServer(t, echo())
+	defer stop()
+	p := &Pool{Authority: "a.test", Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) }}
+	defer p.Close()
+	resp, err := p.RoundTrip(&h2.Request{Method: "POST", Path: "/x", Body: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "echo:hi" {
+		t.Fatalf("resp %d %q", resp.Status, resp.Body)
+	}
+	if got := resp.Header["x-path"]; len(got) != 1 || got[0] != "/x" {
+		t.Fatalf("headers %v", resp.Header)
+	}
+}
+
+func TestKeepAliveReusesConnection(t *testing.T) {
+	var dials int32
+	addr, stop := startServer(t, echo())
+	defer stop()
+	p := &Pool{Authority: "a.test", Dial: func() (net.Conn, error) {
+		atomic.AddInt32(&dials, 1)
+		return net.Dial("tcp", addr)
+	}}
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := p.RoundTrip(&h2.Request{Method: "GET", Path: fmt.Sprintf("/%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := atomic.LoadInt32(&dials); n != 1 {
+		t.Fatalf("sequential requests used %d connections", n)
+	}
+}
+
+func TestSixConnectionLimit(t *testing.T) {
+	var inFlight, peak int32
+	block := make(chan struct{})
+	addr, stop := startServer(t, HandlerFunc(func(r *h2.Request) *h2.Response {
+		n := atomic.AddInt32(&inFlight, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+				break
+			}
+		}
+		<-block
+		atomic.AddInt32(&inFlight, -1)
+		return &h2.Response{Status: 200}
+	}))
+	defer stop()
+	p := &Pool{Authority: "a.test", Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) }}
+	defer p.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.RoundTrip(&h2.Request{Method: "GET", Path: fmt.Sprintf("/%d", i)})
+		}(i)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	if got := atomic.LoadInt32(&peak); got > MaxConnsPerOrigin {
+		t.Fatalf("peak concurrency %d exceeds limit %d", got, MaxConnsPerOrigin)
+	}
+}
+
+func TestRequestWireFormat(t *testing.T) {
+	var buf bytes.Buffer
+	req := &h2.Request{Method: "GET", Path: "/a%20b", Authority: "h.test",
+		Header: map[string][]string{"Cookie": {"k=v"}}}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	back, keepAlive, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keepAlive {
+		t.Error("HTTP/1.1 request not keep-alive")
+	}
+	if back.Path != "/a%20b" || back.Authority != "h.test" || back.Header["cookie"][0] != "k=v" {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestResponseWireFormat(t *testing.T) {
+	var buf bytes.Buffer
+	resp := &h2.Response{Status: 404, Header: map[string][]string{"x-a": {"1", "2"}}, Body: []byte("nope")}
+	if err := WriteResponse(&buf, resp, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Status != 404 || string(back.Body) != "nope" || len(back.Header["x-a"]) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	for _, in := range []string{
+		"", "GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+	} {
+		if _, _, err := ReadRequest(bufio.NewReader(bytes.NewBufferString(in))); err == nil {
+			t.Errorf("malformed request accepted: %q", in)
+		}
+	}
+	for _, in := range []string{
+		"", "HTTP/1.1\r\n\r\n", "HTTP/1.1 abc OK\r\n\r\n", "HTTP/1.1 200 OK\r\n\r\n", // missing content-length
+	} {
+		if _, err := ReadResponse(bufio.NewReader(bytes.NewBufferString(in))); err == nil {
+			t.Errorf("malformed response accepted: %q", in)
+		}
+	}
+}

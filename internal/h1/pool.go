@@ -1,0 +1,164 @@
+package h1
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"vroom/internal/h2"
+)
+
+// MaxConnsPerOrigin is the classic browser HTTP/1.1 connection limit.
+const MaxConnsPerOrigin = 6
+
+// Pool is an HTTP/1.1 client for one origin: up to MaxConnsPerOrigin
+// keep-alive connections, one outstanding request each; excess requests
+// queue for a free connection.
+type Pool struct {
+	Authority string
+	Dial      func() (net.Conn, error)
+
+	mu      sync.Mutex
+	idle    []*poolConn
+	total   int
+	waiters []chan *poolConn
+	closed  bool
+}
+
+type poolConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// RoundTrip performs one request/response exchange, reusing or opening a
+// connection within the limit.
+func (p *Pool) RoundTrip(req *h2.Request) (*h2.Response, error) {
+	pc, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if req.Authority == "" {
+		req.Authority = p.Authority
+	}
+	if err := WriteRequest(pc.bw, req); err != nil {
+		p.discard(pc)
+		return nil, err
+	}
+	if err := pc.bw.Flush(); err != nil {
+		p.discard(pc)
+		return nil, err
+	}
+	resp, err := ReadResponse(pc.br)
+	if err != nil {
+		p.discard(pc)
+		return nil, err
+	}
+	if vals := resp.Header["connection"]; len(vals) > 0 && vals[0] == "close" {
+		p.discard(pc)
+	} else {
+		p.release(pc)
+	}
+	resp.Request = req
+	return resp, nil
+}
+
+// Promised implements the wire origin-connection interface: HTTP/1.1 has
+// no server push.
+func (p *Pool) Promised(string) (*h2.Request, bool) { return nil, false }
+
+// Close tears down all idle connections; in-flight ones close on release.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for _, pc := range p.idle {
+		pc.nc.Close()
+	}
+	p.idle = nil
+	for _, ch := range p.waiters {
+		close(ch)
+	}
+	p.waiters = nil
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Pool) acquire() (*poolConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("h1: pool closed")
+	}
+	if n := len(p.idle); n > 0 {
+		pc := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return pc, nil
+	}
+	if p.total < MaxConnsPerOrigin {
+		p.total++
+		p.mu.Unlock()
+		nc, err := p.Dial()
+		if err != nil {
+			p.mu.Lock()
+			p.total--
+			p.mu.Unlock()
+			return nil, err
+		}
+		return &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+	}
+	// Saturated: wait for a release.
+	ch := make(chan *poolConn, 1)
+	p.waiters = append(p.waiters, ch)
+	p.mu.Unlock()
+	pc, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("h1: pool closed while waiting")
+	}
+	return pc, nil
+}
+
+func (p *Pool) release(pc *poolConn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		pc.nc.Close()
+		return
+	}
+	if len(p.waiters) > 0 {
+		ch := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.mu.Unlock()
+		ch <- pc
+		return
+	}
+	p.idle = append(p.idle, pc)
+	p.mu.Unlock()
+}
+
+// discard drops a broken connection, freeing a slot.
+func (p *Pool) discard(pc *poolConn) {
+	pc.nc.Close()
+	p.mu.Lock()
+	p.total--
+	var next chan *poolConn
+	if len(p.waiters) > 0 && p.total < MaxConnsPerOrigin {
+		next = p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.total++
+	}
+	p.mu.Unlock()
+	if next != nil {
+		// Open a replacement for the waiter.
+		nc, err := p.Dial()
+		if err != nil {
+			p.mu.Lock()
+			p.total--
+			p.mu.Unlock()
+			close(next)
+			return
+		}
+		next <- &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	}
+}

@@ -1,0 +1,278 @@
+package h2
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+)
+
+// ClientConn is the client end of an HTTP/2 connection.
+type ClientConn struct {
+	conn *conn
+
+	// OnPush, when set, receives every pushed response as it completes.
+	// It is invoked from the read loop goroutine; handlers must not block.
+	OnPush func(*Response)
+
+	mu      sync.Mutex
+	pending map[uint32]*clientStream
+	// promises maps pushed stream IDs to their synthetic requests.
+	promises map[uint32]*Request
+	readErr  error
+	readDone chan struct{}
+}
+
+type clientStream struct {
+	s    *stream
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+// NewClientConn performs the client preface on nc and starts the read
+// loop.
+func NewClientConn(nc net.Conn) (*ClientConn, error) {
+	cc := &ClientConn{
+		conn:     newConn(nc, roleClient),
+		pending:  make(map[uint32]*clientStream),
+		promises: make(map[uint32]*Request),
+		readDone: make(chan struct{}),
+	}
+	if _, err := nc.Write([]byte(ClientPreface)); err != nil {
+		return nil, fmt.Errorf("h2: preface: %w", err)
+	}
+	if err := cc.conn.writeFrame(&Frame{Type: FrameSettings, Payload: encodeSettings(nil)}); err != nil {
+		return nil, err
+	}
+	go cc.readLoop()
+	return cc, nil
+}
+
+// Close tears the connection down.
+func (cc *ClientConn) Close() error {
+	cc.conn.closeWithError(fmt.Errorf("h2: client closed"))
+	return nil
+}
+
+// RoundTrip issues a request and waits for the complete response.
+func (cc *ClientConn) RoundTrip(req *Request) (*Response, error) {
+	s := cc.conn.newStream()
+	cs := &clientStream{s: s, done: make(chan struct{})}
+	cc.mu.Lock()
+	cc.pending[s.id] = cs
+	cc.mu.Unlock()
+
+	fields := []HeaderField{
+		{Name: ":method", Value: orGET(req.Method)},
+		{Name: ":scheme", Value: req.Scheme},
+		{Name: ":authority", Value: req.Authority},
+		{Name: ":path", Value: req.Path},
+	}
+	fields = append(fields, sortedFields(req.Header)...)
+	endStream := len(req.Body) == 0
+	if err := cc.conn.writeHeaderBlock(s.id, fields, endStream, 0); err != nil {
+		return nil, err
+	}
+	if !endStream {
+		if err := cc.conn.writeData(s, req.Body, true); err != nil {
+			return nil, err
+		}
+	}
+	<-cs.done
+	if cs.err != nil {
+		return nil, cs.err
+	}
+	cs.resp.Request = req
+	return cs.resp, nil
+}
+
+func (cc *ClientConn) readLoop() {
+	var err error
+	defer func() {
+		cc.mu.Lock()
+		cc.readErr = err
+		for id, cs := range cc.pending {
+			if cs.err == nil && cs.resp == nil {
+				cs.err = err
+			}
+			delete(cc.pending, id)
+			close(cs.done)
+		}
+		cc.mu.Unlock()
+		cc.conn.closeWithError(err)
+		close(cc.readDone)
+	}()
+	for {
+		var f *Frame
+		f, err = cc.conn.fr.ReadFrame()
+		if err != nil {
+			return
+		}
+		if err = cc.dispatch(f); err != nil {
+			if ce, ok := err.(ConnError); ok {
+				cc.conn.goAway(ce.Code, ce.Reason)
+			}
+			return
+		}
+	}
+}
+
+func (cc *ClientConn) dispatch(f *Frame) error {
+	c := cc.conn
+	switch f.Type {
+	case FrameSettings:
+		return c.handleSettings(f)
+	case FrameWindowUpdate:
+		return c.handleWindowUpdate(f)
+	case FramePing:
+		if f.Flags&FlagAck == 0 {
+			return c.writeFrame(&Frame{Type: FramePing, Flags: FlagAck, Payload: f.Payload})
+		}
+		return nil
+	case FrameHeaders:
+		complete, err := c.beginHeaderBlock(f, 0, f.Payload)
+		if err != nil || !complete {
+			return err
+		}
+		return cc.applyHeaders(f.StreamID, f.Payload, f.EndStream())
+	case FrameContinuation:
+		done, err := c.continueHeaderBlock(f)
+		if err != nil || done == nil {
+			return err
+		}
+		if done.promisedID != 0 {
+			return cc.applyPushPromise(done.promisedID, done.block)
+		}
+		return cc.applyHeaders(done.streamID, done.block, done.endStream)
+	case FrameData:
+		s := c.stream(f.StreamID)
+		if s == nil {
+			return ConnError{Code: ErrProtocol, Reason: "DATA on unknown stream"}
+		}
+		s.body = append(s.body, f.Payload...)
+		if err := c.consumeData(f.StreamID, len(f.Payload)); err != nil {
+			return err
+		}
+		if f.EndStream() {
+			cc.completeStream(f.StreamID, s)
+		}
+		return nil
+	case FramePushPromise:
+		if len(f.Payload) < 4 {
+			return ConnError{Code: ErrFrameSize, Reason: "short PUSH_PROMISE"}
+		}
+		promisedID := uint32(f.Payload[0]&0x7f)<<24 | uint32(f.Payload[1])<<16 | uint32(f.Payload[2])<<8 | uint32(f.Payload[3])
+		complete, err := c.beginHeaderBlock(f, promisedID, f.Payload[4:])
+		if err != nil || !complete {
+			return err
+		}
+		return cc.applyPushPromise(promisedID, f.Payload[4:])
+	case FrameRSTStream:
+		s := c.stream(f.StreamID)
+		if s != nil {
+			c.mu.Lock()
+			s.rst = true
+			c.mu.Unlock()
+			cc.failStream(f.StreamID, StreamError{StreamID: f.StreamID, Code: ErrCancel, Reason: "reset by server"})
+		}
+		return nil
+	case FrameGoAway:
+		return io.EOF
+	default:
+		return nil
+	}
+}
+
+// applyHeaders installs a complete response header block.
+func (cc *ClientConn) applyHeaders(streamID uint32, block []byte, endStream bool) error {
+	fields, err := cc.conn.dec.Decode(block)
+	if err != nil {
+		return err
+	}
+	s := cc.conn.stream(streamID)
+	if s == nil {
+		return ConnError{Code: ErrProtocol, Reason: "HEADERS on unknown stream"}
+	}
+	s.headers = fields
+	if endStream {
+		cc.completeStream(streamID, s)
+	}
+	return nil
+}
+
+// applyPushPromise registers a complete push promise.
+func (cc *ClientConn) applyPushPromise(promisedID uint32, block []byte) error {
+	fields, err := cc.conn.dec.Decode(block)
+	if err != nil {
+		return err
+	}
+	req, err := requestFromFields(fields)
+	if err != nil {
+		return ConnError{Code: ErrProtocol, Reason: err.Error()}
+	}
+	cc.conn.remoteStream(promisedID)
+	cc.mu.Lock()
+	cc.promises[promisedID] = req
+	cc.mu.Unlock()
+	return nil
+}
+
+// completeStream turns a finished stream into a Response and routes it.
+func (cc *ClientConn) completeStream(id uint32, s *stream) {
+	resp := &Response{Header: make(map[string][]string), Body: s.body}
+	for _, f := range s.headers {
+		if f.Name == ":status" {
+			resp.Status, _ = strconv.Atoi(f.Value)
+			continue
+		}
+		resp.Header[f.Name] = append(resp.Header[f.Name], f.Value)
+	}
+	cc.conn.finishStream(s)
+	cc.mu.Lock()
+	if cs, ok := cc.pending[id]; ok {
+		delete(cc.pending, id)
+		cs.resp = resp
+		cc.mu.Unlock()
+		close(cs.done)
+		return
+	}
+	req, promised := cc.promises[id]
+	delete(cc.promises, id)
+	onPush := cc.OnPush
+	cc.mu.Unlock()
+	if promised {
+		resp.Pushed = true
+		resp.Request = req
+		if onPush != nil {
+			onPush(resp)
+		}
+	}
+}
+
+func (cc *ClientConn) failStream(id uint32, err error) {
+	cc.mu.Lock()
+	cs, ok := cc.pending[id]
+	if ok {
+		delete(cc.pending, id)
+		cs.err = err
+	}
+	cc.mu.Unlock()
+	if ok {
+		close(cs.done)
+	}
+}
+
+// Promised returns the synthetic request of an outstanding push promise,
+// if the server has announced one for the given path.
+func (cc *ClientConn) Promised(path string) (*Request, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for _, req := range cc.promises {
+		if req.Path == path {
+			return req, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,69 @@
+package h2
+
+import "fmt"
+
+// ErrCode is an HTTP/2 error code (RFC 7540 §7).
+type ErrCode uint32
+
+// Error codes.
+const (
+	ErrNone            ErrCode = 0x0
+	ErrProtocol        ErrCode = 0x1
+	ErrInternal        ErrCode = 0x2
+	ErrFlowControl     ErrCode = 0x3
+	ErrSettingsTimeout ErrCode = 0x4
+	ErrStreamClosed    ErrCode = 0x5
+	ErrFrameSize       ErrCode = 0x6
+	ErrRefusedStream   ErrCode = 0x7
+	ErrCancel          ErrCode = 0x8
+	ErrCompression     ErrCode = 0x9
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case ErrNone:
+		return "NO_ERROR"
+	case ErrProtocol:
+		return "PROTOCOL_ERROR"
+	case ErrInternal:
+		return "INTERNAL_ERROR"
+	case ErrFlowControl:
+		return "FLOW_CONTROL_ERROR"
+	case ErrSettingsTimeout:
+		return "SETTINGS_TIMEOUT"
+	case ErrStreamClosed:
+		return "STREAM_CLOSED"
+	case ErrFrameSize:
+		return "FRAME_SIZE_ERROR"
+	case ErrRefusedStream:
+		return "REFUSED_STREAM"
+	case ErrCancel:
+		return "CANCEL"
+	case ErrCompression:
+		return "COMPRESSION_ERROR"
+	}
+	return fmt.Sprintf("ERR(0x%x)", uint32(c))
+}
+
+// ConnError is a connection-level error: the connection must be torn down
+// with GOAWAY.
+type ConnError struct {
+	Code   ErrCode
+	Reason string
+}
+
+func (e ConnError) Error() string {
+	return fmt.Sprintf("h2: connection error %s: %s", e.Code, e.Reason)
+}
+
+// StreamError is a stream-level error: the stream is reset, the connection
+// survives.
+type StreamError struct {
+	StreamID uint32
+	Code     ErrCode
+	Reason   string
+}
+
+func (e StreamError) Error() string {
+	return fmt.Sprintf("h2: stream %d error %s: %s", e.StreamID, e.Code, e.Reason)
+}

@@ -1,0 +1,217 @@
+// Package h2 implements the subset of HTTP/2 (RFC 7540) and HPACK (RFC
+// 7541) that Vroom's wire-level components need: framing, header
+// compression with static and dynamic tables, stream multiplexing,
+// connection- and stream-level flow control, and — centrally — server push
+// via PUSH_PROMISE. It runs over any net.Conn (h2c style; TLS is modeled at
+// the netem layer in this reproduction).
+//
+// Deliberate omissions, documented in DESIGN.md: HPACK Huffman coding
+// (literals are always sent uncompressed; a Huffman-coded peer is rejected
+// with a clear error), stream priorities (Vroom schedules at the request
+// layer instead), and CONTINUATION frames (header blocks are bounded by the
+// max frame size).
+package h2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// FrameType identifies an HTTP/2 frame type (RFC 7540 §6).
+type FrameType uint8
+
+// Frame types.
+const (
+	FrameData         FrameType = 0x0
+	FrameHeaders      FrameType = 0x1
+	FramePriority     FrameType = 0x2
+	FrameRSTStream    FrameType = 0x3
+	FrameSettings     FrameType = 0x4
+	FramePushPromise  FrameType = 0x5
+	FramePing         FrameType = 0x6
+	FrameGoAway       FrameType = 0x7
+	FrameWindowUpdate FrameType = 0x8
+	FrameContinuation FrameType = 0x9
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "DATA"
+	case FrameHeaders:
+		return "HEADERS"
+	case FramePriority:
+		return "PRIORITY"
+	case FrameRSTStream:
+		return "RST_STREAM"
+	case FrameSettings:
+		return "SETTINGS"
+	case FramePushPromise:
+		return "PUSH_PROMISE"
+	case FramePing:
+		return "PING"
+	case FrameGoAway:
+		return "GOAWAY"
+	case FrameWindowUpdate:
+		return "WINDOW_UPDATE"
+	case FrameContinuation:
+		return "CONTINUATION"
+	}
+	return fmt.Sprintf("UNKNOWN(0x%x)", uint8(t))
+}
+
+// Frame flags (RFC 7540 §6).
+const (
+	FlagEndStream  = 0x1
+	FlagEndHeaders = 0x4
+	FlagAck        = 0x1 // SETTINGS and PING
+	FlagPadded     = 0x8
+)
+
+// maxFrameSize is the fixed SETTINGS_MAX_FRAME_SIZE both ends use.
+const maxFrameSize = 16384
+
+// Frame is one HTTP/2 frame.
+type Frame struct {
+	Type     FrameType
+	Flags    uint8
+	StreamID uint32
+	Payload  []byte
+}
+
+// EndStream reports the END_STREAM flag on DATA/HEADERS frames.
+func (f *Frame) EndStream() bool { return f.Flags&FlagEndStream != 0 }
+
+// Framer reads and writes frames on a connection. Reads and writes may be
+// used concurrently with each other but each direction is single-caller.
+type Framer struct {
+	r io.Reader
+	w io.Writer
+
+	readBuf [9]byte
+}
+
+// NewFramer wraps a transport.
+func NewFramer(rw io.ReadWriter) *Framer { return &Framer{r: rw, w: rw} }
+
+// ReadFrame reads the next frame, enforcing the max frame size.
+func (fr *Framer) ReadFrame() (*Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.readBuf[:]); err != nil {
+		return nil, err
+	}
+	length := uint32(fr.readBuf[0])<<16 | uint32(fr.readBuf[1])<<8 | uint32(fr.readBuf[2])
+	if length > maxFrameSize {
+		return nil, ConnError{Code: ErrFrameSize, Reason: fmt.Sprintf("frame of %d bytes exceeds max %d", length, maxFrameSize)}
+	}
+	f := &Frame{
+		Type:     FrameType(fr.readBuf[3]),
+		Flags:    fr.readBuf[4],
+		StreamID: binary.BigEndian.Uint32(fr.readBuf[5:9]) &^ (1 << 31),
+	}
+	if length > 0 {
+		f.Payload = make([]byte, length)
+		if _, err := io.ReadFull(fr.r, f.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// WriteFrame writes one frame.
+func (fr *Framer) WriteFrame(f *Frame) error {
+	if len(f.Payload) > maxFrameSize {
+		return ConnError{Code: ErrFrameSize, Reason: "oversized frame write"}
+	}
+	var hdr [9]byte
+	hdr[0] = byte(len(f.Payload) >> 16)
+	hdr[1] = byte(len(f.Payload) >> 8)
+	hdr[2] = byte(len(f.Payload))
+	hdr[3] = byte(f.Type)
+	hdr[4] = f.Flags
+	binary.BigEndian.PutUint32(hdr[5:9], f.StreamID&^(1<<31))
+	if _, err := fr.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := fr.w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClientPreface is the fixed connection preface (RFC 7540 §3.5).
+const ClientPreface = "PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+
+// Settings identifiers (RFC 7540 §6.5.2).
+const (
+	SettingHeaderTableSize   = 0x1
+	SettingEnablePush        = 0x2
+	SettingMaxConcurrent     = 0x3
+	SettingInitialWindowSize = 0x4
+	SettingMaxFrameSize      = 0x5
+)
+
+// Setting is one settings parameter.
+type Setting struct {
+	ID    uint16
+	Value uint32
+}
+
+// encodeSettings serializes settings into a SETTINGS payload.
+func encodeSettings(ss []Setting) []byte {
+	buf := make([]byte, 0, len(ss)*6)
+	for _, s := range ss {
+		var b [6]byte
+		binary.BigEndian.PutUint16(b[0:2], s.ID)
+		binary.BigEndian.PutUint32(b[2:6], s.Value)
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// decodeSettings parses a SETTINGS payload.
+func decodeSettings(p []byte) ([]Setting, error) {
+	if len(p)%6 != 0 {
+		return nil, ConnError{Code: ErrFrameSize, Reason: "SETTINGS payload not a multiple of 6"}
+	}
+	out := make([]Setting, 0, len(p)/6)
+	for i := 0; i < len(p); i += 6 {
+		out = append(out, Setting{
+			ID:    binary.BigEndian.Uint16(p[i : i+2]),
+			Value: binary.BigEndian.Uint32(p[i+2 : i+6]),
+		})
+	}
+	return out, nil
+}
+
+// windowUpdatePayload builds a WINDOW_UPDATE payload.
+func windowUpdatePayload(increment uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], increment&^(1<<31))
+	return b[:]
+}
+
+// parseWindowUpdate extracts the increment.
+func parseWindowUpdate(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, ConnError{Code: ErrFrameSize, Reason: "WINDOW_UPDATE payload must be 4 bytes"}
+	}
+	return binary.BigEndian.Uint32(p) &^ (1 << 31), nil
+}
+
+// goAwayPayload builds a GOAWAY payload.
+func goAwayPayload(lastStream uint32, code ErrCode, debug string) []byte {
+	b := make([]byte, 8, 8+len(debug))
+	binary.BigEndian.PutUint32(b[0:4], lastStream&^(1<<31))
+	binary.BigEndian.PutUint32(b[4:8], uint32(code))
+	return append(b, debug...)
+}
+
+// rstPayload builds a RST_STREAM payload.
+func rstPayload(code ErrCode) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(code))
+	return b[:]
+}

@@ -1,0 +1,52 @@
+package h2
+
+import "testing"
+
+// FuzzHPACKDecode checks the decoder is total: arbitrary header blocks
+// either decode or fail cleanly, never panic.
+func FuzzHPACKDecode(f *testing.F) {
+	enc := NewHPACKEncoder()
+	f.Add(enc.Encode(nil, []HeaderField{{":method", "GET"}, {":path", "/"}}))
+	f.Add([]byte{0x82, 0x84})       // indexed static fields
+	f.Add([]byte{0x40, 0x01, 0x61}) // truncated literal
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x20}) // table size update
+	f.Fuzz(func(t *testing.T, block []byte) {
+		dec := NewHPACKDecoder()
+		fields, err := dec.Decode(block)
+		if err == nil {
+			for _, hf := range fields {
+				_ = hf.Name
+			}
+		}
+	})
+}
+
+// FuzzFrameRead checks frame parsing is total on arbitrary bytes.
+func FuzzFrameRead(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 0, 5, 1, 4, 0, 0, 0, 1, 'h', 'e', 'l', 'l', 'o'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFramer(&rwBuf{data: data})
+		for i := 0; i < 100; i++ {
+			if _, err := fr.ReadFrame(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+type rwBuf struct{ data []byte }
+
+func (b *rwBuf) Read(p []byte) (int, error) {
+	if len(b.data) == 0 {
+		return 0, errEOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+func (b *rwBuf) Write(p []byte) (int, error) { return len(p), nil }
+
+var errEOF = ConnError{Code: ErrInternal, Reason: "eof"}

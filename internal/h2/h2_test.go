@@ -1,0 +1,439 @@
+package h2
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fr := &Framer{r: &buf, w: &buf}
+	in := &Frame{Type: FrameHeaders, Flags: FlagEndHeaders | FlagEndStream, StreamID: 7, Payload: []byte("hello")}
+	if err := fr.WriteFrame(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Flags != in.Flags || out.StreamID != in.StreamID || string(out.Payload) != "hello" {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, flags uint8, streamID uint32, payload []byte) bool {
+		if len(payload) > maxFrameSize {
+			payload = payload[:maxFrameSize]
+		}
+		var buf bytes.Buffer
+		fr := &Framer{r: &buf, w: &buf}
+		in := &Frame{Type: FrameType(typ), Flags: flags, StreamID: streamID &^ (1 << 31), Payload: payload}
+		if err := fr.WriteFrame(in); err != nil {
+			return false
+		}
+		out, err := fr.ReadFrame()
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.Flags == in.Flags &&
+			out.StreamID == in.StreamID && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	fr := &Framer{r: &buf, w: &buf}
+	if err := fr.WriteFrame(&Frame{Type: FrameData, Payload: make([]byte, maxFrameSize+1)}); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestHPACKRoundTrip(t *testing.T) {
+	enc := NewHPACKEncoder()
+	dec := NewHPACKDecoder()
+	in := []HeaderField{
+		{":method", "GET"},
+		{":path", "/index.html"},
+		{":scheme", "https"},
+		{":authority", "www.example.com"},
+		{"link", "<https://cdn.example.com/a.js>; rel=preload"},
+		{"x-semi-important", "https://t.example.com/tag.js"},
+		{"cookie", "session=abc123"},
+		{"authorization", "Bearer secret"}, // never-indexed path
+	}
+	block := enc.Encode(nil, in)
+	out, err := dec.Decode(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("mismatch:\n in=%v\nout=%v", in, out)
+	}
+	// Second encode should be smaller: dynamic table hits.
+	block2 := enc.Encode(nil, in)
+	if len(block2) >= len(block) {
+		t.Errorf("no dynamic-table compression: first %dB, second %dB", len(block), len(block2))
+	}
+	out2, err := dec.Decode(block2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out2) {
+		t.Fatalf("second decode mismatch: %v", out2)
+	}
+}
+
+func TestHPACKRoundTripProperty(t *testing.T) {
+	enc := NewHPACKEncoder()
+	dec := NewHPACKDecoder()
+	r := rand.New(rand.NewSource(42))
+	names := []string{"x-a", "x-b", "content-type", "link", "etag", "cache-control"}
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(8)
+		in := make([]HeaderField, 0, n)
+		for j := 0; j < n; j++ {
+			in = append(in, HeaderField{
+				Name:  names[r.Intn(len(names))],
+				Value: fmt.Sprintf("v%d-%d", r.Intn(5), r.Intn(1000)),
+			})
+		}
+		block := enc.Encode(nil, in)
+		out, err := dec.Decode(block)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("iteration %d mismatch:\n in=%v\nout=%v", i, in, out)
+		}
+	}
+}
+
+func TestHPACKVarintProperty(t *testing.T) {
+	f := func(n uint32, prefix3 uint8) bool {
+		prefix := int(prefix3%8) + 1 // 1..8
+		pattern := byte(0)
+		buf := appendVarint(nil, prefix, pattern, uint64(n))
+		got, rest, err := readVarint(buf, prefix)
+		return err == nil && len(rest) == 0 && got == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHPACKEviction(t *testing.T) {
+	tbl := newDynamicTable()
+	tbl.setMaxSize(100)
+	tbl.add(HeaderField{"aaaa", strings.Repeat("x", 30)}) // 66 bytes
+	tbl.add(HeaderField{"bbbb", strings.Repeat("y", 30)}) // 66 bytes, evicts first
+	if len(tbl.entries) != 1 || tbl.entries[0].Name != "bbbb" {
+		t.Fatalf("eviction failed: %v", tbl.entries)
+	}
+}
+
+func TestHuffmanRejected(t *testing.T) {
+	dec := NewHPACKDecoder()
+	// Literal with incremental indexing, new name, huffman bit set.
+	block := []byte{0x40, 0x81, 0xff, 0x00}
+	if _, err := dec.Decode(block); err == nil {
+		t.Fatal("huffman-coded literal accepted")
+	}
+}
+
+// startServer runs an h2 server on a loopback listener.
+func startServer(t *testing.T, h Handler) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Handler: h}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { srv.Close(); l.Close() }
+}
+
+func dialClient(t *testing.T, addr string) *ClientConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := NewClientConn(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func TestRequestResponse(t *testing.T) {
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if r.Path != "/hello" {
+			w.WriteHeader(404)
+			return
+		}
+		w.Header()["content-type"] = []string{"text/plain"}
+		w.Write([]byte("hi " + r.Authority))
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	resp, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "test.local", Path: "/hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status %d", resp.Status)
+	}
+	if string(resp.Body) != "hi test.local" {
+		t.Fatalf("body %q", resp.Body)
+	}
+	if got := resp.Header["content-type"]; len(got) != 1 || got[0] != "text/plain" {
+		t.Fatalf("headers %v", resp.Header)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.Write([]byte("resp:" + r.Path))
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/r/%d", i)
+			resp, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: path})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp.Body) != "resp:"+path {
+				errs <- fmt.Errorf("wrong body for %s: %q", path, resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLargeBodyFlowControl(t *testing.T) {
+	// 1 MiB body: forces many DATA frames and WINDOW_UPDATE exchanges
+	// (initial window is 64 KiB).
+	body := bytes.Repeat([]byte("abcdefgh"), 128*1024)
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.Write(body)
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	resp, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: "/big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, body) {
+		t.Fatalf("body corrupted: got %d bytes want %d", len(resp.Body), len(body))
+	}
+}
+
+func TestServerPush(t *testing.T) {
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		pw, err := w.Push(&Request{Scheme: "http", Authority: r.Authority, Path: "/style.css"})
+		if err == nil {
+			pw.Header()["content-type"] = []string{"text/css"}
+			pw.Write([]byte("body{margin:0}"))
+			pw.Close()
+		}
+		w.Write([]byte("<html>"))
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	pushed := make(chan *Response, 1)
+	cc.OnPush = func(resp *Response) { pushed <- resp }
+	resp, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "<html>" {
+		t.Fatalf("main body %q", resp.Body)
+	}
+	select {
+	case p := <-pushed:
+		if !p.Pushed {
+			t.Error("push not marked")
+		}
+		if p.Request == nil || p.Request.Path != "/style.css" {
+			t.Errorf("push request %+v", p.Request)
+		}
+		if string(p.Body) != "body{margin:0}" {
+			t.Errorf("push body %q", p.Body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("push never delivered")
+	}
+}
+
+func TestRequestWithBody(t *testing.T) {
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.Write(append([]byte("echo:"), r.Body...))
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	resp, err := cc.RoundTrip(&Request{Method: "POST", Scheme: "http", Authority: "a", Path: "/post", Body: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "echo:payload" {
+		t.Fatalf("body %q", resp.Body)
+	}
+}
+
+func TestPing(t *testing.T) {
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) { w.Close() }))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	// A request after manual PING still works (server echoes the ack).
+	if err := cc.conn.writeFrame(&Frame{Type: FramePing, Payload: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: "/"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettingsRoundTrip(t *testing.T) {
+	in := []Setting{{SettingEnablePush, 1}, {SettingInitialWindowSize, 1 << 20}}
+	out, err := decodeSettings(encodeSettings(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("settings mismatch: %v vs %v", out, in)
+	}
+	if _, err := decodeSettings([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed settings accepted")
+	}
+}
+
+func TestLargeHeaderBlockContinuation(t *testing.T) {
+	// >16 KiB of response headers forces CONTINUATION frames — Vroom's
+	// dependency hints on complex pages can reach this size.
+	var hintValues []string
+	for i := 0; i < 400; i++ {
+		hintValues = append(hintValues,
+			fmt.Sprintf("<https://static.example.com/js/very/long/path/segment/app-%04d-abcdef0123456789.js>; rel=preload", i))
+	}
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		w.Header()["link"] = hintValues
+		w.Write([]byte("ok"))
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	resp, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Header["link"]) != 400 {
+		t.Fatalf("got %d link headers", len(resp.Header["link"]))
+	}
+	for i, v := range resp.Header["link"] {
+		if v != hintValues[i] {
+			t.Fatalf("header %d corrupted: %q", i, v)
+		}
+	}
+	if string(resp.Body) != "ok" {
+		t.Fatalf("body %q", resp.Body)
+	}
+}
+
+func TestLargeRequestHeadersContinuation(t *testing.T) {
+	big := strings.Repeat("c=1; ", 8000) // ~40 KB cookie
+	var gotCookie string
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		if v := r.Header["cookie"]; len(v) > 0 {
+			gotCookie = v[0]
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	defer cc.Close()
+	_, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: "/",
+		Header: map[string][]string{"cookie": {big}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCookie != big {
+		t.Fatalf("cookie corrupted: %d vs %d bytes", len(gotCookie), len(big))
+	}
+}
+
+func TestGoAwayUnblocksPendingRequests(t *testing.T) {
+	block := make(chan struct{})
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		<-block // hold the response until the connection dies
+	}))
+	defer stop()
+	defer close(block)
+	cc := dialClient(t, addr)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: "/hang"})
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cc.Close() // tears the connection down; RoundTrip must not hang
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("hung request returned success after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RoundTrip hung after connection close")
+	}
+}
+
+func TestResponseWriterAfterClientGone(t *testing.T) {
+	started := make(chan *ResponseWriter, 1)
+	addr, stop := startServer(t, HandlerFunc(func(w *ResponseWriter, r *Request) {
+		started <- w
+		time.Sleep(100 * time.Millisecond)
+		// The client is gone by now; writes must fail, not hang.
+		_, _ = w.Write(bytes.Repeat([]byte("x"), 256*1024))
+	}))
+	defer stop()
+	cc := dialClient(t, addr)
+	go cc.RoundTrip(&Request{Method: "GET", Scheme: "http", Authority: "a", Path: "/"})
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never started")
+	}
+	cc.Close()
+	// Give the server a moment; the test passes if nothing deadlocks and
+	// the handler goroutine can finish (verified by the server shutting
+	// down cleanly in stop()).
+	time.Sleep(300 * time.Millisecond)
+}

@@ -1,0 +1,352 @@
+package h2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HeaderField is one HPACK name/value pair. Names are lowercase per HTTP/2.
+type HeaderField struct {
+	Name  string
+	Value string
+}
+
+func (f HeaderField) size() int { return len(f.Name) + len(f.Value) + 32 } // RFC 7541 §4.1
+
+// hpackStaticTable is the fixed table of RFC 7541 Appendix A.
+var hpackStaticTable = []HeaderField{
+	{":authority", ""},
+	{":method", "GET"},
+	{":method", "POST"},
+	{":path", "/"},
+	{":path", "/index.html"},
+	{":scheme", "http"},
+	{":scheme", "https"},
+	{":status", "200"},
+	{":status", "204"},
+	{":status", "206"},
+	{":status", "304"},
+	{":status", "400"},
+	{":status", "404"},
+	{":status", "500"},
+	{"accept-charset", ""},
+	{"accept-encoding", "gzip, deflate"},
+	{"accept-language", ""},
+	{"accept-ranges", ""},
+	{"accept", ""},
+	{"access-control-allow-origin", ""},
+	{"age", ""},
+	{"allow", ""},
+	{"authorization", ""},
+	{"cache-control", ""},
+	{"content-disposition", ""},
+	{"content-encoding", ""},
+	{"content-language", ""},
+	{"content-length", ""},
+	{"content-location", ""},
+	{"content-range", ""},
+	{"content-type", ""},
+	{"cookie", ""},
+	{"date", ""},
+	{"etag", ""},
+	{"expect", ""},
+	{"expires", ""},
+	{"from", ""},
+	{"host", ""},
+	{"if-match", ""},
+	{"if-modified-since", ""},
+	{"if-none-match", ""},
+	{"if-range", ""},
+	{"if-unmodified-since", ""},
+	{"last-modified", ""},
+	{"link", ""},
+	{"location", ""},
+	{"max-forwards", ""},
+	{"proxy-authenticate", ""},
+	{"proxy-authorization", ""},
+	{"range", ""},
+	{"referer", ""},
+	{"refresh", ""},
+	{"retry-after", ""},
+	{"server", ""},
+	{"set-cookie", ""},
+	{"strict-transport-security", ""},
+	{"transfer-encoding", ""},
+	{"user-agent", ""},
+	{"vary", ""},
+	{"via", ""},
+	{"www-authenticate", ""},
+}
+
+// defaultHeaderTableSize is SETTINGS_HEADER_TABLE_SIZE's default.
+const defaultHeaderTableSize = 4096
+
+// dynamicTable is the HPACK dynamic table: newest entry at index 0.
+type dynamicTable struct {
+	entries []HeaderField
+	size    int
+	maxSize int
+}
+
+func newDynamicTable() *dynamicTable {
+	return &dynamicTable{maxSize: defaultHeaderTableSize}
+}
+
+func (t *dynamicTable) add(f HeaderField) {
+	t.entries = append([]HeaderField{f}, t.entries...)
+	t.size += f.size()
+	t.evict()
+}
+
+func (t *dynamicTable) setMaxSize(n int) {
+	t.maxSize = n
+	t.evict()
+}
+
+func (t *dynamicTable) evict() {
+	for t.size > t.maxSize && len(t.entries) > 0 {
+		last := t.entries[len(t.entries)-1]
+		t.entries = t.entries[:len(t.entries)-1]
+		t.size -= last.size()
+	}
+}
+
+// lookup resolves a 1-based HPACK index across static + dynamic tables.
+func (t *dynamicTable) lookup(idx int) (HeaderField, error) {
+	if idx <= 0 {
+		return HeaderField{}, ConnError{Code: ErrCompression, Reason: "hpack index 0"}
+	}
+	if idx <= len(hpackStaticTable) {
+		return hpackStaticTable[idx-1], nil
+	}
+	d := idx - len(hpackStaticTable) - 1
+	if d >= len(t.entries) {
+		return HeaderField{}, ConnError{Code: ErrCompression, Reason: fmt.Sprintf("hpack index %d out of range", idx)}
+	}
+	return t.entries[d], nil
+}
+
+// find returns the best index for a field: exact match (name+value) or
+// name-only match, 1-based; 0 if none.
+func (t *dynamicTable) find(f HeaderField) (exact int, nameOnly int) {
+	for i, s := range hpackStaticTable {
+		if s.Name == f.Name {
+			if s.Value == f.Value {
+				return i + 1, 0
+			}
+			if nameOnly == 0 {
+				nameOnly = i + 1
+			}
+		}
+	}
+	for i, s := range t.entries {
+		idx := len(hpackStaticTable) + 1 + i
+		if s.Name == f.Name {
+			if s.Value == f.Value {
+				return idx, 0
+			}
+			if nameOnly == 0 {
+				nameOnly = idx
+			}
+		}
+	}
+	return 0, nameOnly
+}
+
+// HPACKEncoder compresses header lists. It is stateful: the dynamic table
+// must stay synchronized with the peer's decoder, so use one encoder per
+// connection direction.
+type HPACKEncoder struct {
+	table *dynamicTable
+}
+
+// NewHPACKEncoder returns an encoder with an empty dynamic table.
+func NewHPACKEncoder() *HPACKEncoder { return &HPACKEncoder{table: newDynamicTable()} }
+
+// Encode appends the header block for fields to buf.
+func (e *HPACKEncoder) Encode(buf []byte, fields []HeaderField) []byte {
+	for _, f := range fields {
+		f.Name = strings.ToLower(f.Name)
+		exact, nameIdx := e.table.find(f)
+		switch {
+		case exact > 0:
+			// Indexed header field (§6.1): 1xxxxxxx.
+			buf = appendVarint(buf, 7, 0x80, uint64(exact))
+		case sensitive(f.Name):
+			// Literal never indexed (§6.2.3): 0001xxxx.
+			buf = appendVarint(buf, 4, 0x10, uint64(nameIdx))
+			if nameIdx == 0 {
+				buf = appendString(buf, f.Name)
+			}
+			buf = appendString(buf, f.Value)
+		default:
+			// Literal with incremental indexing (§6.2.1): 01xxxxxx.
+			buf = appendVarint(buf, 6, 0x40, uint64(nameIdx))
+			if nameIdx == 0 {
+				buf = appendString(buf, f.Name)
+			}
+			buf = appendString(buf, f.Value)
+			e.table.add(f)
+		}
+	}
+	return buf
+}
+
+// sensitive reports header names that must never enter dynamic tables.
+func sensitive(name string) bool {
+	return name == "authorization" || name == "set-cookie"
+}
+
+// HPACKDecoder decompresses header blocks; one per connection direction.
+type HPACKDecoder struct {
+	table *dynamicTable
+}
+
+// NewHPACKDecoder returns a decoder with an empty dynamic table.
+func NewHPACKDecoder() *HPACKDecoder { return &HPACKDecoder{table: newDynamicTable()} }
+
+// Decode parses a complete header block.
+func (d *HPACKDecoder) Decode(block []byte) ([]HeaderField, error) {
+	var out []HeaderField
+	for len(block) > 0 {
+		b := block[0]
+		switch {
+		case b&0x80 != 0: // indexed
+			idx, rest, err := readVarint(block, 7)
+			if err != nil {
+				return nil, err
+			}
+			f, err := d.table.lookup(int(idx))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+			block = rest
+		case b&0xc0 == 0x40: // literal with incremental indexing
+			f, rest, err := d.readLiteral(block, 6)
+			if err != nil {
+				return nil, err
+			}
+			d.table.add(f)
+			out = append(out, f)
+			block = rest
+		case b&0xe0 == 0x20: // dynamic table size update
+			size, rest, err := readVarint(block, 5)
+			if err != nil {
+				return nil, err
+			}
+			d.table.setMaxSize(int(size))
+			block = rest
+		case b&0xf0 == 0x10: // literal never indexed
+			f, rest, err := d.readLiteral(block, 4)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+			block = rest
+		default: // 0000xxxx: literal without indexing
+			f, rest, err := d.readLiteral(block, 4)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+			block = rest
+		}
+	}
+	return out, nil
+}
+
+func (d *HPACKDecoder) readLiteral(block []byte, prefix int) (HeaderField, []byte, error) {
+	idx, rest, err := readVarint(block, prefix)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	var f HeaderField
+	if idx > 0 {
+		named, err := d.table.lookup(int(idx))
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+		f.Name = named.Name
+	} else {
+		f.Name, rest, err = readString(rest)
+		if err != nil {
+			return HeaderField{}, nil, err
+		}
+	}
+	f.Value, rest, err = readString(rest)
+	if err != nil {
+		return HeaderField{}, nil, err
+	}
+	return f, rest, nil
+}
+
+// appendVarint encodes n with an N-bit prefix and pattern bits (§5.1).
+func appendVarint(buf []byte, prefixBits int, pattern byte, n uint64) []byte {
+	limit := uint64(1)<<prefixBits - 1
+	if n < limit {
+		return append(buf, pattern|byte(n))
+	}
+	buf = append(buf, pattern|byte(limit))
+	n -= limit
+	for n >= 128 {
+		buf = append(buf, byte(n)|0x80)
+		n >>= 7
+	}
+	return append(buf, byte(n))
+}
+
+// readVarint decodes an N-bit-prefix integer.
+func readVarint(buf []byte, prefixBits int) (uint64, []byte, error) {
+	if len(buf) == 0 {
+		return 0, nil, ConnError{Code: ErrCompression, Reason: "truncated integer"}
+	}
+	limit := uint64(1)<<prefixBits - 1
+	n := uint64(buf[0]) & limit
+	buf = buf[1:]
+	if n < limit {
+		return n, buf, nil
+	}
+	var shift uint
+	for {
+		if len(buf) == 0 {
+			return 0, nil, ConnError{Code: ErrCompression, Reason: "truncated varint continuation"}
+		}
+		b := buf[0]
+		buf = buf[1:]
+		n += uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return n, buf, nil
+		}
+		shift += 7
+		if shift > 56 {
+			return 0, nil, ConnError{Code: ErrCompression, Reason: "varint overflow"}
+		}
+	}
+}
+
+// appendString encodes a string literal without Huffman coding (§5.2).
+func appendString(buf []byte, s string) []byte {
+	buf = appendVarint(buf, 7, 0x00, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// readString decodes a string literal; Huffman-coded strings are rejected
+// (this implementation never emits them).
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) == 0 {
+		return "", nil, ConnError{Code: ErrCompression, Reason: "truncated string"}
+	}
+	huffman := buf[0]&0x80 != 0
+	n, rest, err := readVarint(buf, 7)
+	if err != nil {
+		return "", nil, err
+	}
+	if huffman {
+		return "", nil, ConnError{Code: ErrCompression, Reason: "huffman-coded literals not supported"}
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, ConnError{Code: ErrCompression, Reason: "string extends past block"}
+	}
+	return string(rest[:n]), rest[n:], nil
+}

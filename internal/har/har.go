@@ -1,0 +1,158 @@
+// Package har exports simulated page loads in the HTTP Archive (HAR) 1.2
+// format, so waterfalls can be inspected with standard tooling (Chrome
+// DevTools' HAR viewer, har-analyzer, etc.).
+package har
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vroom/internal/browser"
+)
+
+// Log is the top-level HAR object.
+type Log struct {
+	Log Body `json:"log"`
+}
+
+// Body is the HAR log body.
+type Body struct {
+	Version string  `json:"version"`
+	Creator Creator `json:"creator"`
+	Pages   []Page  `json:"pages"`
+	Entries []Entry `json:"entries"`
+}
+
+// Creator identifies the producing tool.
+type Creator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// Page is one page load.
+type Page struct {
+	StartedDateTime string      `json:"startedDateTime"`
+	ID              string      `json:"id"`
+	Title           string      `json:"title"`
+	PageTimings     PageTimings `json:"pageTimings"`
+}
+
+// PageTimings carries onContentLoad/onLoad in milliseconds.
+type PageTimings struct {
+	OnContentLoad float64 `json:"onContentLoad"`
+	OnLoad        float64 `json:"onLoad"`
+}
+
+// Entry is one request/response pair.
+type Entry struct {
+	PageRef         string   `json:"pageref"`
+	StartedDateTime string   `json:"startedDateTime"`
+	Time            float64  `json:"time"` // total ms
+	Request         Request  `json:"request"`
+	Response        Response `json:"response"`
+	Timings         Timings  `json:"timings"`
+}
+
+// Request is the HAR request record.
+type Request struct {
+	Method      string `json:"method"`
+	URL         string `json:"url"`
+	HTTPVersion string `json:"httpVersion"`
+}
+
+// Response is the HAR response record.
+type Response struct {
+	Status      int    `json:"status"`
+	StatusText  string `json:"statusText"`
+	HTTPVersion string `json:"httpVersion"`
+	BodySize    int    `json:"bodySize"`
+	// Comment marks pushes and cache hits.
+	Comment string `json:"comment,omitempty"`
+}
+
+// Timings decomposes an entry: we map the scheduler hold to "blocked" and
+// the fetch to "wait"/"receive".
+type Timings struct {
+	Blocked float64 `json:"blocked"`
+	DNS     float64 `json:"dns"`
+	Connect float64 `json:"connect"`
+	Send    float64 `json:"send"`
+	Wait    float64 `json:"wait"`
+	Receive float64 `json:"receive"`
+}
+
+// FromResult converts a finished load into a HAR log. start anchors
+// simulated offsets to absolute timestamps.
+func FromResult(res browser.Result, pageURL string, start time.Time) *Log {
+	page := Page{
+		StartedDateTime: start.Format(time.RFC3339Nano),
+		ID:              "page_1",
+		Title:           pageURL,
+		PageTimings: PageTimings{
+			OnContentLoad: ms(res.AFT),
+			OnLoad:        ms(res.PLT),
+		},
+	}
+	log := &Log{Log: Body{
+		Version: "1.2",
+		Creator: Creator{Name: "vroom-sim", Version: "1.0"},
+		Pages:   []Page{page},
+	}}
+	for _, rt := range res.Resources {
+		if rt.ArrivedAt == 0 {
+			continue
+		}
+		req := rt.RequestedAt
+		if req == 0 {
+			req = rt.DiscoveredAt
+		}
+		blocked := dur(req - rt.DiscoveredAt)
+		wait := dur(rt.ArrivedAt - req)
+		status := 200
+		comment := ""
+		if rt.Pushed {
+			comment = "pushed"
+		}
+		entry := Entry{
+			PageRef:         "page_1",
+			StartedDateTime: start.Add(rt.DiscoveredAt).Format(time.RFC3339Nano),
+			Time:            ms(rt.ArrivedAt - rt.DiscoveredAt),
+			Request:         Request{Method: "GET", URL: rt.URL, HTTPVersion: "HTTP/2.0"},
+			Response: Response{
+				Status: status, StatusText: "OK", HTTPVersion: "HTTP/2.0",
+				BodySize: rt.Size, Comment: comment,
+			},
+			Timings: Timings{
+				Blocked: ms(blocked),
+				DNS:     -1,
+				Connect: -1,
+				Send:    0,
+				Wait:    ms(wait),
+				Receive: 0,
+			},
+		}
+		log.Log.Entries = append(log.Log.Entries, entry)
+	}
+	return log
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func dur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Write serializes the log as indented JSON.
+func (l *Log) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		return fmt.Errorf("har: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package har
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"vroom/internal/runner"
+	"vroom/internal/webpage"
+)
+
+func TestFromResultAndWrite(t *testing.T) {
+	site := webpage.NewSite("hartest", webpage.Top100, 9)
+	start := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	res, err := runner.Run(site, runner.Vroom, runner.Options{
+		Time: start, Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}, Nonce: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := FromResult(res, site.RootURL().String(), start)
+	if len(log.Log.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	if log.Log.Pages[0].PageTimings.OnLoad <= 0 {
+		t.Fatal("no onLoad timing")
+	}
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid JSON with the HAR skeleton.
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	lg, ok := parsed["log"].(map[string]any)
+	if !ok || lg["version"] != "1.2" {
+		t.Fatalf("bad HAR skeleton: %v", parsed)
+	}
+	// Entry times must be non-negative and bounded by PLT.
+	for _, e := range log.Log.Entries {
+		if e.Time < 0 || e.Timings.Blocked < 0 || e.Timings.Wait < 0 {
+			t.Fatalf("negative timing: %+v", e)
+		}
+		if e.Time > log.Log.Pages[0].PageTimings.OnLoad+1 {
+			t.Fatalf("entry longer than the page load: %+v", e)
+		}
+	}
+	// Pushes are annotated.
+	pushed := 0
+	for _, e := range log.Log.Entries {
+		if e.Response.Comment == "pushed" {
+			pushed++
+		}
+	}
+	if pushed == 0 {
+		t.Error("no pushed entries annotated under the vroom policy")
+	}
+}

@@ -1,0 +1,130 @@
+// Package hints defines Vroom's dependency-hint vocabulary (Table 1 of the
+// paper): the three priority classes and the HTTP headers that carry them,
+// shared by the simulation and by the real-wire HTTP/2 server and client.
+package hints
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vroom/internal/urlutil"
+)
+
+// Priority is the fetch-priority class of a hinted dependency.
+type Priority int
+
+// Priorities, in decreasing order of importance (Table 1).
+const (
+	// High covers resources that must be parsed or executed (HTML, CSS,
+	// synchronous JS). Carried in "Link: <url>; rel=preload".
+	High Priority = iota
+	// Semi covers resources that are processed but lazily fetched (async
+	// or deferred scripts, lazily applied CSS). Carried in
+	// "x-semi-important".
+	Semi
+	// Low covers resources that need no processing (images, fonts, media,
+	// data). Carried in "x-unimportant".
+	Low
+)
+
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Semi:
+		return "semi"
+	case Low:
+		return "low"
+	}
+	return "unknown"
+}
+
+// Header names used on the wire. Servers must also expose the custom
+// headers via Access-Control-Expose-Headers for cross-origin reads (§5.2).
+const (
+	HeaderLink   = "link"
+	HeaderSemi   = "x-semi-important"
+	HeaderLow    = "x-unimportant"
+	HeaderExpose = "access-control-expose-headers"
+)
+
+// ExposeValue is the Access-Control-Expose-Headers value Vroom responses
+// carry.
+const ExposeValue = "Link, x-semi-important, x-unimportant"
+
+// Hint is one dependency hint: a URL the client should fetch, with its
+// priority. Hints within a priority class are ordered by the order the
+// client will process the resources (§5.1).
+type Hint struct {
+	URL      urlutil.URL
+	Priority Priority
+}
+
+// Sort orders hints by (priority, original order), stably.
+func Sort(hs []Hint) {
+	sort.SliceStable(hs, func(i, j int) bool { return hs[i].Priority < hs[j].Priority })
+}
+
+// Format renders hints as HTTP header fields, one entry per hinted URL,
+// preserving order within each header.
+func Format(hs []Hint) map[string][]string {
+	out := make(map[string][]string, 3)
+	for _, h := range hs {
+		switch h.Priority {
+		case High:
+			out[HeaderLink] = append(out[HeaderLink], fmt.Sprintf("<%s>; rel=preload", h.URL))
+		case Semi:
+			out[HeaderSemi] = append(out[HeaderSemi], h.URL.String())
+		default:
+			out[HeaderLow] = append(out[HeaderLow], h.URL.String())
+		}
+	}
+	if len(out) > 0 {
+		out[HeaderExpose] = []string{ExposeValue}
+	}
+	return out
+}
+
+// Parse reconstructs hints from HTTP headers produced by Format. Unparsable
+// entries are skipped; order within each priority class is preserved.
+func Parse(headers map[string][]string) []Hint {
+	var hs []Hint
+	for _, v := range headers[HeaderLink] {
+		if u, ok := parseLinkPreload(v); ok {
+			hs = append(hs, Hint{URL: u, Priority: High})
+		}
+	}
+	for _, v := range headers[HeaderSemi] {
+		if u, err := urlutil.Parse(v); err == nil {
+			hs = append(hs, Hint{URL: u, Priority: Semi})
+		}
+	}
+	for _, v := range headers[HeaderLow] {
+		if u, err := urlutil.Parse(v); err == nil {
+			hs = append(hs, Hint{URL: u, Priority: Low})
+		}
+	}
+	return hs
+}
+
+// parseLinkPreload parses a single `<url>; rel=preload` Link value.
+func parseLinkPreload(v string) (urlutil.URL, bool) {
+	v = strings.TrimSpace(v)
+	if !strings.HasPrefix(v, "<") {
+		return urlutil.URL{}, false
+	}
+	end := strings.IndexByte(v, '>')
+	if end < 0 {
+		return urlutil.URL{}, false
+	}
+	rest := strings.ToLower(v[end+1:])
+	if !strings.Contains(rest, "rel=preload") && !strings.Contains(rest, `rel="preload"`) {
+		return urlutil.URL{}, false
+	}
+	u, err := urlutil.Parse(v[1:end])
+	if err != nil {
+		return urlutil.URL{}, false
+	}
+	return u, true
+}

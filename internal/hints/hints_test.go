@@ -1,0 +1,90 @@
+package hints
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vroom/internal/urlutil"
+)
+
+func mk(u string, p Priority) Hint {
+	return Hint{URL: urlutil.MustParse(u), Priority: p}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	in := []Hint{
+		mk("https://static.a.com/app.js", High),
+		mk("https://cdn.b.com/lib.js", High),
+		mk("https://t.c.com/tag.js", Semi),
+		mk("https://img.a.com/hero.jpg", Low),
+		mk("https://ads.d.com/slot.html", Low),
+	}
+	headers := Format(in)
+	if len(headers[HeaderLink]) != 2 || len(headers[HeaderSemi]) != 1 || len(headers[HeaderLow]) != 2 {
+		t.Fatalf("headers: %v", headers)
+	}
+	if headers[HeaderExpose][0] != ExposeValue {
+		t.Fatalf("expose header: %v", headers[HeaderExpose])
+	}
+	out := Parse(headers)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in=%v\nout=%v", in, out)
+	}
+}
+
+func TestFormatParsePropertyPreservesOrder(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%20) + 1
+		var in []Hint
+		for i := 0; i < count; i++ {
+			u := urlutil.URL{Scheme: "https", Host: "h.com", Path: "/r" + string(rune('a'+i%26))}
+			in = append(in, Hint{URL: u, Priority: Priority(i % 3)})
+		}
+		Sort(in)
+		out := Parse(Format(in))
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	in := []Hint{
+		mk("https://a.com/1.jpg", Low),
+		mk("https://a.com/1.js", High),
+		mk("https://a.com/2.js", High),
+		mk("https://a.com/2.jpg", Low),
+	}
+	Sort(in)
+	if in[0].URL.Path != "/1.js" || in[1].URL.Path != "/2.js" {
+		t.Fatalf("high hints reordered: %v", in)
+	}
+	if in[2].URL.Path != "/1.jpg" || in[3].URL.Path != "/2.jpg" {
+		t.Fatalf("low hints reordered: %v", in)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	headers := map[string][]string{
+		HeaderLink: {
+			"<https://a.com/x.js>; rel=preload",
+			"garbage",
+			"<no-close; rel=preload",
+			"<https://a.com/y.css>; rel=stylesheet", // not preload
+		},
+		HeaderSemi: {"not a url", "https://a.com/tag.js"},
+		HeaderLow:  {"", "https://a.com/i.jpg"},
+	}
+	out := Parse(headers)
+	if len(out) != 3 {
+		t.Fatalf("parsed %d hints: %v", len(out), out)
+	}
+}
+
+func TestEmptyFormat(t *testing.T) {
+	if h := Format(nil); len(h) != 0 {
+		t.Fatalf("empty hints produced headers: %v", h)
+	}
+}

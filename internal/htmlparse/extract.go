@@ -1,0 +1,231 @@
+package htmlparse
+
+import (
+	"strings"
+
+	"vroom/internal/urlutil"
+)
+
+// RefKind classifies how a resource reference was declared in markup.
+type RefKind int
+
+// Reference kinds.
+const (
+	RefScript     RefKind = iota // <script src>
+	RefStylesheet                // <link rel=stylesheet>
+	RefImage                     // <img>, <source>, <video poster>
+	RefIframe                    // <iframe src> (embedded HTML)
+	RefFont                      // <link rel=preload as=font>
+	RefMedia                     // <video src>, <audio src>
+	RefPreload                   // <link rel=preload> (other)
+	RefInlineCSS                 // url(...) found inside an inline <style>
+	RefInlineJS                  // URL literal found inside an inline <script>
+	RefOther                     // favicons, manifests, prefetch, ...
+)
+
+func (k RefKind) String() string {
+	switch k {
+	case RefScript:
+		return "script"
+	case RefStylesheet:
+		return "stylesheet"
+	case RefImage:
+		return "image"
+	case RefIframe:
+		return "iframe"
+	case RefFont:
+		return "font"
+	case RefMedia:
+		return "media"
+	case RefPreload:
+		return "preload"
+	case RefInlineCSS:
+		return "inline-css"
+	case RefInlineJS:
+		return "inline-js"
+	case RefOther:
+		return "other"
+	}
+	return "unknown"
+}
+
+// Reference is one resource reference discovered in an HTML document.
+type Reference struct {
+	URL   urlutil.URL
+	Kind  RefKind
+	Async bool // script with async or defer
+	// Order is the document-order index of the reference; Vroom hints list
+	// resources in the order the client will process them.
+	Order int
+	// Offset is the byte offset of the owning token, used to model
+	// incremental discovery during simulated parsing.
+	Offset int
+}
+
+// InlineScanner extracts URL references from inline script or style bodies.
+// It decouples htmlparse from the css/js scanners so each can be tested
+// alone; Extract callers wire in cssparse.ExtractURLs / jsparse.ExtractURLs.
+type InlineScanner func(body string) []string
+
+// ExtractOptions configures Extract.
+type ExtractOptions struct {
+	// Base is the document URL used to resolve relative references.
+	Base urlutil.URL
+	// CSSScanner and JSScanner, when non-nil, extract URLs from inline
+	// <style> and <script> bodies.
+	CSSScanner InlineScanner
+	JSScanner  InlineScanner
+}
+
+// Extract tokenizes an HTML document and returns every resource reference in
+// document order. Duplicate URLs are preserved (the caller deduplicates if
+// needed) because discovery order matters for scheduling.
+func Extract(doc string, opts ExtractOptions) []Reference {
+	var (
+		refs     []Reference
+		z        = NewTokenizer(doc)
+		order    int
+		rawOwner string // "script" or "style" when inside one with no src
+	)
+	add := func(raw string, kind RefKind, async bool, offset int) {
+		u, ok := urlutil.Resolve(opts.Base, raw)
+		if !ok {
+			return
+		}
+		refs = append(refs, Reference{URL: u, Kind: kind, Async: async, Order: order, Offset: offset})
+		order++
+	}
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			switch rawOwner {
+			case "style":
+				if opts.CSSScanner != nil {
+					for _, raw := range opts.CSSScanner(tok.Data) {
+						add(raw, RefInlineCSS, false, tok.Offset)
+					}
+				}
+			case "script":
+				if opts.JSScanner != nil {
+					for _, raw := range opts.JSScanner(tok.Data) {
+						add(raw, RefInlineJS, false, tok.Offset)
+					}
+				}
+			}
+		case EndTagToken:
+			if tok.Data == rawOwner {
+				rawOwner = ""
+			}
+		case StartTagToken, SelfClosingTagToken:
+			switch tok.Data {
+			case "script":
+				if src, ok := tok.Attr("src"); ok && src != "" {
+					async := tok.HasAttr("async") || tok.HasAttr("defer")
+					add(src, RefScript, async, tok.Offset)
+				} else if tok.Type == StartTagToken {
+					rawOwner = "script"
+				}
+			case "style":
+				if tok.Type == StartTagToken {
+					rawOwner = "style"
+				}
+			case "link":
+				refs, order = extractLink(tok, opts, refs, order)
+			case "img":
+				if src, ok := tok.Attr("src"); ok {
+					add(src, RefImage, false, tok.Offset)
+				}
+				if srcset, ok := tok.Attr("srcset"); ok {
+					for _, raw := range splitSrcset(srcset) {
+						add(raw, RefImage, false, tok.Offset)
+					}
+				}
+			case "iframe":
+				if src, ok := tok.Attr("src"); ok {
+					add(src, RefIframe, false, tok.Offset)
+				}
+			case "source":
+				if src, ok := tok.Attr("src"); ok {
+					add(src, RefMedia, false, tok.Offset)
+				}
+				if srcset, ok := tok.Attr("srcset"); ok {
+					for _, raw := range splitSrcset(srcset) {
+						add(raw, RefImage, false, tok.Offset)
+					}
+				}
+			case "video", "audio":
+				if src, ok := tok.Attr("src"); ok {
+					add(src, RefMedia, false, tok.Offset)
+				}
+				if poster, ok := tok.Attr("poster"); ok {
+					add(poster, RefImage, false, tok.Offset)
+				}
+			}
+		}
+	}
+	return refs
+}
+
+func extractLink(tok Token, opts ExtractOptions, refs []Reference, order int) ([]Reference, int) {
+	href, ok := tok.Attr("href")
+	if !ok || href == "" {
+		return refs, order
+	}
+	rel, _ := tok.Attr("rel")
+	relTokens := strings.Fields(strings.ToLower(rel))
+	hasRel := func(want string) bool {
+		for _, tok := range relTokens {
+			if tok == want {
+				return true
+			}
+		}
+		return false
+	}
+	u, resolved := urlutil.Resolve(opts.Base, href)
+	if !resolved {
+		return refs, order
+	}
+	var kind RefKind
+	switch {
+	case hasRel("stylesheet"):
+		kind = RefStylesheet
+	case hasRel("preload"):
+		as, _ := tok.Attr("as")
+		switch strings.ToLower(as) {
+		case "font":
+			kind = RefFont
+		case "style":
+			kind = RefStylesheet
+		case "script":
+			kind = RefScript
+		case "image":
+			kind = RefImage
+		default:
+			kind = RefPreload
+		}
+	case hasRel("icon"), hasRel("shortcut"), hasRel("apple-touch-icon"),
+		hasRel("manifest"), hasRel("prefetch"):
+		kind = RefOther
+	default:
+		return refs, order // dns-prefetch, preconnect, canonical, alternate...
+	}
+	refs = append(refs, Reference{URL: u, Kind: kind, Order: order, Offset: tok.Offset})
+	return refs, order + 1
+}
+
+// splitSrcset splits a srcset attribute value into its candidate URLs,
+// dropping the width/density descriptors.
+func splitSrcset(v string) []string {
+	var out []string
+	for _, part := range strings.Split(v, ",") {
+		fields := strings.Fields(part)
+		if len(fields) > 0 {
+			out = append(out, fields[0])
+		}
+	}
+	return out
+}

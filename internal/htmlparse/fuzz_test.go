@@ -1,0 +1,58 @@
+package htmlparse
+
+import (
+	"testing"
+
+	"vroom/internal/urlutil"
+)
+
+// FuzzTokenizer checks the tokenizer never panics or loops on arbitrary
+// input and always terminates having consumed everything.
+func FuzzTokenizer(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><head><script src=a.js></script></head></html>",
+		"<img src='x.png' srcset='a 1x, b 2x'>",
+		"<!-- comment --><p>text</p>",
+		"<script>var x = '<img src=evil>';</script>",
+		"<<<>>><a href=",
+		"<style>.a{background:url(x)}</style>",
+		"<!DOCTYPE html><iframe src=//ads.example/frame.html>",
+		"<link rel=preload as=font href=/f.woff2>",
+		"\x00\xff<tag \x80attr=\x81>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		z := NewTokenizer(src)
+		count := 0
+		for {
+			_, ok := z.Next()
+			if !ok {
+				break
+			}
+			count++
+			if count > len(src)+16 {
+				t.Fatalf("tokenizer emitted more tokens (%d) than plausible for %d bytes", count, len(src))
+			}
+		}
+	})
+}
+
+// FuzzExtract checks reference extraction is total and resolves only valid
+// URLs.
+func FuzzExtract(f *testing.F) {
+	f.Add(`<script src="/a.js"></script><img src="b.png">`)
+	f.Add(`<iframe src="https://x.test/f.html">`)
+	f.Add(`<link rel="stylesheet" href="//cdn.test/s.css">`)
+	base := urlutil.MustParse("https://www.fuzz.test/")
+	f.Fuzz(func(t *testing.T, src string) {
+		refs := Extract(src, ExtractOptions{Base: base})
+		for _, r := range refs {
+			if r.URL.Host == "" || r.URL.Scheme == "" {
+				t.Fatalf("unresolved ref extracted: %+v", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+
+	"vroom/internal/urlutil"
+)
+
+func tokens(src string) []Token {
+	z := NewTokenizer(src)
+	var out []Token
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestTokenizerBasics(t *testing.T) {
+	toks := tokens(`<!DOCTYPE html><html><head><title>T</title></head><body>hi<br/></body></html>`)
+	var kinds []TokenType
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Type)
+	}
+	want := []TokenType{DoctypeToken, StartTagToken, StartTagToken, StartTagToken, TextToken,
+		EndTagToken, EndTagToken, StartTagToken, TextToken, SelfClosingTagToken, EndTagToken, EndTagToken}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(kinds), kinds, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestTokenizerAttributes(t *testing.T) {
+	toks := tokens(`<img src="a.jpg" alt='x y' width=300 loading>`)
+	if len(toks) != 1 || toks[0].Data != "img" {
+		t.Fatalf("tokens: %v", toks)
+	}
+	for _, c := range []struct{ name, want string }{
+		{"src", "a.jpg"}, {"alt", "x y"}, {"width", "300"}, {"loading", ""},
+	} {
+		got, ok := toks[0].Attr(c.name)
+		if !ok || got != c.want {
+			t.Errorf("attr %s = %q (ok=%v), want %q", c.name, got, ok, c.want)
+		}
+	}
+}
+
+func TestTokenizerRawText(t *testing.T) {
+	src := `<script>if (a < b) { x("<img src=fake.jpg>"); }</script><p>after</p>`
+	toks := tokens(src)
+	if toks[0].Type != StartTagToken || toks[0].Data != "script" {
+		t.Fatalf("first token %v", toks[0])
+	}
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, "a < b") {
+		t.Fatalf("script body not raw text: %v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "script" {
+		t.Fatalf("missing </script>: %v", toks[2])
+	}
+}
+
+func TestTokenizerComments(t *testing.T) {
+	toks := tokens(`<!-- a <img src=x.jpg> b --><p>ok</p>`)
+	if toks[0].Type != CommentToken || !strings.Contains(toks[0].Data, "img") {
+		t.Fatalf("comment token %v", toks[0])
+	}
+	if toks[1].Data != "p" {
+		t.Fatalf("tag after comment: %v", toks[1])
+	}
+}
+
+func TestTokenizerMalformed(t *testing.T) {
+	// Must not panic or loop on junk.
+	for _, src := range []string{
+		"<", "<>", "< notatag", "<img src=", `<a href="unterminated`,
+		"<!--unterminated", "<script>never closed", "a<b>c<", "<<<<",
+	} {
+		toks := tokens(src)
+		_ = toks
+	}
+}
+
+func base() urlutil.URL { return urlutil.MustParse("https://www.site.com/") }
+
+func TestExtractKinds(t *testing.T) {
+	doc := `<html><head>
+	<link rel="stylesheet" href="/css/a.css">
+	<link rel="preload" as="font" href="https://fonts.x.com/f.woff2">
+	<link rel="icon" href="/favicon.ico">
+	<script src="/js/app.js"></script>
+	<script async src="https://t.com/tag.js"></script>
+	</head><body>
+	<img src="/img/1.jpg">
+	<img srcset="/img/2-small.jpg 1x, /img/2-big.jpg 2x">
+	<iframe src="https://ads.com/slot.html"></iframe>
+	<video src="/v.mp4" poster="/img/poster.jpg"></video>
+	</body></html>`
+	refs := Extract(doc, ExtractOptions{Base: base()})
+	byKind := map[RefKind]int{}
+	async := 0
+	for _, r := range refs {
+		byKind[r.Kind]++
+		if r.Async {
+			async++
+		}
+	}
+	want := map[RefKind]int{
+		RefStylesheet: 1, RefFont: 1, RefOther: 1, RefScript: 2,
+		RefImage: 4, RefIframe: 1, RefMedia: 1,
+	}
+	for k, n := range want {
+		if byKind[k] != n {
+			t.Errorf("kind %v: got %d want %d (refs: %v)", k, byKind[k], n, refs)
+		}
+	}
+	if async != 1 {
+		t.Errorf("async scripts = %d, want 1", async)
+	}
+}
+
+func TestExtractOrderAndOffsets(t *testing.T) {
+	doc := `<script src="/1.js"></script><script src="/2.js"></script><img src="/3.jpg">`
+	refs := Extract(doc, ExtractOptions{Base: base()})
+	if len(refs) != 3 {
+		t.Fatalf("refs: %v", refs)
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Order <= refs[i-1].Order {
+			t.Error("orders not increasing")
+		}
+		if refs[i].Offset <= refs[i-1].Offset {
+			t.Error("offsets not increasing")
+		}
+	}
+	if !strings.HasSuffix(refs[0].URL.Path, "/1.js") {
+		t.Errorf("first ref %v", refs[0])
+	}
+}
+
+func TestExtractInlineScanners(t *testing.T) {
+	doc := `<style>.a{background:url(/bg.png)}</style>
+	<script>var i = new Image(); i.src = "https://x.com/px.gif";</script>`
+	refs := Extract(doc, ExtractOptions{
+		Base:       base(),
+		CSSScanner: func(css string) []string { return []string{"/bg.png"} },
+		JSScanner:  func(js string) []string { return []string{"https://x.com/px.gif"} },
+	})
+	if len(refs) != 2 {
+		t.Fatalf("refs: %v", refs)
+	}
+	if refs[0].Kind != RefInlineCSS || refs[1].Kind != RefInlineJS {
+		t.Fatalf("kinds: %v %v", refs[0].Kind, refs[1].Kind)
+	}
+}
+
+func TestExtractSkipsNonFetchable(t *testing.T) {
+	doc := `<img src="data:image/png;base64,xx"><a href="/page">x</a>
+	<script src="javascript:void(0)"></script>
+	<link rel="preconnect" href="https://cdn.com">
+	<link rel="dns-prefetch" href="https://cdn.com">`
+	refs := Extract(doc, ExtractOptions{Base: base()})
+	if len(refs) != 0 {
+		t.Fatalf("unexpected refs: %v", refs)
+	}
+}
+
+func TestIndexFold(t *testing.T) {
+	if i := indexFold("abc</SCRIPT>def", "</script"); i != 3 {
+		t.Errorf("indexFold = %d", i)
+	}
+	if i := indexFold("nothing here", "</script"); i != -1 {
+		t.Errorf("indexFold = %d", i)
+	}
+}

@@ -1,0 +1,354 @@
+// Package htmlparse implements a from-scratch HTML tokenizer and the
+// resource-reference extraction Vroom's server-side online analysis and the
+// simulated browser both rely on.
+//
+// The tokenizer is intentionally forgiving, mirroring how browsers treat
+// real-world markup: unquoted attributes, missing closing tags, and stray
+// '<' characters in text are all tolerated. Script and style elements are
+// treated as raw text (their content is not tokenized as markup), matching
+// the HTML parsing specification's RAWTEXT/script-data states.
+package htmlparse
+
+import (
+	"strings"
+)
+
+// TokenType identifies the kind of a token.
+type TokenType int
+
+// Token types.
+const (
+	TextToken TokenType = iota
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case TextToken:
+		return "Text"
+	case StartTagToken:
+		return "StartTag"
+	case EndTagToken:
+		return "EndTag"
+	case SelfClosingTagToken:
+		return "SelfClosingTag"
+	case CommentToken:
+		return "Comment"
+	case DoctypeToken:
+		return "Doctype"
+	}
+	return "Unknown"
+}
+
+// Attr is a single name="value" attribute. Names are lowercased.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is a single lexical token. For tag tokens, Data is the lowercased
+// tag name; for text/comment tokens it is the raw content.
+type Token struct {
+	Type  TokenType
+	Data  string
+	Attrs []Attr
+	// Offset is the byte offset of the token start in the input.
+	Offset int
+}
+
+// Attr returns the value of the named attribute and whether it was present.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// HasAttr reports whether the named attribute is present (even if empty,
+// e.g. <script async>).
+func (t *Token) HasAttr(name string) bool {
+	_, ok := t.Attr(name)
+	return ok
+}
+
+// Tokenizer walks HTML input producing tokens. The zero value is not usable;
+// create one with NewTokenizer.
+type Tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, means we are inside a raw-text element
+	// (script/style/textarea/title) and must scan for its end tag only.
+	rawTag string
+}
+
+// NewTokenizer returns a tokenizer over src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token. ok is false at end of input.
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pos >= len(z.src) {
+		return Token{}, false
+	}
+	if z.rawTag != "" {
+		return z.rawText(), true
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.tag(); ok {
+			return tok, true
+		}
+		// A lone '<' in text: emit it as text.
+	}
+	return z.text(), true
+}
+
+func (z *Tokenizer) text() Token {
+	start := z.pos
+	i := strings.IndexByte(z.src[z.pos+1:], '<')
+	if i < 0 {
+		z.pos = len(z.src)
+	} else {
+		z.pos += 1 + i
+	}
+	return Token{Type: TextToken, Data: z.src[start:z.pos], Offset: start}
+}
+
+// rawText scans until the matching </rawTag and emits the raw content.
+func (z *Tokenizer) rawText() Token {
+	start := z.pos
+	closer := "</" + z.rawTag
+	rest := z.src[z.pos:]
+	i := indexFold(rest, closer)
+	if i < 0 {
+		z.pos = len(z.src)
+		z.rawTag = ""
+		return Token{Type: TextToken, Data: z.src[start:], Offset: start}
+	}
+	if i == 0 {
+		// Immediately at the end tag: emit it.
+		z.rawTag = ""
+		tok, _ := z.tag()
+		return tok
+	}
+	z.pos += i
+	z.rawTag = "" // the end tag is next; plain tag scanning will find it
+	return Token{Type: TextToken, Data: z.src[start : start+i], Offset: start}
+}
+
+func (z *Tokenizer) tag() (Token, bool) {
+	start := z.pos
+	// z.src[z.pos] == '<'
+	if z.pos+1 >= len(z.src) {
+		return Token{}, false
+	}
+	c := z.src[z.pos+1]
+	switch {
+	case c == '!':
+		return z.markupDecl(), true
+	case c == '/':
+		return z.endTag(), true
+	case isLetter(c):
+		return z.startTag(), true
+	default:
+		_ = start
+		return Token{}, false
+	}
+}
+
+func (z *Tokenizer) markupDecl() Token {
+	start := z.pos
+	if strings.HasPrefix(z.src[z.pos:], "<!--") {
+		end := strings.Index(z.src[z.pos+4:], "-->")
+		if end < 0 {
+			z.pos = len(z.src)
+			return Token{Type: CommentToken, Data: z.src[start+4:], Offset: start}
+		}
+		data := z.src[z.pos+4 : z.pos+4+end]
+		z.pos += 4 + end + 3
+		return Token{Type: CommentToken, Data: data, Offset: start}
+	}
+	// DOCTYPE or other declaration: skip to '>'.
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	if end < 0 {
+		z.pos = len(z.src)
+		return Token{Type: DoctypeToken, Data: z.src[start+2:], Offset: start}
+	}
+	data := z.src[start+2 : start+end]
+	z.pos += end + 1
+	return Token{Type: DoctypeToken, Data: data, Offset: start}
+}
+
+func (z *Tokenizer) endTag() Token {
+	start := z.pos
+	z.pos += 2
+	name := z.tagName()
+	// Skip to '>'.
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	if z.pos < len(z.src) {
+		z.pos++
+	}
+	return Token{Type: EndTagToken, Data: name, Offset: start}
+}
+
+func (z *Tokenizer) startTag() Token {
+	start := z.pos
+	z.pos++
+	name := z.tagName()
+	var attrs []Attr
+	selfClosing := false
+	for z.pos < len(z.src) {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			break
+		}
+		c := z.src[z.pos]
+		if c == '>' {
+			z.pos++
+			break
+		}
+		if c == '/' {
+			z.pos++
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+				selfClosing = true
+			}
+			break
+		}
+		a, ok := z.attr()
+		if !ok {
+			z.pos++ // skip stray byte
+			continue
+		}
+		attrs = append(attrs, a)
+	}
+	typ := StartTagToken
+	if selfClosing {
+		typ = SelfClosingTagToken
+	}
+	if !selfClosing && isRawTextTag(name) {
+		z.rawTag = name
+	}
+	return Token{Type: typ, Data: name, Attrs: attrs, Offset: start}
+}
+
+func (z *Tokenizer) tagName() string {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if isSpace(c) || c == '>' || c == '/' {
+			break
+		}
+		z.pos++
+	}
+	return strings.ToLower(z.src[start:z.pos])
+}
+
+func (z *Tokenizer) attr() (Attr, bool) {
+	nameStart := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if isSpace(c) || c == '=' || c == '>' || c == '/' {
+			break
+		}
+		z.pos++
+	}
+	if z.pos == nameStart {
+		return Attr{}, false
+	}
+	name := strings.ToLower(z.src[nameStart:z.pos])
+	z.skipSpace()
+	if z.pos >= len(z.src) || z.src[z.pos] != '=' {
+		return Attr{Name: name}, true // boolean attribute
+	}
+	z.pos++ // consume '='
+	z.skipSpace()
+	if z.pos >= len(z.src) {
+		return Attr{Name: name}, true
+	}
+	switch q := z.src[z.pos]; q {
+	case '"', '\'':
+		z.pos++
+		valStart := z.pos
+		i := strings.IndexByte(z.src[z.pos:], q)
+		if i < 0 {
+			z.pos = len(z.src)
+			return Attr{Name: name, Value: z.src[valStart:]}, true
+		}
+		val := z.src[valStart : valStart+i]
+		z.pos += i + 1
+		return Attr{Name: name, Value: val}, true
+	default:
+		valStart := z.pos
+		for z.pos < len(z.src) {
+			c := z.src[z.pos]
+			if isSpace(c) || c == '>' {
+				break
+			}
+			z.pos++
+		}
+		return Attr{Name: name, Value: z.src[valStart:z.pos]}, true
+	}
+}
+
+func (z *Tokenizer) skipSpace() {
+	for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
+		z.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isLetter(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isRawTextTag(name string) bool {
+	switch name {
+	case "script", "style", "textarea", "title":
+		return true
+	}
+	return false
+}
+
+// indexFold finds the first case-insensitive occurrence of needle in s, or
+// -1. needle must be ASCII.
+func indexFold(s, needle string) int {
+	if needle == "" {
+		return 0
+	}
+	n := len(needle)
+	first := lowerByte(needle[0])
+	for i := 0; i+n <= len(s); i++ {
+		if lowerByte(s[i]) != first {
+			continue
+		}
+		j := 1
+		for ; j < n; j++ {
+			if lowerByte(s[i+j]) != lowerByte(needle[j]) {
+				break
+			}
+		}
+		if j == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func lowerByte(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}

@@ -1,0 +1,28 @@
+package jsparse
+
+import "testing"
+
+// FuzzAnalyze checks the JS scanner is total on arbitrary input.
+func FuzzAnalyze(f *testing.F) {
+	for _, s := range []string{
+		"",
+		`i.src = "https://a.test/x.jpg";`,
+		"fetch(`https://a.test/${id}`)",
+		"// comment only",
+		"/* unterminated",
+		`"unterminated string`,
+		"`unterminated template",
+		`document.write('<script src=x.js></scr'+'ipt>')`,
+		"var x = Date.now();",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, js string) {
+		a := Analyze(js)
+		for _, r := range a.Refs {
+			if r.Raw == "" {
+				t.Fatal("empty ref extracted")
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package jsparse implements the lightweight JavaScript analysis Vroom's
+// server-side dependency resolution applies to scripts: extracting statically
+// apparent resource URLs and detecting user-specific state that makes a
+// script's fetches unpredictable (§4.2 of the paper).
+//
+// It is a lexical scanner: it tokenizes string literals (skipping comments
+// and regex-free contexts conservatively) and reports those that look like
+// fetchable URLs, together with the fetch idiom they appear in when one is
+// recognizable (img.src = "...", fetch("..."), xhr.open("GET", "..."),
+// document.write('<script src=...>')).
+package jsparse
+
+import (
+	"strings"
+)
+
+// Idiom describes the syntactic context a URL literal was found in.
+type Idiom int
+
+// Idioms.
+const (
+	IdiomUnknown Idiom = iota
+	IdiomImageSrc
+	IdiomFetch
+	IdiomXHR
+	IdiomDocumentWrite
+	IdiomImportScripts
+)
+
+func (i Idiom) String() string {
+	switch i {
+	case IdiomImageSrc:
+		return "img.src"
+	case IdiomFetch:
+		return "fetch"
+	case IdiomXHR:
+		return "xhr"
+	case IdiomDocumentWrite:
+		return "document.write"
+	case IdiomImportScripts:
+		return "importScripts"
+	}
+	return "unknown"
+}
+
+// Reference is a statically apparent URL in a script.
+type Reference struct {
+	Raw   string
+	Idiom Idiom
+}
+
+// Analysis is the result of scanning a script.
+type Analysis struct {
+	Refs []Reference
+	// UsesUserState reports whether the script consults user-specific state
+	// (Date.now, Math.random, document.cookie, localStorage, geolocation).
+	// Vroom leaves resources fetched by such scripts for the client to
+	// discover because they vary across loads (§4.2).
+	UsesUserState bool
+}
+
+var userStateMarkers = []string{
+	"Math.random", "Date.now", "new Date", "document.cookie",
+	"localStorage", "sessionStorage", "navigator.geolocation",
+	"crypto.getRandomValues",
+}
+
+// Analyze scans a script body.
+func Analyze(js string) Analysis {
+	var a Analysis
+	for _, m := range userStateMarkers {
+		if strings.Contains(js, m) {
+			a.UsesUserState = true
+			break
+		}
+	}
+	var i int
+	n := len(js)
+	for i < n {
+		c := js[i]
+		switch {
+		case c == '/' && i+1 < n && js[i+1] == '/':
+			end := strings.IndexByte(js[i:], '\n')
+			if end < 0 {
+				return a
+			}
+			i += end + 1
+		case c == '/' && i+1 < n && js[i+1] == '*':
+			end := strings.Index(js[i+2:], "*/")
+			if end < 0 {
+				return a
+			}
+			i += 2 + end + 2
+		case c == '"' || c == '\'' || c == '`':
+			lit, next := scanJSString(js, i)
+			if looksLikeURL(lit) {
+				a.Refs = append(a.Refs, Reference{Raw: lit, Idiom: classify(js, i)})
+			} else if strings.Contains(lit, "<script") || strings.Contains(lit, "<img") {
+				// document.write of markup: extract src attributes.
+				for _, src := range srcAttrs(lit) {
+					if looksLikeURL(src) {
+						a.Refs = append(a.Refs, Reference{Raw: src, Idiom: IdiomDocumentWrite})
+					}
+				}
+			}
+			i = next
+		default:
+			i++
+		}
+	}
+	return a
+}
+
+// ExtractURLs adapts Analyze to the htmlparse.InlineScanner signature.
+func ExtractURLs(js string) []string {
+	an := Analyze(js)
+	out := make([]string, 0, len(an.Refs))
+	for _, r := range an.Refs {
+		out = append(out, r.Raw)
+	}
+	return out
+}
+
+func scanJSString(js string, i int) (string, int) {
+	quote := js[i]
+	j := i + 1
+	var b strings.Builder
+	for j < len(js) {
+		c := js[j]
+		if c == '\\' && j+1 < len(js) {
+			b.WriteByte(js[j+1])
+			j += 2
+			continue
+		}
+		if c == quote {
+			return b.String(), j + 1
+		}
+		if quote != '`' && (c == '\n' || c == '\r') {
+			return b.String(), j // unterminated
+		}
+		b.WriteByte(c)
+		j++
+	}
+	return b.String(), j
+}
+
+// looksLikeURL reports whether lit is plausibly a fetchable resource URL.
+// Template-literal placeholders make a URL dynamic, not static.
+func looksLikeURL(lit string) bool {
+	if strings.Contains(lit, "${") {
+		return false
+	}
+	if strings.HasPrefix(lit, "http://") || strings.HasPrefix(lit, "https://") || strings.HasPrefix(lit, "//") {
+		return true
+	}
+	if strings.HasPrefix(lit, "/") && len(lit) > 1 && !strings.HasPrefix(lit, "//") {
+		// Root-relative path with a file-ish tail.
+		return strings.ContainsAny(lit, ".?") || strings.Count(lit, "/") >= 2
+	}
+	return false
+}
+
+// classify inspects the ~48 bytes before offset i for a known fetch idiom,
+// picking the marker closest to the literal.
+func classify(js string, i int) Idiom {
+	start := i - 48
+	if start < 0 {
+		start = 0
+	}
+	window := js[start:i]
+	best := IdiomUnknown
+	bestPos := -1
+	consider := func(marker string, idiom Idiom) {
+		if pos := strings.LastIndex(window, marker); pos > bestPos {
+			bestPos = pos
+			best = idiom
+		}
+	}
+	consider(".src", IdiomImageSrc)
+	consider("fetch(", IdiomFetch)
+	consider("fetch (", IdiomFetch)
+	consider(".open(", IdiomXHR)
+	consider("document.write", IdiomDocumentWrite)
+	consider("importScripts", IdiomImportScripts)
+	return best
+}
+
+// srcAttrs pulls src="..." values out of a markup fragment.
+func srcAttrs(fragment string) []string {
+	var out []string
+	rest := fragment
+	for {
+		idx := strings.Index(rest, "src=")
+		if idx < 0 {
+			return out
+		}
+		rest = rest[idx+4:]
+		if rest == "" {
+			return out
+		}
+		switch rest[0] {
+		case '"', '\'':
+			q := rest[0]
+			end := strings.IndexByte(rest[1:], q)
+			if end < 0 {
+				return out
+			}
+			out = append(out, rest[1:1+end])
+			rest = rest[1+end+1:]
+		default:
+			end := strings.IndexAny(rest, " >\t\n")
+			if end < 0 {
+				out = append(out, rest)
+				return out
+			}
+			out = append(out, rest[:end])
+			rest = rest[end:]
+		}
+	}
+}

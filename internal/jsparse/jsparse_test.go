@@ -1,0 +1,112 @@
+package jsparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func rawRefs(js string) []string {
+	a := Analyze(js)
+	out := make([]string, 0, len(a.Refs))
+	for _, r := range a.Refs {
+		out = append(out, r.Raw)
+	}
+	return out
+}
+
+func TestAnalyzeIdioms(t *testing.T) {
+	js := `
+	var img = new Image();
+	img.src = "https://img.site.com/lazy.jpg";
+	fetch("https://api.site.com/feed.json").then(function(r){ return r.json(); });
+	var xhr = new XMLHttpRequest();
+	xhr.open("GET", "https://api.site.com/data.json");
+	document.write('<script src="https://t.com/tag.js"></scr' + 'ipt>');
+	`
+	a := Analyze(js)
+	if len(a.Refs) != 4 {
+		t.Fatalf("refs: %+v", a.Refs)
+	}
+	wantIdioms := []Idiom{IdiomImageSrc, IdiomFetch, IdiomXHR, IdiomDocumentWrite}
+	for i, w := range wantIdioms {
+		if a.Refs[i].Idiom != w {
+			t.Errorf("ref %d idiom = %v, want %v", i, a.Refs[i].Idiom, w)
+		}
+	}
+}
+
+func TestAnalyzeUserState(t *testing.T) {
+	cases := map[string]bool{
+		`var x = Date.now(); i.src = "https://a.com/px.gif";`:   true,
+		`var r = Math.random();`:                                true,
+		`var c = document.cookie;`:                              true,
+		`localStorage.getItem("k")`:                             true,
+		`var i = new Image(); i.src = "https://a.com/img.jpg";`: false,
+		`fetch("https://a.com/static.json")`:                    false,
+	}
+	for js, want := range cases {
+		if got := Analyze(js).UsesUserState; got != want {
+			t.Errorf("UsesUserState(%q) = %v, want %v", js, got, want)
+		}
+	}
+}
+
+func TestAnalyzeSkipsComments(t *testing.T) {
+	js := `
+	// i.src = "https://a.com/line-comment.jpg";
+	/* i.src = "https://a.com/block-comment.jpg"; */
+	i.src = "https://a.com/real.jpg";
+	`
+	got := rawRefs(js)
+	if !reflect.DeepEqual(got, []string{"https://a.com/real.jpg"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAnalyzeRelativeAndProtocolURLs(t *testing.T) {
+	js := `
+	a.src = "/img/root-relative.jpg";
+	b.src = "//cdn.com/protocol-relative.js";
+	c.src = "not a url";
+	d.src = "/x";
+	`
+	got := rawRefs(js)
+	want := []string{"/img/root-relative.jpg", "//cdn.com/protocol-relative.js"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestAnalyzeTemplateLiteralsNotStatic(t *testing.T) {
+	js := "fetch(`https://a.com/item/${id}.json`); fetch(`https://a.com/static.json`);"
+	got := rawRefs(js)
+	if !reflect.DeepEqual(got, []string{"https://a.com/static.json"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAnalyzeDocumentWriteMarkup(t *testing.T) {
+	js := `document.write('<img src="https://a.com/banner.jpg"><script src=https://b.com/x.js></scr'+'ipt>');`
+	got := rawRefs(js)
+	want := []string{"https://a.com/banner.jpg", "https://b.com/x.js"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestAnalyzeMalformed(t *testing.T) {
+	for _, js := range []string{
+		"", `"unterminated`, "`unterminated template", "/* unterminated",
+		"// only comment", `x = "\"escaped";`,
+	} {
+		_ = Analyze(js) // must not panic
+	}
+}
+
+func TestExtractURLsAdapter(t *testing.T) {
+	got := ExtractURLs(`i.src = "https://a.com/1.jpg"; fetch("https://a.com/2.json");`)
+	want := []string{"https://a.com/1.jpg", "https://a.com/2.json"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}

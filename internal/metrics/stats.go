@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyU runs the two-sided Mann-Whitney U test (Wilcoxon rank-sum)
+// on two sample distributions and returns the U statistic and approximate
+// p-value (normal approximation with tie correction, appropriate for the
+// corpus sizes used here). It answers whether one policy's PLT
+// distribution is stochastically different from another's.
+func MannWhitneyU(a, b *Dist) (u, p float64) {
+	n1, n2 := len(a.values), len(b.values)
+	if n1 == 0 || n2 == 0 {
+		return math.NaN(), math.NaN()
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a.values {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b.values {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks, tracking ties for the variance correction.
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	u2 := float64(n1)*float64(n2) - u1
+	u = math.Min(u1, u2)
+
+	// Normal approximation.
+	nn1, nn2 := float64(n1), float64(n2)
+	mean := nn1 * nn2 / 2
+	n := nn1 + nn2
+	variance := nn1 * nn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if variance <= 0 {
+		if u1 == u2 {
+			return u, 1
+		}
+		return u, 0
+	}
+	z := (u - mean) / math.Sqrt(variance)
+	p = 2 * normalCDF(-math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// normalCDF is the standard normal CDF via the complementary error
+// function.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// CliffsDelta measures effect size between two samples: the probability a
+// value from a exceeds one from b, minus the reverse. Range [-1, 1]; |d| >
+// 0.474 is conventionally a large effect.
+func CliffsDelta(a, b *Dist) float64 {
+	if len(a.values) == 0 || len(b.values) == 0 {
+		return math.NaN()
+	}
+	bs := append([]float64(nil), b.values...)
+	sort.Float64s(bs)
+	var gt, lt int
+	for _, va := range a.values {
+		// Count b-values below and above va.
+		lo := sort.SearchFloat64s(bs, va)
+		hi := lo
+		for hi < len(bs) && bs[hi] == va {
+			hi++
+		}
+		gt += lo
+		lt += len(bs) - hi
+	}
+	n := float64(len(a.values) * len(b.values))
+	return (float64(gt) - float64(lt)) / n
+}

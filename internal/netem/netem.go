@@ -1,0 +1,225 @@
+// Package netem provides Mahimahi-style network emulation for real
+// connections: in-memory duplex links with one-way propagation delay and a
+// serialization-rate (bandwidth) limit per direction, usable anywhere a
+// net.Conn is. The wire-level Vroom demos run the h2 stack over these links
+// to reproduce cellular conditions without a testbed.
+package netem
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// LinkConfig shapes one emulated link.
+type LinkConfig struct {
+	// Delay is the one-way propagation delay applied to each direction.
+	Delay time.Duration
+	// DownlinkBytesPerSec shapes server->client; UplinkBytesPerSec shapes
+	// client->server. Zero means unlimited.
+	DownlinkBytesPerSec float64
+	UplinkBytesPerSec   float64
+}
+
+// LTE returns a Verizon-LTE-like link matching the simulation defaults.
+func LTE() LinkConfig {
+	return LinkConfig{
+		Delay:               30 * time.Millisecond, // one-way; 60ms RTT
+		DownlinkBytesPerSec: 9e6 / 8,
+		UplinkBytesPerSec:   3e6 / 8,
+	}
+}
+
+// Pipe returns the two ends of an emulated link: client and server.
+// Closing either end closes both directions.
+func Pipe(cfg LinkConfig) (client, server net.Conn) {
+	c2s := newShapedBuf(cfg.Delay, cfg.UplinkBytesPerSec)
+	s2c := newShapedBuf(cfg.Delay, cfg.DownlinkBytesPerSec)
+	client = &conn{name: "client", r: s2c, w: c2s}
+	server = &conn{name: "server", r: c2s, w: s2c}
+	return client, server
+}
+
+// shapedBuf is a one-direction byte queue with delayed, rate-limited
+// release.
+type shapedBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cells  []cell
+	closed bool
+
+	delay time.Duration
+	rate  float64 // bytes/sec, 0 = unlimited
+	// lastDeparture is when the previous write finished serializing onto
+	// the link.
+	lastDeparture time.Time
+}
+
+type cell struct {
+	data      []byte
+	releaseAt time.Time
+}
+
+func newShapedBuf(delay time.Duration, rate float64) *shapedBuf {
+	b := &shapedBuf{delay: delay, rate: rate}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// write enqueues data with its computed delivery time.
+func (b *shapedBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	now := time.Now()
+	depart := now
+	if b.lastDeparture.After(depart) {
+		depart = b.lastDeparture
+	}
+	if b.rate > 0 {
+		depart = depart.Add(time.Duration(float64(len(p)) / b.rate * float64(time.Second)))
+	}
+	b.lastDeparture = depart
+	data := make([]byte, len(p))
+	copy(data, p)
+	b.cells = append(b.cells, cell{data: data, releaseAt: depart.Add(b.delay)})
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+// read blocks until released data is available.
+func (b *shapedBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if len(b.cells) > 0 {
+			now := time.Now()
+			head := &b.cells[0]
+			if wait := head.releaseAt.Sub(now); wait > 0 {
+				// Sleep outside the lock, then re-check.
+				b.mu.Unlock()
+				time.Sleep(wait)
+				b.mu.Lock()
+				continue
+			}
+			n := copy(p, head.data)
+			if n == len(head.data) {
+				b.cells = b.cells[1:]
+			} else {
+				head.data = head.data[n:]
+			}
+			return n, nil
+		}
+		if b.closed {
+			return 0, io.EOF
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *shapedBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// conn is one end of an emulated link.
+type conn struct {
+	name string
+	r    *shapedBuf
+	w    *shapedBuf
+}
+
+// Read implements net.Conn.
+func (c *conn) Read(p []byte) (int, error) { return c.r.read(p) }
+
+// Write implements net.Conn.
+func (c *conn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+// Close implements net.Conn.
+func (c *conn) Close() error {
+	c.r.close()
+	c.w.close()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *conn) LocalAddr() net.Addr { return addr(c.name) }
+
+// RemoteAddr implements net.Conn.
+func (c *conn) RemoteAddr() net.Addr { return addr("peer-of-" + c.name) }
+
+// SetDeadline implements net.Conn (unsupported; emulated links are used in
+// controlled tests and demos).
+func (c *conn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (c *conn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (c *conn) SetWriteDeadline(time.Time) error { return nil }
+
+type addr string
+
+func (a addr) Network() string { return "netem" }
+func (a addr) String() string  { return string(a) }
+
+// Listener is an in-memory listener whose accepted connections are shaped
+// links; Dial returns the client end.
+type Listener struct {
+	cfg    LinkConfig
+	ch     chan net.Conn
+	mu     sync.Mutex
+	closed bool
+}
+
+// Listen creates an in-memory shaped listener.
+func Listen(cfg LinkConfig) *Listener {
+	return &Listener{cfg: cfg, ch: make(chan net.Conn, 1024)}
+}
+
+// Dial opens a new shaped connection to the listener.
+func (l *Listener) Dial() (net.Conn, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("netem: listener closed")
+	}
+	l.mu.Unlock()
+	client, server := Pipe(l.cfg)
+	select {
+	case l.ch <- server:
+		return client, nil
+	default:
+		client.Close()
+		return nil, fmt.Errorf("netem: accept backlog full")
+	}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, ok := <-l.ch
+	if !ok {
+		return nil, fmt.Errorf("netem: listener closed")
+	}
+	return c, nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return addr("netem-listener") }

@@ -1,0 +1,118 @@
+package netem
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestPipeDelivers(t *testing.T) {
+	c, s := Pipe(LinkConfig{})
+	defer c.Close()
+	go func() {
+		s.Write([]byte("hello"))
+		s.Close()
+	}()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPipeDelay(t *testing.T) {
+	c, s := Pipe(LinkConfig{Delay: 50 * time.Millisecond})
+	defer c.Close()
+	defer s.Close()
+	start := time.Now()
+	go s.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 45*time.Millisecond {
+		t.Fatalf("delivered after %v, want >=50ms", d)
+	}
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	// 100 KB at 1 MB/s should take ~100 ms.
+	c, s := Pipe(LinkConfig{DownlinkBytesPerSec: 1e6})
+	defer c.Close()
+	payload := bytes.Repeat([]byte("a"), 100_000)
+	start := time.Now()
+	go func() {
+		s.Write(payload)
+		s.Close()
+	}()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("got %d bytes", len(got))
+	}
+	d := time.Since(start)
+	if d < 80*time.Millisecond || d > 400*time.Millisecond {
+		t.Fatalf("transfer took %v, want ~100ms", d)
+	}
+}
+
+func TestPipeOrderingUnderChunkedWrites(t *testing.T) {
+	c, s := Pipe(LinkConfig{Delay: time.Millisecond, UplinkBytesPerSec: 5e6})
+	defer s.Close()
+	var want bytes.Buffer
+	go func() {
+		for i := 0; i < 50; i++ {
+			chunk := bytes.Repeat([]byte{byte('a' + i%26)}, 100)
+			c.Write(chunk)
+		}
+		c.Close()
+	}()
+	for i := 0; i < 50; i++ {
+		want.Write(bytes.Repeat([]byte{byte('a' + i%26)}, 100))
+	}
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("bytes reordered or corrupted")
+	}
+}
+
+func TestListenerDialAccept(t *testing.T) {
+	l := Listen(LinkConfig{})
+	defer l.Close()
+	go func() {
+		c, err := l.Dial()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte("ping"))
+		c.Close()
+	}()
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(srv)
+	if string(got) != "ping" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestClosedListenerDialFails(t *testing.T) {
+	l := Listen(LinkConfig{})
+	l.Close()
+	if _, err := l.Dial(); err == nil {
+		t.Fatal("dial on closed listener succeeded")
+	}
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("accept on closed listener succeeded")
+	}
+}

@@ -1,0 +1,601 @@
+// Package netsim simulates the client's network path during a page load: a
+// shared cellular access link plus per-origin connections, in the style of
+// the paper's Mahimahi-based replay setup (Fig. 12).
+//
+// The model is a fluid one. The downlink capacity is divided max-min fairly
+// across connections with in-flight response data (mirroring per-TCP-flow
+// fairness), and within an HTTP/2 connection either interleaved across
+// streams or serialized in request-arrival order — the behaviour Vroom's
+// modified servers enforce (§5.1). HTTP/1.1 connections carry one response
+// at a time with up to MaxConnsPerOrigin parallel connections per origin.
+//
+// Request latency is modelled as propagation (half the origin RTT each way)
+// plus connection setup (DNS once per host, one RTT for TCP, TLSRoundTrips
+// for TLS) plus a server think time supplied per response.
+package netsim
+
+import (
+	"hash/fnv"
+	"math"
+	"time"
+
+	"vroom/internal/event"
+	"vroom/internal/urlutil"
+)
+
+// Protocol selects HTTP/1.1 or HTTP/2 connection semantics.
+type Protocol int
+
+// Protocols.
+const (
+	HTTP1 Protocol = iota
+	HTTP2
+)
+
+func (p Protocol) String() string {
+	if p == HTTP1 {
+		return "http/1.1"
+	}
+	return "h2"
+}
+
+// Config parameterizes the simulated network.
+type Config struct {
+	// DownlinkBytesPerSec is the access-link capacity. The default models
+	// an LTE connection with good signal (~9 Mbit/s effective).
+	DownlinkBytesPerSec float64
+	// BaseRTT is the cellular last-mile round-trip time.
+	BaseRTT time.Duration
+	// ExtraRTT returns the origin-dependent wide-area RTT added on top of
+	// BaseRTT. If nil, a deterministic per-host value in [10ms, 80ms] is
+	// derived from the host name.
+	ExtraRTT func(host string) time.Duration
+	// DNSDelay is the cost of resolving a host the first time.
+	DNSDelay time.Duration
+	// TLSRoundTrips is the number of RTTs spent in the TLS handshake
+	// after TCP's one (2 for TLS 1.2, the paper's era).
+	TLSRoundTrips int
+	// Protocol selects HTTP/1.1 or HTTP/2 semantics.
+	Protocol Protocol
+	// MaxConnsPerOrigin bounds parallel HTTP/1.1 connections (default 6).
+	// HTTP/2 always uses one connection per origin.
+	MaxConnsPerOrigin int
+	// SerializeResponses makes each connection deliver responses in the
+	// order the server started them instead of interleaving (§5.1).
+	SerializeResponses bool
+	// QueueWeight and MaxQueueDelay model cellular bufferbloat: while
+	// response data is backlogged on the downlink, new first bytes and
+	// handshake round trips queue behind it. The extra delay is
+	// min(MaxQueueDelay, backlogSeconds * QueueWeight). Zero QueueWeight
+	// disables queuing delay.
+	QueueWeight   float64
+	MaxQueueDelay time.Duration
+	// InitCwndBytes is TCP's initial congestion window (default 10 MSS).
+	// Each connection's throughput is capped at cwnd/RTT, doubling every
+	// RTT while the connection is sending — so fresh connections start
+	// slow and a single warm HTTP/2 connection outperforms many cold
+	// HTTP/1.1 ones.
+	InitCwndBytes float64
+	// DisableSlowStart removes the cwnd cap (used by degenerate
+	// configurations like the zero-latency CPU bound).
+	DisableSlowStart bool
+	// Trace, when set, makes the downlink capacity time-varying
+	// (Mahimahi-style); DownlinkBytesPerSec is ignored while a trace
+	// sample is in effect.
+	Trace *RateTrace
+}
+
+// LTEDefaults returns the configuration used throughout the evaluation: a
+// Verizon-LTE-like access link and 2017-era handshake costs.
+func LTEDefaults(p Protocol) Config {
+	return Config{
+		DownlinkBytesPerSec: 9e6 / 8,
+		BaseRTT:             60 * time.Millisecond,
+		DNSDelay:            40 * time.Millisecond,
+		TLSRoundTrips:       2,
+		Protocol:            p,
+		MaxConnsPerOrigin:   6,
+		QueueWeight:         0.6,
+		MaxQueueDelay:       500 * time.Millisecond,
+	}
+}
+
+// Net is one client's simulated network. It must be driven from a single
+// goroutine together with its event engine.
+type Net struct {
+	eng *event.Engine
+	cfg Config
+
+	origins map[string]*origin
+	dns     map[string]time.Time // host -> resolution completion
+
+	activeConns map[*conn]struct{}
+	lastUpdate  time.Time
+
+	completion *event.Event
+	traceTick  *event.Event
+	traceStart time.Time
+
+	// BytesDelivered counts response payload bytes fully delivered.
+	BytesDelivered int64
+}
+
+// New creates a network attached to an event engine.
+func New(eng *event.Engine, cfg Config) *Net {
+	if cfg.DownlinkBytesPerSec <= 0 {
+		cfg.DownlinkBytesPerSec = 9e6 / 8
+	}
+	if cfg.MaxConnsPerOrigin <= 0 {
+		cfg.MaxConnsPerOrigin = 6
+	}
+	if cfg.ExtraRTT == nil {
+		cfg.ExtraRTT = DefaultExtraRTT
+	}
+	if cfg.InitCwndBytes <= 0 {
+		cfg.InitCwndBytes = 10 * 1460
+	}
+	return &Net{
+		eng:         eng,
+		cfg:         cfg,
+		origins:     make(map[string]*origin),
+		dns:         make(map[string]time.Time),
+		activeConns: make(map[*conn]struct{}),
+		lastUpdate:  eng.Now(),
+		traceStart:  eng.Now(),
+	}
+}
+
+// capacity returns the downlink capacity in effect right now.
+func (n *Net) capacity() float64 {
+	if n.cfg.Trace != nil {
+		if r := n.cfg.Trace.RateAt(n.eng.Now().Sub(n.traceStart)); r > 0 {
+			return r
+		}
+	}
+	return n.cfg.DownlinkBytesPerSec
+}
+
+// DefaultExtraRTT derives a stable wide-area RTT in [10ms, 80ms] from the
+// host name.
+func DefaultExtraRTT(host string) time.Duration {
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return 10*time.Millisecond + time.Duration(h.Sum32()%71)*time.Millisecond
+}
+
+// RTT returns the full round-trip time to an origin host.
+func (n *Net) RTT(host string) time.Duration {
+	return n.cfg.BaseRTT + n.cfg.ExtraRTT(host)
+}
+
+// queueDelay returns the current bufferbloat penalty: the seconds of
+// response data already backlogged on the downlink, damped by QueueWeight
+// and capped at MaxQueueDelay.
+func (n *Net) queueDelay() time.Duration {
+	if n.cfg.QueueWeight <= 0 {
+		return 0
+	}
+	var backlog float64
+	for c := range n.activeConns {
+		for _, f := range c.transferring() {
+			backlog += f.remaining
+		}
+	}
+	d := time.Duration(backlog / n.capacity() * n.cfg.QueueWeight * float64(time.Second))
+	if d > n.cfg.MaxQueueDelay {
+		d = n.cfg.MaxQueueDelay
+	}
+	return d
+}
+
+// RoundTrip represents one request that has reached the server. The server
+// side responds through it.
+type RoundTrip struct {
+	URL urlutil.URL
+	// RequestedAt is when the client issued the request.
+	RequestedAt time.Time
+	// ServerAt is when the request arrived at the server.
+	ServerAt time.Time
+
+	net  *Net
+	conn *conn
+}
+
+// Do issues a request for u. onServer is invoked (in simulated time) when
+// the request reaches the origin server; the handler must eventually call
+// Respond or Push on the RoundTrip. Pushed responses created by the handler
+// share the same connection.
+func (n *Net) Do(u urlutil.URL, onServer func(*RoundTrip)) {
+	o := n.origin(u)
+	req := &pendingReq{url: u, issued: n.eng.Now(), onServer: onServer}
+	o.pending = append(o.pending, req)
+	n.dispatch(o)
+}
+
+// Respond queues size bytes of response after thinkTime of server-side
+// processing. done fires when the client has received the last byte.
+func (rt *RoundTrip) Respond(size int, thinkTime time.Duration, done func()) {
+	rt.net.respond(rt.conn, rt.URL, size, thinkTime, done)
+}
+
+// Push queues a server-initiated response for u on the same connection
+// (HTTP/2 PUSH). It is subject to the same ordering and bandwidth sharing
+// as regular responses.
+func (rt *RoundTrip) Push(u urlutil.URL, size int, thinkTime time.Duration, done func()) {
+	rt.net.respond(rt.conn, u, size, thinkTime, done)
+}
+
+type pendingReq struct {
+	url      urlutil.URL
+	issued   time.Time
+	onServer func(*RoundTrip)
+}
+
+type origin struct {
+	key     string
+	host    string
+	conns   []*conn
+	pending []*pendingReq
+}
+
+type conn struct {
+	origin  *origin
+	net     *Net
+	readyAt time.Time // handshake completion
+	// busy marks an HTTP/1.1 connection with an outstanding request.
+	busy bool
+	// flows holds queued and transferring responses in server order.
+	flows []*flow
+	// cwnd is the congestion window in bytes; throughput on this
+	// connection is capped at cwnd/RTT. It doubles each RTT while the
+	// connection is sending.
+	cwnd    float64
+	growing bool
+}
+
+// rateCap returns the slow-start throughput ceiling for this connection.
+func (c *conn) rateCap() float64 {
+	if c.net.cfg.DisableSlowStart {
+		return c.net.cfg.DownlinkBytesPerSec
+	}
+	rtt := c.net.RTT(c.origin.host).Seconds()
+	if rtt <= 0 {
+		return c.net.cfg.DownlinkBytesPerSec
+	}
+	cap := c.cwnd / rtt
+	if cap > c.net.cfg.DownlinkBytesPerSec {
+		return c.net.cfg.DownlinkBytesPerSec
+	}
+	return cap
+}
+
+// grow schedules the periodic cwnd doubling while the connection is active.
+func (c *conn) grow() {
+	if c.growing || c.net.cfg.DisableSlowStart {
+		return
+	}
+	c.growing = true
+	rtt := c.net.RTT(c.origin.host)
+	if rtt <= 0 {
+		return
+	}
+	c.net.eng.ScheduleAfter(rtt, "cwnd-grow", func() {
+		c.growing = false
+		if len(c.transferring()) == 0 {
+			return // idle: keep the current window (no decay)
+		}
+		maxCwnd := c.net.cfg.DownlinkBytesPerSec * c.net.RTT(c.origin.host).Seconds() * 2
+		c.cwnd *= 2
+		if c.cwnd > maxCwnd {
+			c.cwnd = maxCwnd
+		}
+		c.grow()
+		c.net.recompute()
+	})
+}
+
+type flow struct {
+	conn *conn
+	url  urlutil.URL
+	// availableAt is when the first byte could reach the client
+	// (server start + think + half RTT).
+	availableAt time.Time
+	started     bool // availableAt reached, eligible to transfer
+	size        int
+	remaining   float64
+	rate        float64
+	done        func()
+}
+
+func (n *Net) origin(u urlutil.URL) *origin {
+	key := u.Origin()
+	o, ok := n.origins[key]
+	if !ok {
+		o = &origin{key: key, host: u.Host}
+		n.origins[key] = o
+	}
+	return o
+}
+
+// connLimit returns how many connections this origin may open.
+func (n *Net) connLimit() int {
+	if n.cfg.Protocol == HTTP2 {
+		return 1
+	}
+	return n.cfg.MaxConnsPerOrigin
+}
+
+// dispatch assigns pending requests to connections.
+func (n *Net) dispatch(o *origin) {
+	for len(o.pending) > 0 {
+		c := n.pickConn(o)
+		if c == nil {
+			return // all connections busy (HTTP/1.1)
+		}
+		req := o.pending[0]
+		o.pending = o.pending[1:]
+		if n.cfg.Protocol == HTTP1 {
+			c.busy = true
+		}
+		n.sendRequest(c, req)
+	}
+}
+
+// pickConn returns a connection able to carry a new request, opening one if
+// allowed, or nil if the origin is saturated.
+func (n *Net) pickConn(o *origin) *conn {
+	for _, c := range o.conns {
+		if n.cfg.Protocol == HTTP2 || !c.busy {
+			return c
+		}
+	}
+	if len(o.conns) < n.connLimit() {
+		return n.openConn(o)
+	}
+	return nil
+}
+
+// openConn models DNS + TCP + TLS setup.
+func (n *Net) openConn(o *origin) *conn {
+	now := n.eng.Now()
+	dnsReady, resolved := n.dns[o.host]
+	if !resolved {
+		dnsReady = now.Add(n.cfg.DNSDelay)
+		n.dns[o.host] = dnsReady
+	}
+	if dnsReady.Before(now) {
+		dnsReady = now
+	}
+	rtt := n.RTT(o.host)
+	// Each handshake round trip's downlink leg queues behind backlogged
+	// response data.
+	handshakes := time.Duration(1+n.cfg.TLSRoundTrips) * (rtt + n.queueDelay())
+	c := &conn{origin: o, net: n, readyAt: dnsReady.Add(handshakes), cwnd: n.cfg.InitCwndBytes}
+	o.conns = append(o.conns, c)
+	return c
+}
+
+// sendRequest delivers the request to the server at readyAt + RTT/2, plus
+// the current queuing delay: under bufferbloat the request's ACK path
+// shares the loaded radio link.
+func (n *Net) sendRequest(c *conn, req *pendingReq) {
+	start := n.eng.Now()
+	if c.readyAt.After(start) {
+		start = c.readyAt
+	}
+	arrive := start.Add(n.RTT(c.origin.host)/2 + n.queueDelay())
+	n.eng.Schedule(arrive, "req@"+req.url.String(), func() {
+		req.onServer(&RoundTrip{URL: req.url, RequestedAt: req.issued, ServerAt: n.eng.Now(), net: n, conn: c})
+	})
+}
+
+// respond enqueues a response flow on a connection.
+func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration, done func()) {
+	if size <= 0 {
+		size = 1
+	}
+	f := &flow{
+		conn:        c,
+		url:         u,
+		availableAt: n.eng.Now().Add(thinkTime).Add(n.RTT(c.origin.host)/2 + n.queueDelay()),
+		size:        size,
+		remaining:   float64(size),
+		done:        done,
+	}
+	c.flows = append(c.flows, f)
+	n.eng.Schedule(f.availableAt, "resp-start@"+u.String(), func() {
+		f.started = true
+		n.recompute()
+	})
+}
+
+// transferring returns the flows currently consuming bandwidth on c.
+func (c *conn) transferring() []*flow {
+	if len(c.flows) == 0 {
+		return nil
+	}
+	if c.net.cfg.SerializeResponses || c.net.cfg.Protocol == HTTP1 {
+		// FIFO: only the head flow moves; a not-yet-started head blocks
+		// the rest (in-order delivery on the connection).
+		if c.flows[0].started {
+			return c.flows[:1]
+		}
+		return nil
+	}
+	var out []*flow
+	for _, f := range c.flows {
+		if f.started {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// recompute advances all in-flight transfers to the current instant,
+// completes finished flows, reassigns rates, and schedules the next
+// completion event. It is the heart of the fluid model.
+func (n *Net) recompute() {
+	now := n.eng.Now()
+	elapsed := now.Sub(n.lastUpdate).Seconds()
+	n.lastUpdate = now
+
+	// Drain progress at the previously computed rates.
+	if elapsed > 0 {
+		for c := range n.activeConns {
+			for _, f := range c.transferring() {
+				f.remaining -= f.rate * elapsed
+			}
+		}
+	}
+
+	// Complete flows that have fully drained.
+	const eps = 1e-6
+	var completed []*flow
+	for c := range n.activeConns {
+		for {
+			tr := c.transferring()
+			finished := false
+			for _, f := range tr {
+				if f.remaining <= eps {
+					c.removeFlow(f)
+					completed = append(completed, f)
+					finished = true
+					break
+				}
+			}
+			if !finished {
+				break
+			}
+		}
+	}
+
+	// Rebuild the active set and assign rates.
+	n.activeConns = make(map[*conn]struct{})
+	var activeList []*conn
+	for _, o := range n.origins {
+		for _, c := range o.conns {
+			if len(c.transferring()) > 0 {
+				n.activeConns[c] = struct{}{}
+				activeList = append(activeList, c)
+			}
+		}
+	}
+	next := time.Duration(math.MaxInt64)
+	if len(activeList) > 0 {
+		rates := waterFill(n.capacity(), activeList)
+		for i, c := range activeList {
+			c.grow()
+			tr := c.transferring()
+			rate := rates[i] / float64(len(tr))
+			if rate <= 0 {
+				rate = 1 // degenerate guard: never stall a flow entirely
+			}
+			for _, f := range tr {
+				f.rate = rate
+				if d := time.Duration(f.remaining / rate * float64(time.Second)); d < next {
+					next = d
+				}
+			}
+		}
+	}
+
+	// Re-arm the single completion event.
+	if n.completion != nil {
+		n.eng.Cancel(n.completion)
+		n.completion = nil
+	}
+	if next != time.Duration(math.MaxInt64) {
+		n.completion = n.eng.ScheduleAfter(next+time.Nanosecond, "xfer-complete", n.recompute)
+	}
+	// With a rate trace, re-evaluate rates at the next capacity change
+	// while anything is in flight.
+	if n.traceTick != nil {
+		n.eng.Cancel(n.traceTick)
+		n.traceTick = nil
+	}
+	if n.cfg.Trace != nil && len(activeList) > 0 {
+		since := n.eng.Now().Sub(n.traceStart)
+		at := n.traceStart.Add(n.cfg.Trace.NextBoundary(since))
+		n.traceTick = n.eng.Schedule(at, "rate-change", n.recompute)
+	}
+
+	// Fire completion callbacks last: they may issue new requests, which
+	// re-enter recompute.
+	for _, f := range completed {
+		n.BytesDelivered += int64(f.size)
+		if f.done != nil {
+			f.done()
+		}
+	}
+}
+
+// waterFill allocates link capacity max-min fairly across connections,
+// honouring each connection's slow-start rate cap: capped connections get
+// their ceiling and the surplus is redistributed to the rest.
+func waterFill(capacity float64, conns []*conn) []float64 {
+	n := len(conns)
+	rates := make([]float64, n)
+	caps := make([]float64, n)
+	unassigned := make([]int, 0, n)
+	for i, c := range conns {
+		caps[i] = c.rateCap()
+		unassigned = append(unassigned, i)
+	}
+	remaining := capacity
+	for len(unassigned) > 0 {
+		share := remaining / float64(len(unassigned))
+		// Grant every connection whose cap is below the fair share its
+		// cap, then recompute the share for the rest.
+		progressed := false
+		keep := unassigned[:0]
+		for _, i := range unassigned {
+			if caps[i] <= share {
+				rates[i] = caps[i]
+				remaining -= caps[i]
+				progressed = true
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		unassigned = keep
+		if !progressed {
+			share = remaining / float64(len(unassigned))
+			for _, i := range unassigned {
+				rates[i] = share
+			}
+			break
+		}
+	}
+	return rates
+}
+
+// removeFlow detaches a finished flow and, for HTTP/1.1, frees the
+// connection for the next pending request.
+func (c *conn) removeFlow(f *flow) {
+	for i, g := range c.flows {
+		if g == f {
+			c.flows = append(c.flows[:i], c.flows[i+1:]...)
+			break
+		}
+	}
+	if c.net.cfg.Protocol == HTTP1 {
+		c.busy = false
+		// Dispatch after the current cascade settles.
+		c.net.eng.ScheduleAfter(0, "h1-next", func() { c.net.dispatch(c.origin) })
+	}
+}
+
+// Idle reports whether no transfers or pending requests remain.
+func (n *Net) Idle() bool {
+	for _, o := range n.origins {
+		if len(o.pending) > 0 {
+			return false
+		}
+		for _, c := range o.conns {
+			if len(c.flows) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

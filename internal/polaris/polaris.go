@@ -1,0 +1,124 @@
+// Package polaris implements the client-side baseline the paper compares
+// against (§6.1, Fig. 14): a Polaris-style scheduler that receives a
+// fine-grained dependency graph of the page — computed offline from a prior
+// load — at the start of the load, and uses it to fetch known descendants of
+// a resource as soon as that resource arrives, without waiting to evaluate
+// it, prioritizing the longest dependency chains.
+//
+// It is an end-to-end, client-only design: no server push, no dependency
+// hints, and the graph is necessarily stale — resources that changed since
+// the graph was captured are discovered the normal way (fetch, evaluate,
+// fetch), and stale graph entries waste bandwidth.
+package polaris
+
+import (
+	"sort"
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// Graph is a page dependency graph: parent URL -> children in processing
+// order, plus each node's chain depth (longest path to a leaf).
+type Graph struct {
+	Children map[string][]urlutil.URL
+	Depth    map[string]int
+}
+
+// BuildGraph captures the dependency graph from a snapshot the way
+// Polaris's offline measurement phase would: by loading the page and
+// recording which resource's evaluation triggered which fetch.
+func BuildGraph(sn *webpage.Snapshot) *Graph {
+	g := &Graph{Children: make(map[string][]urlutil.URL), Depth: make(map[string]int)}
+	var walk func(res *webpage.Resource) int
+	visited := make(map[string]bool)
+	walk = func(res *webpage.Resource) int {
+		key := res.URL.String()
+		if visited[key] {
+			return g.Depth[key]
+		}
+		visited[key] = true
+		depth := 0
+		for _, d := range webpage.ExtractRefs(res) {
+			g.Children[key] = append(g.Children[key], d.URL)
+			child, ok := sn.LookupString(d.URL.String())
+			if !ok {
+				continue
+			}
+			cd := 0
+			if child.Type.NeedsProcessing() {
+				cd = walk(child)
+			}
+			if cd+1 > depth {
+				depth = cd + 1
+			}
+		}
+		g.Depth[key] = depth
+		return depth
+	}
+	if root := sn.RootResource(); root != nil {
+		walk(root)
+	}
+	return g
+}
+
+// TrainGraph builds the graph from a load one interval before now, matching
+// how the paper trains Vroom's offline state (prior loads of the page).
+func TrainGraph(site *webpage.Site, now time.Time, profile webpage.Profile, interval time.Duration) *Graph {
+	at := now.Add(-interval)
+	sn := site.Snapshot(at, profile, uint64(at.UnixNano()))
+	return BuildGraph(sn)
+}
+
+// Scheduler is the Polaris client scheduler. It implements
+// browser.Scheduler.
+type Scheduler struct {
+	G *Graph
+	// prefetched remembers graph-driven fetches already issued.
+	prefetched map[string]bool
+}
+
+// New returns a Polaris scheduler over a trained graph.
+func New(g *Graph) *Scheduler {
+	return &Scheduler{G: g, prefetched: make(map[string]bool)}
+}
+
+// Name implements browser.Scheduler.
+func (s *Scheduler) Name() string { return "polaris" }
+
+// Start implements browser.Scheduler.
+func (s *Scheduler) Start(*browser.Load) {}
+
+// OnHint implements browser.Scheduler: Polaris predates dependency hints
+// and ignores them.
+func (s *Scheduler) OnHint(*browser.Load, *browser.Entry, hints.Hint) {}
+
+// OnRequired implements browser.Scheduler: real needs are fetched at once.
+func (s *Scheduler) OnRequired(l *browser.Load, e *browser.Entry) { l.FetchNow(e) }
+
+// OnArrived implements browser.Scheduler: when a resource arrives, its
+// graph-known children are fetched immediately — evaluation is not on the
+// fetch path for resources the graph covers. Children are issued deepest
+// chain first, Polaris's prioritization.
+func (s *Scheduler) OnArrived(l *browser.Load, e *browser.Entry) {
+	children := s.G.Children[e.URL.String()]
+	if len(children) == 0 {
+		return
+	}
+	ordered := make([]urlutil.URL, len(children))
+	copy(ordered, children)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return s.G.Depth[ordered[i].String()] > s.G.Depth[ordered[j].String()]
+	})
+	for _, u := range ordered {
+		key := u.String()
+		if s.prefetched[key] {
+			continue
+		}
+		s.prefetched[key] = true
+		l.FetchNow(l.Entry(u))
+	}
+}

@@ -1,0 +1,76 @@
+package polaris
+
+import (
+	"testing"
+	"time"
+
+	"vroom/internal/webpage"
+)
+
+var t0 = time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+
+func TestBuildGraphCoversCrawl(t *testing.T) {
+	site := webpage.NewSite("polaristest", webpage.News, 55)
+	sn := site.Snapshot(t0, webpage.Profile{Device: webpage.PhoneSmall, UserID: 2}, 1)
+	g := BuildGraph(sn)
+	crawl := webpage.Crawl(sn)
+	inGraph := map[string]bool{}
+	for parent, children := range g.Children {
+		inGraph[parent] = true
+		for _, c := range children {
+			inGraph[c.String()] = true
+		}
+	}
+	missing := 0
+	for u := range crawl {
+		if !inGraph[u] {
+			missing++
+			t.Errorf("crawlable resource missing from graph: %s", u)
+		}
+	}
+	_ = missing
+}
+
+func TestGraphDepths(t *testing.T) {
+	site := webpage.NewSite("polaristest", webpage.News, 55)
+	sn := site.Snapshot(t0, webpage.Profile{Device: webpage.PhoneSmall, UserID: 2}, 1)
+	g := BuildGraph(sn)
+	root := sn.Root.String()
+	if g.Depth[root] < 2 {
+		t.Fatalf("root depth %d; chains missing", g.Depth[root])
+	}
+	// Every parent must be strictly deeper than each of its children.
+	for parent, children := range g.Children {
+		for _, c := range children {
+			if g.Depth[parent] <= g.Depth[c.String()] {
+				t.Fatalf("depth(%s)=%d <= depth(%s)=%d", parent, g.Depth[parent], c, g.Depth[c.String()])
+			}
+		}
+	}
+}
+
+func TestTrainGraphIsStale(t *testing.T) {
+	site := webpage.NewSite("polaristest", webpage.News, 55)
+	profile := webpage.Profile{Device: webpage.PhoneSmall, UserID: 2}
+	g := TrainGraph(site, t0, profile, time.Hour)
+	now := site.Snapshot(t0, profile, 99).URLSet()
+	stale, total := 0, 0
+	for parent, children := range g.Children {
+		_ = parent
+		for _, c := range children {
+			total++
+			if !now[c.String()] {
+				stale++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty graph")
+	}
+	if stale == 0 {
+		t.Error("hour-old graph has no stale URLs; churn model broken")
+	}
+	if float64(stale)/float64(total) > 0.7 {
+		t.Errorf("graph almost entirely stale: %d/%d", stale, total)
+	}
+}

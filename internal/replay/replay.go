@@ -1,0 +1,145 @@
+// Package replay implements a Mahimahi-style record-and-replay store: a
+// page's full resource set serialized to JSON, loadable by the wire-level
+// server to replay the page over real connections. Recording from the live
+// web is out of scope offline; archives are produced from generated
+// snapshots (webpage.Snapshot), which play the role of recorded sites.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// Record is one stored resource.
+type Record struct {
+	URL        string `json:"url"`
+	Type       string `json:"type"`
+	Size       int    `json:"size"`
+	Body       string `json:"body,omitempty"`
+	Async      bool   `json:"async,omitempty"`
+	InIframe   bool   `json:"in_iframe,omitempty"`
+	Cacheable  bool   `json:"cacheable,omitempty"`
+	TTLSeconds int64  `json:"ttl_seconds,omitempty"`
+	Parent     string `json:"parent,omitempty"`
+}
+
+// Archive is one recorded page load.
+type Archive struct {
+	RootURL    string    `json:"root_url"`
+	Site       string    `json:"site"`
+	RecordedAt time.Time `json:"recorded_at"`
+	Records    []Record  `json:"records"`
+
+	index map[string]*Record
+}
+
+// FromSnapshot records a materialized page.
+func FromSnapshot(sn *webpage.Snapshot) *Archive {
+	a := &Archive{
+		RootURL:    sn.Root.String(),
+		Site:       sn.Site.Name,
+		RecordedAt: sn.Time,
+	}
+	for _, r := range sn.Ordered() {
+		a.Records = append(a.Records, Record{
+			URL:        r.URL.String(),
+			Type:       r.Type.String(),
+			Size:       r.Size,
+			Body:       r.Body,
+			Async:      r.Async,
+			InIframe:   r.InIframe,
+			Cacheable:  r.Cacheable,
+			TTLSeconds: int64(r.TTL / time.Second),
+			Parent:     r.Parent,
+		})
+	}
+	a.buildIndex()
+	return a
+}
+
+func (a *Archive) buildIndex() {
+	a.index = make(map[string]*Record, len(a.Records))
+	for i := range a.Records {
+		a.index[a.Records[i].URL] = &a.Records[i]
+	}
+}
+
+// Lookup finds a record by URL string.
+func (a *Archive) Lookup(url string) (*Record, bool) {
+	if a.index == nil {
+		a.buildIndex()
+	}
+	r, ok := a.index[url]
+	return r, ok
+}
+
+// Len returns the number of records.
+func (a *Archive) Len() int { return len(a.Records) }
+
+// Save writes the archive as JSON.
+func (a *Archive) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(a)
+}
+
+// SaveFile writes the archive to a file.
+func (a *Archive) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	defer f.Close()
+	return a.Save(f)
+}
+
+// Load reads an archive from JSON.
+func Load(r io.Reader) (*Archive, error) {
+	var a Archive
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("replay: decode: %w", err)
+	}
+	a.buildIndex()
+	return &a, nil
+}
+
+// LoadFile reads an archive from a file.
+func LoadFile(path string) (*Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// ResourceType converts the stored type string back.
+func (r *Record) ResourceType() webpage.ResourceType {
+	switch r.Type {
+	case "html":
+		return webpage.HTML
+	case "css":
+		return webpage.CSS
+	case "js":
+		return webpage.JS
+	case "image":
+		return webpage.Image
+	case "font":
+		return webpage.Font
+	case "media":
+		return webpage.Media
+	case "json":
+		return webpage.JSON
+	default:
+		return webpage.Other
+	}
+}
+
+// ParsedURL returns the record's URL.
+func (r *Record) ParsedURL() (urlutil.URL, error) { return urlutil.Parse(r.URL) }

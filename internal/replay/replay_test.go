@@ -1,0 +1,83 @@
+package replay
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vroom/internal/webpage"
+)
+
+var t0 = time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+
+func testArchive(t *testing.T) *Archive {
+	t.Helper()
+	site := webpage.NewSite("replaytest", webpage.Top100, 66)
+	sn := site.Snapshot(t0, webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}, 1)
+	return FromSnapshot(sn)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := testArchive(t)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RootURL != a.RootURL || b.Len() != a.Len() || b.Site != a.Site {
+		t.Fatalf("metadata mismatch: %+v vs %+v", b, a)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	a := testArchive(t)
+	path := filepath.Join(t.TempDir(), "page.json")
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != a.Len() {
+		t.Fatalf("lost records: %d vs %d", b.Len(), a.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a := testArchive(t)
+	rec, ok := a.Lookup(a.RootURL)
+	if !ok || rec.Type != "html" {
+		t.Fatalf("root lookup: %v %v", rec, ok)
+	}
+	if _, ok := a.Lookup("https://nonexistent.example/x"); ok {
+		t.Fatal("lookup of unknown URL succeeded")
+	}
+}
+
+func TestResourceTypeRoundTrip(t *testing.T) {
+	for _, typ := range []webpage.ResourceType{
+		webpage.HTML, webpage.CSS, webpage.JS, webpage.Image,
+		webpage.Font, webpage.Media, webpage.JSON, webpage.Other,
+	} {
+		rec := Record{Type: typ.String()}
+		if rec.ResourceType() != typ {
+			t.Errorf("type %v round-tripped to %v", typ, rec.ResourceType())
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

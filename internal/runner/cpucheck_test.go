@@ -1,0 +1,29 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/webpage"
+)
+
+func TestCPUBreakdown(t *testing.T) {
+	site := webpage.NewSite("smoketest", webpage.News, 1234)
+	sn := site.Snapshot(time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC), webpage.Profile{}, 1)
+	c := browser.MobileCosts()
+	byType := map[webpage.ResourceType]time.Duration{}
+	count := map[webpage.ResourceType]int{}
+	bytes := map[webpage.ResourceType]int{}
+	for _, r := range sn.Ordered() {
+		byType[r.Type] += c.For(r.Type, r.Size)
+		count[r.Type]++
+		bytes[r.Type] += r.Size
+	}
+	var total time.Duration
+	for typ, d := range byType {
+		t.Logf("%-6s n=%3d bytes=%7dKB cpu=%7.2fs", typ, count[typ], bytes[typ]/1024, d.Seconds())
+		total += d
+	}
+	t.Logf("TOTAL cpu=%.2fs", total.Seconds())
+}

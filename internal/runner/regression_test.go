@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"testing"
+
+	"vroom/internal/webpage"
+)
+
+// TestDeepBlockingChainsComplete is a regression test for a deadlock where
+// a document.write-injected script at chain depth 2 arrived before being
+// gated (everything is prefetched under NetworkOnly) and was then never
+// executed: the gating flag must be set before Require so ownership is
+// known when processing starts.
+func TestDeepBlockingChainsComplete(t *testing.T) {
+	c := webpage.Generate(webpage.CorpusConfig{Seed: 2017, NumNews: 50, NumSports: 50})
+	var site *webpage.Site
+	for _, s := range c.Sites {
+		if s.Name == "sportly42" {
+			site = s
+		}
+	}
+	if site == nil {
+		t.Fatal("corpus changed; pick another deep-chain site")
+	}
+	for _, pol := range []Policy{NetworkOnly, Vroom, H2} {
+		res, err := Run(site, pol, Options{Time: loadTime,
+			Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 11}, Nonce: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.PLT <= 0 {
+			t.Fatalf("%s: zero PLT", pol)
+		}
+	}
+}
+
+// TestAblationPoliciesComplete exercises the ablation policy wiring.
+func TestAblationPoliciesComplete(t *testing.T) {
+	site := webpage.NewSite("abl", webpage.News, 555)
+	opts := Options{Time: loadTime, Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 7}, Nonce: 1}
+	vr, err := Run(site, Vroom, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSer, err := Run(site, VroomNoSerialize, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifr, err := Run(site, VroomIframeDeps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("vroom=%.2fs no-serialize=%.2fs iframe-deps=%.2fs (waste %dB vs %dB)",
+		vr.PLT.Seconds(), noSer.PLT.Seconds(), ifr.PLT.Seconds(), vr.WastedBytes, ifr.WastedBytes)
+	if ifr.WastedBytes < vr.WastedBytes {
+		t.Error("hinting iframe-derived deps should not reduce waste")
+	}
+}

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/webpage"
+)
+
+var loadTime = time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+
+func newsSite(seed int64) *webpage.Site {
+	return webpage.NewSite("smoketest", webpage.News, seed)
+}
+
+func TestAllPoliciesComplete(t *testing.T) {
+	site := newsSite(1234)
+	for _, pol := range AllPolicies() {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			res, err := Run(site, pol, Options{Time: loadTime, Nonce: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PLT <= 0 {
+				t.Fatalf("PLT = %v", res.PLT)
+			}
+			if res.NumRequired == 0 {
+				t.Fatal("no required resources")
+			}
+			t.Logf("%-22s PLT=%8.2fs AFT=%7.2fs SI=%8.0f idle=%.2f discAll=%6.2fs fetchAll=%6.2fs req=%d fetched=%d waste=%dKB",
+				pol, res.PLT.Seconds(), res.AFT.Seconds(), res.SpeedIndex, res.IdleFrac,
+				res.DiscoverAll.Seconds(), res.FetchAll.Seconds(), res.NumRequired, res.NumFetched, res.WastedBytes/1024)
+		})
+	}
+}
+
+func TestVroomBeatsH2(t *testing.T) {
+	var vroomWins int
+	const n = 8
+	for i := 0; i < n; i++ {
+		site := webpage.NewSite("ordering", webpage.News, int64(100+i))
+		h2, err := Run(site, H2, Options{Time: loadTime, Nonce: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vr, err := Run(site, Vroom, Options{Time: loadTime, Nonce: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vr.PLT < h2.PLT {
+			vroomWins++
+		}
+		t.Logf("site %d: h2=%.2fs vroom=%.2fs", i, h2.PLT.Seconds(), vr.PLT.Seconds())
+	}
+	if vroomWins < n*3/4 {
+		t.Errorf("vroom beat h2 on only %d/%d sites", vroomWins, n)
+	}
+}
+
+func TestLowerBoundIsLower(t *testing.T) {
+	site := newsSite(77)
+	cpu, err := Run(site, CPUOnly, Options{Time: loadTime, Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netw, err := Run(site, NetworkOnly, Options{Time: loadTime, Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Run(site, H2, Options{Time: loadTime, Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := cpu.PLT
+	if netw.PLT > bound {
+		bound = netw.PLT
+	}
+	t.Logf("cpu=%.2fs net=%.2fs bound=%.2fs h2=%.2fs", cpu.PLT.Seconds(), netw.PLT.Seconds(), bound.Seconds(), h2.PLT.Seconds())
+	if bound >= h2.PLT {
+		t.Errorf("lower bound %.2fs not below H2 %.2fs", bound.Seconds(), h2.PLT.Seconds())
+	}
+}
+
+func TestWarmCacheFaster(t *testing.T) {
+	site := newsSite(99)
+	cache := browser.NewCache()
+	cold, err := Run(site, Vroom, Options{Time: loadTime, Nonce: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(site, Vroom, Options{Time: loadTime, Nonce: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold=%.2fs warm=%.2fs cached=%d", cold.PLT.Seconds(), warm.PLT.Seconds(), cache.Len())
+	if warm.PLT >= cold.PLT {
+		t.Errorf("warm load %.2fs not faster than cold %.2fs", warm.PLT.Seconds(), cold.PLT.Seconds())
+	}
+}

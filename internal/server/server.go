@@ -1,0 +1,213 @@
+// Package server models the web-server side of a page load over the
+// simulated network: content lookup across snapshots, server think time,
+// Vroom's online HTML analysis delay, dependency-hint headers, and HTTP/2
+// push policies — per domain, so that incremental-adoption scenarios where
+// only some domains are Vroom-compliant can be expressed.
+package server
+
+import (
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/core"
+	"vroom/internal/hints"
+	"vroom/internal/netsim"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// PushMode selects what a compliant server pushes with an HTML response.
+type PushMode int
+
+// Push modes.
+const (
+	// PushNone disables push.
+	PushNone PushMode = iota
+	// PushHighPriorityLocal pushes same-origin high-priority dependencies
+	// (Vroom's choice, §4.3).
+	PushHighPriorityLocal
+	// PushAllLocal pushes every same-origin dependency (strawman).
+	PushAllLocal
+)
+
+// Policy is the per-deployment server behaviour.
+type Policy struct {
+	// Compliant reports whether a host has deployed Vroom. Non-compliant
+	// hosts serve plain responses. Nil means all hosts are compliant.
+	Compliant func(host string) bool
+	// SendHints enables dependency-hint headers on HTML responses.
+	SendHints bool
+	// Push selects the push policy for HTML responses.
+	Push PushMode
+	// OnlineAnalysis adds the on-the-fly HTML parse to think time and
+	// feeds the served body to the resolver (§4.1.2).
+	OnlineAnalysis bool
+	// CacheAware suppresses pushes of resources the client already holds
+	// (the cache-digest cookie of footnote 2).
+	CacheAware bool
+}
+
+// VroomPolicy is the full design: hints + high-priority local push + online
+// analysis + cache awareness.
+func VroomPolicy() Policy {
+	return Policy{SendHints: true, Push: PushHighPriorityLocal, OnlineAnalysis: true, CacheAware: true}
+}
+
+// Config holds the farm's timing model.
+type Config struct {
+	// ThinkTime is the base server processing delay per request.
+	ThinkTime time.Duration
+	// ParseBase/ParsePerKB model the online HTML analysis delay the paper
+	// measures at roughly 100 ms for large pages (§4.1.2).
+	ParseBase  time.Duration
+	ParsePerKB time.Duration
+	// ErrorSize is the body size served for unknown URLs (stale hints).
+	ErrorSize int
+}
+
+// DefaultConfig returns production-flavoured timings.
+func DefaultConfig() Config {
+	return Config{
+		ThinkTime:  40 * time.Millisecond,
+		ParseBase:  10 * time.Millisecond,
+		ParsePerKB: 800 * time.Microsecond,
+		ErrorSize:  1200,
+	}
+}
+
+// Farm serves one client's page load: it implements browser.Transport over
+// a netsim.Net and delivers pushes straight into the client's Load.
+type Farm struct {
+	Net      *netsim.Net
+	Snapshot *webpage.Snapshot
+	// Archive holds older snapshots; fingerprinted assets from previous
+	// materializations remain fetchable there, as on real CDNs.
+	Archive  []*webpage.Snapshot
+	Resolver *core.Resolver
+	Policy   Policy
+	Cfg      Config
+
+	// Client is the load to deliver push promises and push bodies to.
+	// Set by Attach.
+	Client *browser.Load
+	// ClientCache is the client's cache digest for CacheAware push.
+	ClientCache *browser.Cache
+
+	pushed map[string]bool
+}
+
+// NewFarm builds a farm for one load.
+func NewFarm(net *netsim.Net, sn *webpage.Snapshot, res *core.Resolver, pol Policy, cfg Config) *Farm {
+	return &Farm{
+		Net: net, Snapshot: sn, Resolver: res, Policy: pol, Cfg: cfg,
+		pushed: make(map[string]bool),
+	}
+}
+
+// Attach wires the client load (for push delivery and cache digests).
+func (f *Farm) Attach(l *browser.Load, cache *browser.Cache) {
+	f.Client = l
+	f.ClientCache = cache
+}
+
+// Lookup finds the content for a URL in the current snapshot or the
+// archive.
+func (f *Farm) Lookup(u urlutil.URL) (*webpage.Resource, bool) {
+	if r, ok := f.Snapshot.Lookup(u); ok {
+		return r, true
+	}
+	for _, sn := range f.Archive {
+		if r, ok := sn.Lookup(u); ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Fetch implements browser.Transport.
+func (f *Farm) Fetch(u urlutil.URL, done func(*browser.Fetched)) {
+	f.Net.Do(u, func(rt *netsim.RoundTrip) { f.handle(rt, done) })
+}
+
+// handle services one request at the server.
+func (f *Farm) handle(rt *netsim.RoundTrip, done func(*browser.Fetched)) {
+	res, ok := f.Lookup(rt.URL)
+	if !ok {
+		size := f.Cfg.ErrorSize
+		if size <= 0 {
+			size = 1200
+		}
+		rt.Respond(size, f.Cfg.ThinkTime, func() {
+			done(&browser.Fetched{URL: rt.URL, Res: nil, Size: size})
+		})
+		return
+	}
+
+	// Conditional revalidation: the client holds an expired copy of a
+	// URL we still serve; fingerprinted URLs imply unchanged content, so
+	// answer 304 with no body.
+	if f.ClientCache != nil && f.Client != nil && f.ClientCache.Stale(rt.URL.String(), f.Client.Eng.Now()) {
+		const headerOnly = 220
+		rt.Respond(headerOnly, f.Cfg.ThinkTime, func() {
+			done(&browser.Fetched{URL: rt.URL, Res: res, Size: headerOnly, NotModified: true})
+		})
+		return
+	}
+
+	think := f.Cfg.ThinkTime
+	var hs []hints.Hint
+	compliant := f.Policy.Compliant == nil || f.Policy.Compliant(rt.URL.Host)
+	isHTML := res.Type == webpage.HTML
+	if isHTML && compliant && (f.Policy.SendHints || f.Policy.Push != PushNone) {
+		if f.Policy.OnlineAnalysis {
+			think += f.Cfg.ParseBase + time.Duration(float64(res.Size)/1024*float64(f.Cfg.ParsePerKB))
+		}
+		device := f.Snapshot.Profile.Device
+		body := ""
+		if f.Policy.OnlineAnalysis {
+			body = res.Body
+		}
+		hs = f.Resolver.HintsFor(rt.URL, body, device)
+		f.push(rt, hs)
+		if !f.Policy.SendHints {
+			hs = nil
+		}
+	}
+
+	rt.Respond(res.Size, think, func() {
+		done(&browser.Fetched{URL: rt.URL, Res: res, Size: res.Size, Hints: hs})
+	})
+}
+
+// push initiates the policy's pushes for an HTML response.
+func (f *Farm) push(rt *netsim.RoundTrip, hs []hints.Hint) {
+	if f.Policy.Push == PushNone || f.Client == nil {
+		return
+	}
+	urls := core.PushSet(hs, rt.URL, f.Policy.Push == PushAllLocal)
+	now := f.Client.Eng.Now()
+	for _, u := range urls {
+		key := u.String()
+		if f.pushed[key] {
+			continue
+		}
+		res, ok := f.Lookup(u)
+		if !ok {
+			continue
+		}
+		if f.Policy.CacheAware && f.ClientCache != nil && f.ClientCache.Fresh(key, now) {
+			continue // client already holds it; pushing would waste bandwidth
+		}
+		f.pushed[key] = true
+		// The PUSH_PROMISE reaches the client half an RTT after the
+		// server emits it.
+		promiseAt := f.Net.RTT(u.Host) / 2
+		f.Client.Eng.ScheduleAfter(promiseAt, "push-promise", func() {
+			f.Client.PushPromise(u)
+		})
+		pushedRes := res
+		rt.Push(u, res.Size, f.Cfg.ThinkTime, func() {
+			f.Client.PushArrived(&browser.Fetched{URL: u, Res: pushedRes, Size: pushedRes.Size, Pushed: true})
+		})
+	}
+}

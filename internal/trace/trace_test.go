@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/runner"
+	"vroom/internal/webpage"
+)
+
+func TestWaterfallAndSummary(t *testing.T) {
+	site := webpage.NewSite("tracetest", webpage.Top100, 12)
+	res, err := runner.Run(site, runner.Vroom, runner.Options{
+		Time:    time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC),
+		Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 1},
+		Nonce:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Waterfall(res, Options{Width: 60, MaxRows: 20, RequiredOnly: true})
+	if !strings.Contains(w, "waterfall:") || !strings.Contains(w, "legend:") {
+		t.Fatalf("waterfall output:\n%s", w)
+	}
+	lines := strings.Split(strings.TrimSpace(w), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("too few waterfall rows: %d", len(lines))
+	}
+	// Row lines must all share the same width between the pipes.
+	var widths []int
+	for _, ln := range lines[2 : len(lines)-1] {
+		open := strings.IndexByte(ln, '|')
+		close := strings.LastIndexByte(ln, '|')
+		if open < 0 || close <= open {
+			t.Fatalf("malformed row: %q", ln)
+		}
+		widths = append(widths, close-open)
+	}
+	for _, wd := range widths {
+		if wd != widths[0] {
+			t.Fatalf("ragged waterfall columns: %v", widths)
+		}
+	}
+
+	s := Summary(res)
+	for _, want := range []string{"PLT", "above-the-fold", "main thread busy", "resources"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWaterfallUnfinished(t *testing.T) {
+	out := Waterfall(browser.Result{}, Options{})
+	if !strings.Contains(out, "not finished") {
+		t.Fatalf("zero result rendering: %q", out)
+	}
+}

@@ -1,0 +1,76 @@
+package webpage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArticlePageSnapshots(t *testing.T) {
+	s := NewSite("multi", News, 61)
+	if s.NumPages() < 2 {
+		t.Fatal("site has no article pages")
+	}
+	p := Profile{Device: PhoneSmall, UserID: 4}
+	for idx := 0; idx < s.NumPages(); idx++ {
+		sn := s.PageSnapshot(idx, t0, p, 1)
+		if sn.Root != s.PageURL(idx) {
+			t.Fatalf("page %d root %s != %s", idx, sn.Root, s.PageURL(idx))
+		}
+		// Crawl from each page's root covers exactly its snapshot.
+		crawled := CrawlURLSet(sn)
+		for u := range sn.URLSet() {
+			if !crawled[u] {
+				res, _ := sn.LookupString(u)
+				t.Errorf("page %d: %s (%v) not crawlable", idx, u, res.Type)
+			}
+		}
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+func TestArticleURLsStableAcrossHours(t *testing.T) {
+	s := NewSite("multi", News, 62)
+	for idx := 1; idx < s.NumPages(); idx++ {
+		if s.PageURL(idx) != s.PageURL(idx) {
+			t.Fatal("PageURL not deterministic")
+		}
+	}
+	p := Profile{Device: PhoneSmall, UserID: 4}
+	a := s.PageSnapshot(1, t0, p, 1)
+	b := s.PageSnapshot(1, t0.Add(time.Hour), p, 1)
+	if a.Root != b.Root {
+		t.Fatal("article URL rotated with content")
+	}
+	// Content churns: the two materializations must differ.
+	bSet := b.URLSet()
+	diff := 0
+	for u := range a.URLSet() {
+		if !bSet[u] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("article content did not churn across an hour")
+	}
+}
+
+func TestArticlesShareTemplateAssets(t *testing.T) {
+	s := NewSite("multi", News, 63)
+	if s.NumPages() < 3 {
+		t.Skip("need 2 articles")
+	}
+	p := Profile{Device: PhoneSmall, UserID: 4}
+	landing := s.Snapshot(t0, p, 1).URLSet()
+	art := s.PageSnapshot(1, t0, p, 1)
+	sharedCSS := 0
+	for _, r := range art.Ordered() {
+		if r.Type == CSS && landing[r.URL.String()] {
+			sharedCSS++
+		}
+	}
+	if sharedCSS == 0 {
+		t.Error("article shares no stylesheets with the landing page")
+	}
+}

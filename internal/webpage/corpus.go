@@ -1,0 +1,50 @@
+package webpage
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Corpus is a set of generated sites used by the experiments.
+type Corpus struct {
+	Sites []*Site
+}
+
+// CorpusConfig selects the composition of a corpus.
+type CorpusConfig struct {
+	// Seed makes the whole corpus deterministic.
+	Seed int64
+	// NumTop100, NumNews, NumSports, NumShopping are the per-category
+	// site counts.
+	NumTop100, NumNews, NumSports, NumShopping int
+}
+
+// NewsAndSports returns the paper's main workload: the top 50 News and top
+// 50 Sports landing pages.
+func NewsAndSports(seed int64) CorpusConfig {
+	return CorpusConfig{Seed: seed, NumNews: 50, NumSports: 50}
+}
+
+// Top100Mix returns the Alexa-US-top-100-like workload.
+func Top100Mix(seed int64) CorpusConfig {
+	return CorpusConfig{Seed: seed, NumTop100: 100}
+}
+
+// Generate builds a corpus.
+func Generate(cfg CorpusConfig) *Corpus {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{}
+	for i := 0; i < cfg.NumTop100; i++ {
+		c.Sites = append(c.Sites, NewSite(fmt.Sprintf("popular%02d", i), Top100, r.Int63()))
+	}
+	for i := 0; i < cfg.NumNews; i++ {
+		c.Sites = append(c.Sites, NewSite(fmt.Sprintf("dailynews%02d", i), News, r.Int63()))
+	}
+	for i := 0; i < cfg.NumSports; i++ {
+		c.Sites = append(c.Sites, NewSite(fmt.Sprintf("sportly%02d", i), Sports, r.Int63()))
+	}
+	for i := 0; i < cfg.NumShopping; i++ {
+		c.Sites = append(c.Sites, NewSite(fmt.Sprintf("shoply%02d", i), Shopping, r.Int63()))
+	}
+	return c
+}

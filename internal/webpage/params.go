@@ -1,0 +1,179 @@
+package webpage
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Params are the per-category shape parameters of the corpus generator.
+// Defaults are calibrated against the HTTP Archive statistics the paper
+// cites: ~100 resources on the average mobile page with HTML/CSS/JS around
+// a quarter of the bytes [7], News/Sports pages more complex than the
+// average site [21], and ~22% of URLs changing across back-to-back loads on
+// the median Top-100 page (§4.1.1).
+type Params struct {
+	NumCSS     meanSD
+	NumSyncJS  meanSD
+	NumAsyncJS meanSD
+	NumImages  meanSD
+	NumFonts   meanSD
+	NumIframes meanSD
+	NumXHR     meanSD
+
+	// Per-parent child counts.
+	CSSImages    meanSD // url() images per stylesheet
+	JSChildren   meanSD // resources fetched per script
+	AdImages     meanSD // creatives per ad iframe
+	TrackerChain meanSD // extra scripts a tag manager loads
+
+	// Size distributions, bytes (lognormal around mean with spread).
+	RootHTMLSize   meanSD
+	IframeHTMLSize meanSD
+	CSSSize        meanSD
+	JSSize         meanSD
+	ImageSize      meanSD
+	FontSize       meanSD
+	JSONSize       meanSD
+
+	// Persistence mix for content resources (images, story JSON/JS).
+	FracHourly, FracDaily, FracWeekly float64
+
+	// FracVolatileBeacons is the share of async scripts that fire a
+	// per-load beacon.
+	FracVolatileBeacons float64
+	// FracVolatileXHR is the share of data feeds that differ per load
+	// (live tickers, per-session recommendations, products on sale).
+	FracVolatileXHR float64
+	// FracUserStateJS is the share of scripts whose fetches depend on
+	// user-specific state (excluded from hints via offline filtering).
+	FracUserStateJS float64
+	// FracBlockingChains is the share of synchronous scripts that
+	// document.write a further synchronous script (parser-blocking
+	// chains).
+	FracBlockingChains float64
+	// FracDeviceVariant is the share of images served in device-specific
+	// variants.
+	FracDeviceVariant float64
+}
+
+type meanSD struct {
+	Mean, SD float64
+	Min      int
+}
+
+func (m meanSD) sampleInt(r *rand.Rand) int {
+	v := int(m.Mean + m.SD*r.NormFloat64() + 0.5)
+	if v < m.Min {
+		v = m.Min
+	}
+	return v
+}
+
+func (m meanSD) sampleSize(r *rand.Rand) int {
+	// Lognormal-ish: skewed right, floor at Min.
+	v := int(m.Mean * (0.55 + 0.9*r.ExpFloat64()*0.5))
+	if f := m.SD * r.NormFloat64(); f > 0 {
+		v += int(f)
+	}
+	if v < m.Min {
+		v = m.Min
+	}
+	return v
+}
+
+// DefaultParams returns the generator parameters for a category.
+func DefaultParams(cat Category) Params {
+	p := Params{
+		NumCSS:     meanSD{3, 1, 1},
+		NumSyncJS:  meanSD{6, 2, 2},
+		NumAsyncJS: meanSD{6, 2, 1},
+		NumImages:  meanSD{38, 10, 10},
+		NumFonts:   meanSD{3, 1, 0},
+		NumIframes: meanSD{2, 1, 0},
+		NumXHR:     meanSD{3, 1, 0},
+
+		CSSImages:    meanSD{2, 1, 0},
+		JSChildren:   meanSD{0.8, 0.8, 0},
+		AdImages:     meanSD{3, 1, 1},
+		TrackerChain: meanSD{0.8, 0.7, 0},
+
+		RootHTMLSize:   meanSD{55e3, 15e3, 8e3},
+		IframeHTMLSize: meanSD{6e3, 2e3, 1e3},
+		CSSSize:        meanSD{24e3, 10e3, 2e3},
+		JSSize:         meanSD{22e3, 11e3, 2e3},
+		ImageSize:      meanSD{18e3, 11e3, 1e3},
+		FontSize:       meanSD{30e3, 10e3, 8e3},
+		JSONSize:       meanSD{6e3, 3e3, 500},
+
+		FracHourly: 0.28, FracDaily: 0.10, FracWeekly: 0.10,
+		FracVolatileBeacons: 0.75,
+		FracVolatileXHR:     0.30,
+		FracUserStateJS:     0.08,
+		FracBlockingChains:  0.35,
+		FracDeviceVariant:   0.20,
+	}
+	switch cat {
+	case Shopping:
+		p.NumImages = meanSD{55, 14, 20} // product grids
+		p.NumXHR = meanSD{8, 2, 3}       // inventory, pricing, recommendations
+		p.FracHourly = 0.40              // product sets rotate quickly
+		p.FracUserStateJS = 0.30         // personalization-heavy scripts
+		p.FracVolatileXHR = 0.75         // products on sale picked per load
+		p.JSChildren = meanSD{1.4, 0.9, 0}
+	case News, Sports:
+		p.NumCSS = meanSD{5, 2, 2}
+		p.NumSyncJS = meanSD{11, 3, 4}
+		p.NumAsyncJS = meanSD{11, 3, 3}
+		p.NumImages = meanSD{75, 18, 30}
+		p.NumFonts = meanSD{4, 1, 1}
+		p.NumIframes = meanSD{4, 2, 1}
+		p.NumXHR = meanSD{5, 2, 1}
+		p.RootHTMLSize = meanSD{85e3, 25e3, 20e3}
+		p.FracHourly = 0.34
+		p.FracBlockingChains = 0.45
+	}
+	return p
+}
+
+// cachePolicy assigns HTTP cache headers by persistence class: static
+// assets usually get long TTLs, rotating content short ones, volatile
+// content none. draw in [0,1) is a stable per-resource random value — real
+// corpora mix cacheable and uncacheable resources even within a class
+// (missing headers, no-store CDNs, vary-by-cookie).
+func cachePolicy(p PersistClass, t ResourceType, draw float64, thirdPartyScript bool) (bool, time.Duration) {
+	if t == HTML {
+		return false, 0 // documents are not cached in these experiments
+	}
+	if thirdPartyScript {
+		// Tag managers, analytics, and ad libraries ship with no-cache or
+		// very short TTLs so deployments can be updated at will.
+		if draw < 0.3 {
+			return true, time.Hour
+		}
+		return false, 0
+	}
+	switch p {
+	case Permanent:
+		// Real deployments often cap TTLs conservatively even on stable
+		// assets; those revalidate with 304s on later visits.
+		if draw < 0.6 {
+			return true, 30 * 24 * time.Hour
+		}
+		if draw < 0.85 {
+			return true, time.Hour
+		}
+	case Weekly:
+		if draw < 0.75 {
+			return true, 7 * 24 * time.Hour
+		}
+	case Daily:
+		if draw < 0.75 {
+			return true, 24 * time.Hour
+		}
+	case Hourly:
+		if draw < 0.40 {
+			return true, time.Hour
+		}
+	}
+	return false, 0
+}

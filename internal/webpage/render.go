@@ -1,0 +1,169 @@
+package webpage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// render produces the actual bodies for every resource the browser parses or
+// executes. Bodies embed exactly the resource's children URLs using the
+// appropriate idiom (tags in HTML, url()/@import in CSS, fetch idioms in JS)
+// so that discovery in the simulated browser — and in Vroom's server-side
+// online analysis — is driven by real parsing rather than a side channel.
+func (s *Site) render(sn *Snapshot) {
+	for _, key := range sn.order {
+		res := sn.resources[key]
+		switch res.Type {
+		case HTML:
+			res.Body = renderHTML(sn, res)
+		case CSS:
+			res.Body = renderCSS(sn, res)
+		case JS:
+			res.Body = renderJS(sn, res)
+		default:
+			continue // binary resources carry only a size
+		}
+		if len(res.Body) > res.Size {
+			res.Size = len(res.Body)
+		}
+	}
+}
+
+func renderHTML(sn *Snapshot, res *Resource) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", sn.Site.Name)
+	var body strings.Builder
+	var inlineFetches []string
+	imgCount := 0
+	for _, cu := range res.Children {
+		child, ok := sn.resources[cu]
+		if !ok {
+			continue
+		}
+		switch child.Type {
+		case CSS:
+			fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"%s\">\n", cu)
+		case Font:
+			fmt.Fprintf(&b, "<link rel=\"preload\" as=\"font\" href=\"%s\" crossorigin>\n", cu)
+		case JS:
+			if child.Async {
+				fmt.Fprintf(&body, "<script async src=\"%s\"></script>\n", cu)
+			} else {
+				fmt.Fprintf(&b, "<script src=\"%s\"></script>\n", cu)
+			}
+		case Image:
+			fmt.Fprintf(&body, "<figure><img src=\"%s\" alt=\"photo %d\"><figcaption>Story %d</figcaption></figure>\n", cu, imgCount, imgCount)
+			imgCount++
+		case HTML:
+			fmt.Fprintf(&body, "<iframe src=\"%s\" width=\"300\" height=\"250\"></iframe>\n", cu)
+		case Other:
+			fmt.Fprintf(&b, "<link rel=\"icon\" href=\"%s\">\n", cu)
+		case Media:
+			fmt.Fprintf(&body, "<video src=\"%s\"></video>\n", cu)
+		case JSON:
+			inlineFetches = append(inlineFetches, cu)
+		}
+	}
+	if len(inlineFetches) > 0 {
+		body.WriteString("<script>\n")
+		for _, cu := range inlineFetches {
+			fmt.Fprintf(&body, "fetch(\"%s\").then(function(r){ return r.json(); });\n", cu)
+		}
+		body.WriteString("</script>\n")
+	}
+	b.WriteString("</head>\n<body>\n<header><h1>Latest headlines</h1></header>\n")
+	b.WriteString(body.String())
+	b.WriteString("<footer>&copy; generated corpus</footer>\n</body>\n</html>\n")
+	return padHTML(b.String(), res.Size)
+}
+
+func renderCSS(sn *Snapshot, res *Resource) string {
+	var b strings.Builder
+	b.WriteString("/* generated stylesheet */\nbody{margin:0;font:16px/1.4 sans-serif;color:#222}\n")
+	cls := 0
+	for _, cu := range res.Children {
+		child, ok := sn.resources[cu]
+		if !ok {
+			continue
+		}
+		switch child.Type {
+		case CSS:
+			fmt.Fprintf(&b, "@import \"%s\";\n", cu)
+		case Font:
+			fmt.Fprintf(&b, "@font-face{font-family:\"Face%d\";src:url(\"%s\") format(\"woff2\");font-display:swap}\n", cls, cu)
+		default:
+			fmt.Fprintf(&b, ".bg%d{background-image:url(%s);background-size:cover}\n", cls, cu)
+		}
+		cls++
+	}
+	return padComment(b.String(), res.Size, "/*", "*/")
+}
+
+func renderJS(sn *Snapshot, res *Resource) string {
+	var b strings.Builder
+	b.WriteString("(function(){\n\"use strict\";\n")
+	if res.UsesUserState {
+		b.WriteString("var session = String(Date.now()) + Math.random();\n")
+	}
+	n := 0
+	for _, cu := range res.Children {
+		child, ok := sn.resources[cu]
+		if !ok {
+			continue
+		}
+		switch child.Type {
+		case Image:
+			fmt.Fprintf(&b, "var img%d = new Image();\nimg%d.src = \"%s\";\n", n, n, cu)
+		case JSON:
+			fmt.Fprintf(&b, "fetch(\"%s\").then(function(r){ return r.json(); });\n", cu)
+		case JS:
+			if child.ParserBlocking {
+				fmt.Fprintf(&b, "document.write('<script src=\"%s\"></scr' + 'ipt>');\n", cu)
+			} else {
+				fmt.Fprintf(&b, "var s%d = document.createElement(\"script\");\ns%d.src = \"%s\";\ndocument.head.appendChild(s%d);\n", n, n, cu, n)
+			}
+		case HTML:
+			fmt.Fprintf(&b, "document.write('<iframe src=\"%s\"></iframe>');\n", cu)
+		default:
+			fmt.Fprintf(&b, "var x%d = new Image();\nx%d.src = \"%s\";\n", n, n, cu)
+		}
+		n++
+	}
+	b.WriteString("})();\n")
+	return padComment(b.String(), res.Size, "//", "")
+}
+
+// padHTML pads doc with an HTML comment so len(result) == size when size
+// exceeds the rendered length.
+func padHTML(doc string, size int) string {
+	return padWith(doc, size, "<!--", "-->")
+}
+
+func padComment(doc string, size int, open, close string) string {
+	return padWith(doc, size, open, close)
+}
+
+func padWith(doc string, size int, open, close string) string {
+	need := size - len(doc) - len(open) - len(close) - 2
+	if need <= 0 {
+		return doc
+	}
+	var b strings.Builder
+	b.Grow(size)
+	b.WriteString(doc)
+	b.WriteString(open)
+	b.WriteByte(' ')
+	const filler = "lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod tempor "
+	for need > 0 {
+		chunk := filler
+		if need < len(chunk) {
+			chunk = chunk[:need]
+		}
+		b.WriteString(chunk)
+		need -= len(chunk)
+	}
+	b.WriteByte(' ')
+	b.WriteString(close)
+	return b.String()
+}

@@ -1,0 +1,339 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vroom/internal/h2"
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// FetchRecord is one completed fetch in a wire page load.
+type FetchRecord struct {
+	URL      string
+	Priority hints.Priority
+	Pushed   bool
+	Status   int
+	Bytes    int
+	Start    time.Time
+	Done     time.Time
+}
+
+// Report summarizes a wire page load.
+type Report struct {
+	Root     string
+	Started  time.Time
+	Finished time.Time
+	Fetches  []FetchRecord
+	Pushed   int
+	Bytes    int64
+}
+
+// Total returns the wall-clock load duration.
+func (r *Report) Total() time.Duration { return r.Finished.Sub(r.Started) }
+
+// OriginConn is one origin's transport: HTTP/2 (h2.ClientConn) or an
+// HTTP/1.1 connection pool (h1.Pool) — anything that can exchange
+// request/response pairs and report push promises.
+type OriginConn interface {
+	RoundTrip(*h2.Request) (*h2.Response, error)
+	Promised(path string) (*h2.Request, bool)
+	Close() error
+}
+
+// Client loads pages over real connections, one transport per origin,
+// using either Vroom's staged scheduling or plain fetch-on-discovery.
+type Client struct {
+	// Dial opens a raw transport to an origin ("https://host"), carried
+	// over HTTP/2. With netem, every origin dials the same emulated
+	// listener.
+	Dial func(origin string) (net.Conn, error)
+	// DialOrigin, when set, takes precedence over Dial and may return any
+	// OriginConn — e.g. an h1.Pool for HTTP/1.1 baselines.
+	DialOrigin func(origin string) (OriginConn, error)
+	// Staged enables Vroom's staged scheduler; false means baseline
+	// fetch-ASAP.
+	Staged bool
+
+	mu          sync.Mutex
+	conns       map[string]OriginConn
+	seen        map[string]bool
+	outstanding int
+	stage       hints.Priority
+	highOut     int
+	semiOut     int
+	rootDone    bool
+	pendSemi    []fetchJob
+	pendLow     []fetchJob
+	pushedResp  map[string]*h2.Response
+	pushWaiters map[string][]chan *h2.Response
+	report      *Report
+	doneCh      chan struct{}
+	finished    bool
+}
+
+type fetchJob struct {
+	u    urlutil.URL
+	prio hints.Priority
+}
+
+// LoadPage fetches the page rooted at root to completion and reports
+// per-resource timings. A Client instance performs one load.
+func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
+	if c.Dial == nil && c.DialOrigin == nil {
+		return nil, fmt.Errorf("wire: Client.Dial not set")
+	}
+	c.conns = make(map[string]OriginConn)
+	c.seen = make(map[string]bool)
+	c.pushedResp = make(map[string]*h2.Response)
+	c.pushWaiters = make(map[string][]chan *h2.Response)
+	c.stage = hints.High
+	c.report = &Report{Root: root.String(), Started: time.Now()}
+	c.doneCh = make(chan struct{})
+
+	c.mu.Lock()
+	c.enqueue(root, hints.High)
+	c.mu.Unlock()
+
+	select {
+	case <-c.doneCh:
+	case <-time.After(2 * time.Minute):
+		return nil, fmt.Errorf("wire: page load timed out")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Finished = time.Now()
+	// Pushes the page never referenced are wasted bandwidth; record them.
+	for key, resp := range c.pushedResp {
+		if c.seen[key] {
+			continue
+		}
+		c.report.Fetches = append(c.report.Fetches, FetchRecord{
+			URL: key, Priority: hints.Low, Pushed: true, Status: resp.Status,
+			Bytes: len(resp.Body), Start: c.report.Finished, Done: c.report.Finished,
+		})
+		c.report.Bytes += int64(len(resp.Body))
+		c.report.Pushed++
+	}
+	for _, cc := range c.conns {
+		cc.Close()
+	}
+	return c.report, nil
+}
+
+// enqueue schedules a fetch according to the stage discipline. Caller holds
+// c.mu.
+func (c *Client) enqueue(u urlutil.URL, prio hints.Priority) {
+	key := u.String()
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	if c.Staged && prio > c.stage {
+		job := fetchJob{u: u, prio: prio}
+		if prio == hints.Semi {
+			c.pendSemi = append(c.pendSemi, job)
+		} else {
+			c.pendLow = append(c.pendLow, job)
+		}
+		return
+	}
+	c.issue(u, prio)
+}
+
+// issue starts a fetch goroutine. Caller holds c.mu.
+func (c *Client) issue(u urlutil.URL, prio hints.Priority) {
+	c.outstanding++
+	switch prio {
+	case hints.High:
+		c.highOut++
+	case hints.Semi:
+		c.semiOut++
+	}
+	go c.fetch(u, prio)
+}
+
+func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
+	start := time.Now()
+	resp, err := c.doFetch(u)
+	done := time.Now()
+
+	var rec FetchRecord
+	if err != nil {
+		rec = FetchRecord{URL: u.String(), Priority: prio, Status: 0, Start: start, Done: done}
+	} else {
+		rec = FetchRecord{
+			URL: u.String(), Priority: prio, Pushed: resp.Pushed,
+			Status: resp.Status, Bytes: len(resp.Body), Start: start, Done: done,
+		}
+	}
+
+	// Discover referenced resources and hints before re-locking.
+	var discovered []fetchJob
+	if err == nil && resp.Status == 200 {
+		discovered = c.analyze(u, resp)
+	}
+
+	c.mu.Lock()
+	c.report.Fetches = append(c.report.Fetches, rec)
+	c.report.Bytes += int64(rec.Bytes)
+	if rec.Pushed {
+		c.report.Pushed++
+	}
+	if u.String() == c.report.Root {
+		c.rootDone = true
+	}
+	for _, j := range discovered {
+		c.enqueue(j.u, j.prio)
+	}
+	c.outstanding--
+	switch prio {
+	case hints.High:
+		c.highOut--
+	case hints.Semi:
+		c.semiOut--
+	}
+	c.advance()
+	c.maybeFinish()
+	c.mu.Unlock()
+}
+
+// advance opens later stages as earlier ones drain. Caller holds c.mu.
+func (c *Client) advance() {
+	if !c.Staged {
+		return
+	}
+	if c.stage == hints.High && c.rootDone && c.highOut == 0 {
+		c.stage = hints.Semi
+		for _, j := range c.pendSemi {
+			c.issue(j.u, j.prio)
+		}
+		c.pendSemi = nil
+	}
+	if c.stage == hints.Semi && c.highOut == 0 && c.semiOut == 0 {
+		c.stage = hints.Low
+		for _, j := range c.pendLow {
+			c.issue(j.u, j.prio)
+		}
+		c.pendLow = nil
+	}
+}
+
+func (c *Client) maybeFinish() {
+	if c.finished || c.outstanding > 0 || len(c.pendSemi) > 0 || len(c.pendLow) > 0 {
+		return
+	}
+	c.finished = true
+	close(c.doneCh)
+}
+
+// analyze extracts hints and body references from a response.
+func (c *Client) analyze(u urlutil.URL, resp *h2.Response) []fetchJob {
+	var jobs []fetchJob
+	for _, h := range hints.Parse(resp.Header) {
+		jobs = append(jobs, fetchJob{u: h.URL, prio: h.Priority})
+	}
+	typ := webpage.TypeFromURL(u)
+	if typ.NeedsProcessing() {
+		res := &webpage.Resource{URL: u, Type: typ, Body: string(resp.Body)}
+		for _, d := range webpage.ExtractRefs(res) {
+			prio := hints.Low
+			switch webpage.TypeFromURL(d.URL) {
+			case webpage.CSS:
+				prio = hints.High
+			case webpage.JS:
+				if d.Async {
+					prio = hints.Semi
+				} else {
+					prio = hints.High
+				}
+			}
+			jobs = append(jobs, fetchJob{u: d.URL, prio: prio})
+		}
+	}
+	return jobs
+}
+
+// doFetch resolves a URL through the push cache or a round trip on the
+// origin's connection.
+func (c *Client) doFetch(u urlutil.URL) (*h2.Response, error) {
+	key := u.String()
+	c.mu.Lock()
+	if resp, ok := c.pushedResp[key]; ok {
+		c.mu.Unlock()
+		return resp, nil
+	}
+	cc, err := c.connLocked(u.Origin(), u.Host)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	// If the server promised a push for this path, wait for it instead of
+	// double-fetching.
+	if _, promised := cc.Promised(u.Path); promised {
+		ch := make(chan *h2.Response, 1)
+		c.pushWaiters[key] = append(c.pushWaiters[key], ch)
+		c.mu.Unlock()
+		select {
+		case resp := <-ch:
+			return resp, nil
+		case <-time.After(30 * time.Second):
+			return nil, fmt.Errorf("wire: promised push for %s never arrived", key)
+		}
+	}
+	c.mu.Unlock()
+	return cc.RoundTrip(&h2.Request{Method: "GET", Scheme: u.Scheme, Authority: u.Host, Path: u.Path})
+}
+
+// connLocked returns (dialing if needed) the origin's connection. Caller
+// holds c.mu.
+func (c *Client) connLocked(origin, host string) (OriginConn, error) {
+	if cc, ok := c.conns[origin]; ok {
+		return cc, nil
+	}
+	if c.DialOrigin != nil {
+		oc, err := c.DialOrigin(origin)
+		if err != nil {
+			return nil, fmt.Errorf("wire: dial %s: %w", origin, err)
+		}
+		if cc, ok := oc.(*h2.ClientConn); ok {
+			cc.OnPush = func(resp *h2.Response) { c.onPush(host, resp) }
+		}
+		c.conns[origin] = oc
+		return oc, nil
+	}
+	nc, err := c.Dial(origin)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", origin, err)
+	}
+	cc, err := h2.NewClientConn(nc)
+	if err != nil {
+		return nil, err
+	}
+	cc.OnPush = func(resp *h2.Response) { c.onPush(host, resp) }
+	c.conns[origin] = cc
+	return cc, nil
+}
+
+// onPush stores pushed responses in the push cache and satisfies waiters.
+// Pushed bodies are analyzed only when the page references them (through
+// doFetch); pushes the page never needs are recorded as waste at load end.
+func (c *Client) onPush(host string, resp *h2.Response) {
+	if resp.Request == nil {
+		return
+	}
+	u := urlutil.URL{Scheme: "https", Host: resp.Request.Authority, Path: resp.Request.Path}
+	key := u.String()
+	c.mu.Lock()
+	c.pushedResp[key] = resp
+	waiters := c.pushWaiters[key]
+	delete(c.pushWaiters, key)
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- resp
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"net"
+	"testing"
+
+	"vroom/internal/netem"
+	"vroom/internal/replay"
+	"vroom/internal/webpage"
+)
+
+// TestWireCompleteness verifies both wire clients fetch exactly the
+// archive's reachable resources: the baseline client must cover the archive
+// with no extras; the staged Vroom client additionally fetches the ad
+// servers' crawler-personalized stale hints (a bounded, expected cost of
+// hints for personalized iframe content) but must never miss anything.
+func TestWireCompleteness(t *testing.T) {
+	site := webpage.NewSite("dailynews00", webpage.News, 2017)
+	sn := site.Snapshot(recordTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 11}, 1)
+	archive := replay.FromSnapshot(sn)
+	resolver := TrainResolver(site, sn.Time, webpage.PhoneSmall)
+	for _, staged := range []bool{true, false} {
+		srv := NewServer(archive, resolver, webpage.PhoneSmall, ServerConfig{SendHints: staged, Push: staged})
+		link := netem.Listen(netem.LinkConfig{})
+		go srv.H2().Serve(link)
+		c := &Client{Dial: func(string) (net.Conn, error) { return link.Dial() }, Staged: staged}
+		root, err := archive.Records[0].ParsedURL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.LoadPage(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int{}
+		for _, f := range rep.Fetches {
+			got[f.URL]++
+		}
+		var missing, extra, dup int
+		for _, r := range archive.Records {
+			if got[r.URL] == 0 {
+				missing++
+				t.Errorf("staged=%v: missing %s", staged, r.URL)
+			}
+		}
+		want := map[string]bool{}
+		for _, r := range archive.Records {
+			want[r.URL] = true
+		}
+		for u, n := range got {
+			if !want[u] {
+				extra++
+			}
+			if n > 1 {
+				dup++
+				t.Errorf("staged=%v: %s fetched %d times", staged, u, n)
+			}
+		}
+		if !staged && extra != 0 {
+			t.Errorf("baseline fetched %d URLs outside the archive", extra)
+		}
+		if staged && extra > archive.Len()/10 {
+			t.Errorf("staged client fetched %d stale URLs (>10%% of archive)", extra)
+		}
+		t.Logf("staged=%v fetched=%d archive=%d extra=%d", staged, len(rep.Fetches), archive.Len(), extra)
+		srv.H2().Close()
+		link.Close()
+	}
+}

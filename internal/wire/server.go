@@ -1,0 +1,207 @@
+// Package wire runs Vroom over real connections: an HTTP/2 replay server
+// that attaches dependency hints and pushes high-priority same-origin
+// resources, and a staged client that fetches a page the way Vroom's
+// request scheduler does (§5). Together with netem links these form the
+// live-wire counterpart of the simulation.
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"vroom/internal/core"
+	"vroom/internal/h2"
+	"vroom/internal/hints"
+	"vroom/internal/replay"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// ServerConfig controls the replay server's Vroom behaviour.
+type ServerConfig struct {
+	// SendHints attaches Table-1 headers to HTML responses.
+	SendHints bool
+	// Push pushes high-priority same-origin dependencies of HTML
+	// responses.
+	Push bool
+	// ThinkTime delays every response, emulating backend work.
+	ThinkTime time.Duration
+}
+
+// Server replays an archive over HTTP/2, serving every authority in the
+// archive (clients open one connection per origin, all reaching this
+// server, exactly like Mahimahi's shells).
+type Server struct {
+	Archive  *replay.Archive
+	Resolver *core.Resolver
+	Device   webpage.DeviceClass
+	Cfg      ServerConfig
+
+	h2srv *h2.Server
+
+	mu     sync.Mutex
+	pushed map[string]bool
+	// Stats.
+	Requests int
+	Pushes   int
+}
+
+// NewServer builds a replay server. resolver may be nil when hints are
+// disabled.
+func NewServer(a *replay.Archive, resolver *core.Resolver, device webpage.DeviceClass, cfg ServerConfig) *Server {
+	s := &Server{Archive: a, Resolver: resolver, Device: device, Cfg: cfg, pushed: make(map[string]bool)}
+	s.h2srv = &h2.Server{Handler: s}
+	return s
+}
+
+// H2 exposes the underlying HTTP/2 server for Serve/Close.
+func (s *Server) H2() *h2.Server { return s.h2srv }
+
+// ServeH1 implements h1.Handler: the same replay content over HTTP/1.1.
+// Dependency hints still work (Link headers predate HTTP/2) but there is
+// no push.
+func (s *Server) ServeH1(r *h2.Request) *h2.Response {
+	if s.Cfg.ThinkTime > 0 {
+		time.Sleep(s.Cfg.ThinkTime)
+	}
+	s.mu.Lock()
+	s.Requests++
+	s.mu.Unlock()
+
+	rec, ok := s.Archive.Lookup("https://" + r.Authority + r.Path)
+	if !ok {
+		return &h2.Response{Status: 404, Header: map[string][]string{"content-type": {"text/plain"}},
+			Body: []byte("not in archive")}
+	}
+	resp := &h2.Response{Status: 200, Header: map[string][]string{"content-type": {contentType(rec)}}, Body: s.body(rec)}
+	if rec.ResourceType() == webpage.HTML && s.Resolver != nil && s.Cfg.SendHints {
+		if u, err := rec.ParsedURL(); err == nil {
+			for name, vals := range hints.Format(s.Resolver.HintsFor(u, rec.Body, s.Device)) {
+				resp.Header[name] = vals
+			}
+		}
+	}
+	return resp
+}
+
+// ServeH2 implements h2.Handler.
+func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
+	if s.Cfg.ThinkTime > 0 {
+		time.Sleep(s.Cfg.ThinkTime)
+	}
+	s.mu.Lock()
+	s.Requests++
+	s.mu.Unlock()
+
+	key := "https://" + r.Authority + r.Path
+	rec, ok := s.Archive.Lookup(key)
+	if !ok {
+		// Tolerate scheme differences in lookups.
+		rec, ok = s.Archive.Lookup(r.Scheme + "://" + r.Authority + r.Path)
+	}
+	if !ok {
+		w.Header()["content-type"] = []string{"text/plain"}
+		w.WriteHeader(404)
+		w.Write([]byte("not in archive: " + key))
+		return
+	}
+
+	w.Header()["content-type"] = []string{contentType(rec)}
+	var hs []hints.Hint
+	if rec.ResourceType() == webpage.HTML && s.Resolver != nil && (s.Cfg.SendHints || s.Cfg.Push) {
+		if u, err := rec.ParsedURL(); err == nil {
+			hs = s.Resolver.HintsFor(u, rec.Body, s.Device)
+		}
+	}
+	if s.Cfg.SendHints && len(hs) > 0 {
+		for name, vals := range hints.Format(hs) {
+			w.Header()[name] = vals
+		}
+	}
+	if s.Cfg.Push && len(hs) > 0 {
+		s.push(w, r, hs)
+	}
+	w.Write(s.body(rec))
+}
+
+// push pushes same-origin high-priority dependencies, once per URL.
+func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint) {
+	docURL := urlutil.URL{Scheme: "https", Host: r.Authority, Path: r.Path}
+	for _, u := range core.PushSet(hs, docURL, false) {
+		key := u.String()
+		s.mu.Lock()
+		dup := s.pushed[key]
+		if !dup {
+			s.pushed[key] = true
+		}
+		s.mu.Unlock()
+		if dup {
+			continue
+		}
+		rec, ok := s.Archive.Lookup(key)
+		if !ok {
+			continue
+		}
+		pw, err := w.Push(&h2.Request{Scheme: u.Scheme, Authority: u.Host, Path: u.Path})
+		if err != nil {
+			return // peer disabled push
+		}
+		s.mu.Lock()
+		s.Pushes++
+		s.mu.Unlock()
+		go func(rec *replay.Record) {
+			pw.Header()["content-type"] = []string{contentType(rec)}
+			pw.Write(s.body(rec))
+			pw.Close()
+		}(rec)
+	}
+}
+
+// body returns the record's bytes: real content for text resources,
+// deterministic filler for binary ones (sizes are what matter on the wire).
+func (s *Server) body(rec *replay.Record) []byte {
+	if rec.Body != "" {
+		return []byte(rec.Body)
+	}
+	n := rec.Size
+	if n <= 0 {
+		n = 1
+	}
+	return []byte(strings.Repeat("\xa5", n))
+}
+
+func contentType(rec *replay.Record) string {
+	switch rec.ResourceType() {
+	case webpage.HTML:
+		return "text/html; charset=utf-8"
+	case webpage.CSS:
+		return "text/css"
+	case webpage.JS:
+		return "application/javascript"
+	case webpage.Image:
+		return "image/jpeg"
+	case webpage.Font:
+		return "font/woff2"
+	case webpage.JSON:
+		return "application/json"
+	case webpage.Media:
+		return "video/mp4"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// TrainResolver builds and trains a resolver for a site the way a
+// Vroom-compliant deployment would, ready to hand to NewServer.
+func TrainResolver(site *webpage.Site, at time.Time, device webpage.DeviceClass) *core.Resolver {
+	r := core.NewResolver(core.DefaultResolverConfig())
+	r.Train(site, at, device)
+	return r
+}
+
+var _ h2.Handler = (*Server)(nil)
+
+// ErrNotServed reports a URL outside the archive.
+var ErrNotServed = fmt.Errorf("wire: resource not in archive")

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"vroom/internal/h1"
+	"vroom/internal/netem"
+	"vroom/internal/replay"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+var recordTime = time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+
+// startReplay serves a generated site over an emulated link and returns a
+// dialer plus the archive.
+func startReplay(t *testing.T, cfg ServerConfig) (*replay.Archive, *Server, func(string) (net.Conn, error), func()) {
+	t.Helper()
+	site := webpage.NewSite("wiretest", webpage.Top100, 4242)
+	sn := site.Snapshot(recordTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 5}, 1)
+	archive := replay.FromSnapshot(sn)
+	resolver := TrainResolver(site, recordTime, webpage.PhoneSmall)
+	srv := NewServer(archive, resolver, webpage.PhoneSmall, cfg)
+
+	link := netem.Listen(netem.LinkConfig{
+		Delay:               2 * time.Millisecond,
+		DownlinkBytesPerSec: 20e6,
+		UplinkBytesPerSec:   20e6,
+	})
+	go srv.H2().Serve(link)
+	dial := func(string) (net.Conn, error) { return link.Dial() }
+	stop := func() { srv.H2().Close(); link.Close() }
+	return archive, srv, dial, stop
+}
+
+func TestBaselineLoadFetchesWholePage(t *testing.T) {
+	archive, _, dial, stop := startReplay(t, ServerConfig{})
+	defer stop()
+	c := &Client{Dial: dial}
+	root, err := archive.Records[0].ParsedURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.LoadPage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Fetches) < archive.Len()*8/10 {
+		t.Fatalf("fetched %d of %d archive resources", len(rep.Fetches), archive.Len())
+	}
+	for _, f := range rep.Fetches {
+		if f.Status != 200 {
+			t.Errorf("%s -> status %d", f.URL, f.Status)
+		}
+	}
+	if rep.Total() <= 0 {
+		t.Fatal("zero load time")
+	}
+}
+
+func TestVroomLoadPushesAndHints(t *testing.T) {
+	archive, srv, dial, stop := startReplay(t, ServerConfig{SendHints: true, Push: true})
+	defer stop()
+	c := &Client{Dial: dial, Staged: true}
+	root, err := archive.Records[0].ParsedURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.LoadPage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pushed == 0 {
+		t.Error("no resources were pushed")
+	}
+	if srv.Pushes == 0 {
+		t.Error("server reports zero pushes")
+	}
+	if len(rep.Fetches) < archive.Len()*8/10 {
+		t.Fatalf("fetched %d of %d archive resources", len(rep.Fetches), archive.Len())
+	}
+	// No double fetch: each URL exactly once.
+	seen := map[string]int{}
+	for _, f := range rep.Fetches {
+		seen[f.URL]++
+	}
+	for u, n := range seen {
+		if n > 1 {
+			t.Errorf("%s fetched %d times", u, n)
+		}
+	}
+}
+
+func TestVroomWireFasterUnderLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-sensitive timing test")
+	}
+	site := webpage.NewSite("wireperf", webpage.Top100, 777)
+	sn := site.Snapshot(recordTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 5}, 1)
+	archive := replay.FromSnapshot(sn)
+	resolver := TrainResolver(site, recordTime, webpage.PhoneSmall)
+
+	// lastHighIssued is when the client sent its final high-priority
+	// request: the discovery latency hints eliminate. (Completion times
+	// on this harness are bandwidth-bound — there is no CPU model to
+	// overlap with — so issuance is the right wire-level metric.)
+	lastHighIssued := func(rep *Report) time.Duration {
+		var last time.Time
+		for _, f := range rep.Fetches {
+			if f.Priority == 0 && !f.Pushed && f.Start.After(last) { // hints.High
+				last = f.Start
+			}
+		}
+		return last.Sub(rep.Started)
+	}
+	run := func(cfg ServerConfig, staged bool) (time.Duration, time.Duration) {
+		srv := NewServer(archive, resolver, webpage.PhoneSmall, cfg)
+		link := netem.Listen(netem.LinkConfig{
+			Delay:               20 * time.Millisecond,
+			DownlinkBytesPerSec: 4e6,
+			UplinkBytesPerSec:   2e6,
+		})
+		go srv.H2().Serve(link)
+		defer func() { srv.H2().Close(); link.Close() }()
+		c := &Client{Dial: func(string) (net.Conn, error) { return link.Dial() }, Staged: staged}
+		root, err := archive.Records[0].ParsedURL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.LoadPage(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Total(), lastHighIssued(rep)
+	}
+
+	baseTotal, baseIssue := run(ServerConfig{}, false)
+	vroomTotal, vroomIssue := run(ServerConfig{SendHints: true, Push: true}, true)
+	t.Logf("total: baseline=%v vroom=%v; last high-priority request issued: baseline=%v vroom=%v",
+		baseTotal, vroomTotal, baseIssue, vroomIssue)
+	// Hints collapse the fetch-evaluate-fetch discovery round trips on
+	// script chains: every high-priority request must go out much
+	// earlier than under baseline discovery.
+	if vroomIssue >= baseIssue {
+		t.Errorf("vroom issued its last high-priority request at %v, baseline at %v", vroomIssue, baseIssue)
+	}
+	if vroomTotal > baseTotal*2 {
+		t.Errorf("vroom total (%v) pathologically slower than baseline (%v)", vroomTotal, baseTotal)
+	}
+}
+
+func TestHTTP1WireLoad(t *testing.T) {
+	site := webpage.NewSite("h1wire", webpage.Top100, 888)
+	sn := site.Snapshot(recordTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 5}, 1)
+	archive := replay.FromSnapshot(sn)
+	srv := NewServer(archive, nil, webpage.PhoneSmall, ServerConfig{})
+
+	link := netem.Listen(netem.LinkConfig{Delay: time.Millisecond, DownlinkBytesPerSec: 50e6, UplinkBytesPerSec: 50e6})
+	h1srv := &h1.Server{Handler: srv}
+	go h1srv.Serve(link)
+	defer func() { h1srv.Close(); link.Close() }()
+
+	c := &Client{DialOrigin: func(origin string) (OriginConn, error) {
+		u, err := urlutil.Parse(origin + "/")
+		if err != nil {
+			return nil, err
+		}
+		return &h1.Pool{Authority: u.Host, Dial: func() (net.Conn, error) { return link.Dial() }}, nil
+	}}
+	root, err := archive.Records[0].ParsedURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.LoadPage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Fetches) != archive.Len() {
+		t.Fatalf("fetched %d of %d over HTTP/1.1", len(rep.Fetches), archive.Len())
+	}
+	for _, f := range rep.Fetches {
+		if f.Status != 200 {
+			t.Errorf("%s -> %d", f.URL, f.Status)
+		}
+		if f.Pushed {
+			t.Errorf("HTTP/1.1 load reported a push: %s", f.URL)
+		}
+	}
+}
