@@ -14,16 +14,24 @@ import (
 	"time"
 
 	"vroom/internal/experiments"
+	"vroom/internal/faults"
 )
 
 func main() {
 	var (
-		figs  = flag.String("fig", "all", "comma-separated figure ids, or 'all' (see -list)")
-		scale = flag.String("scale", "half", "corpus scale: quick (3+3 sites), half (15+15), full (50+50, the paper's)")
-		seed  = flag.Int64("seed", 2017, "corpus seed")
-		list  = flag.Bool("list", false, "list figure ids and exit")
+		figs    = flag.String("fig", "all", "comma-separated figure ids, or 'all' (see -list)")
+		scale   = flag.String("scale", "half", "corpus scale: quick (3+3 sites), half (15+15), full (50+50, the paper's)")
+		seed    = flag.Int64("seed", 2017, "corpus seed")
+		regimeS = flag.String("faults", "none", "fault regime applied to every measured load: none, mild, or severe (seeded, reproducible)")
+		list    = flag.Bool("list", false, "list figure ids and exit")
 	)
 	flag.Parse()
+
+	regime, err := faults.ParseRegime(*regimeS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -34,6 +42,7 @@ func main() {
 
 	o := experiments.DefaultOptions()
 	o.Seed = *seed
+	o.FaultRegime = regime
 	switch *scale {
 	case "quick":
 		o.NewsSites, o.SportsSites, o.Top100Sites = 3, 3, 6

@@ -36,14 +36,25 @@ type Fetched struct {
 	// NotModified marks a 304 revalidation: the client's expired cached
 	// copy is still valid and only headers crossed the network.
 	NotModified bool
+	// Failed marks a terminal transport failure (connection refused, 5xx,
+	// truncated transfer); FailReason names it. The browser may retry.
+	Failed     bool
+	FailReason string
+	// RedirectTo, when set, is where a stale hinted URL now points; the
+	// response itself carried no content.
+	RedirectTo urlutil.URL
 	// Hints are the dependency hints carried on the response headers.
 	Hints []hints.Hint
 }
 
 // Transport issues fetches on behalf of the browser. Implementations attach
-// the server model and simulated network.
+// the server model and simulated network. started (may be nil) fires when
+// the response headers reach the client — the browser uses it to disarm
+// its response timeout, since a transfer that has started will complete.
+// The returned abort func (may be nil) cancels the fetch from the
+// client side; after an abort, done must not be called.
 type Transport interface {
-	Fetch(u urlutil.URL, done func(*Fetched))
+	Fetch(u urlutil.URL, started func(), done func(*Fetched)) (abort func())
 }
 
 // EntryState tracks a resource's lifecycle within a load.
@@ -66,6 +77,9 @@ type Entry struct {
 	// Required: the page load cannot complete without this resource (it
 	// was discovered by actual parsing/execution, not just hinted).
 	Required bool
+	// Hinted: the URL was learned from a dependency hint, so its prefetch
+	// is advisory — a failure degrades to vanilla discovery.
+	Hinted bool
 	// Priority classifies the entry for scheduling (derived from how the
 	// page uses it, or from its hint).
 	Priority hints.Priority
@@ -85,6 +99,10 @@ type Entry struct {
 	processingStarted bool
 	gated             bool // executed by a document's sync-script pump
 	execAsync         bool
+
+	attempts  int // fetch attempts made for the current in-flight cycle
+	abort     func()
+	timeoutEv *event.Event
 }
 
 // Load is one page load in progress.
@@ -108,6 +126,12 @@ type Load struct {
 	finished            bool
 	finishedAt          time.Time
 	finalizeQueued      bool
+
+	// fault/degradation accounting
+	retries       int
+	timeouts      int
+	failedFetches int
+	hintsFailed   int
 
 	paints []paintEvent
 
@@ -138,6 +162,62 @@ type Config struct {
 	// NoProcessing zeroes all CPU costs (the network-bottleneck lower
 	// bound of §2: resources fetched but not evaluated).
 	NoProcessing bool
+	// FetchTimeout bounds one fetch attempt's time to response headers:
+	// when it expires before any response has started the attempt is
+	// aborted and counts as failed. It is deliberately not a
+	// total-transfer bound — a loaded link can take longer than any
+	// reasonable timeout to finish a transfer that is making progress, and
+	// killing it only to re-download wastes the bandwidth that made it
+	// slow. Zero disables timeouts — the pre-fault-injection behaviour.
+	FetchTimeout time.Duration
+	// Retry is the policy for reissuing failed fetch attempts.
+	Retry RetryPolicy
+	// OnFetchFailure, when set, observes every terminal per-attempt failure
+	// (the runner uses it to mark origins unhealthy).
+	OnFetchFailure func(u urlutil.URL, reason string)
+}
+
+// RetryPolicy caps retries of failed fetches with exponential backoff.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Zero or one means no retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetryPolicy mirrors common browser/CDN client defaults: three
+// attempts, 250ms initial backoff, 4s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 250 * time.Millisecond, MaxBackoff: 4 * time.Second}
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before the given retry (attempt counts the
+// tries already made, so the first retry sees attempt == 1).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = 250 * time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
 }
 
 func (c Config) costs() Costs {
@@ -219,6 +299,7 @@ func (l *Load) Entries() []*Entry {
 // the scheduler, which decides when (or whether) to fetch it.
 func (l *Load) Hint(h hints.Hint) {
 	e := l.Entry(h.URL)
+	e.Hinted = true
 	if h.Priority < e.Priority {
 		e.Priority = h.Priority
 	}
@@ -254,6 +335,7 @@ func (l *Load) FetchNow(e *Entry) {
 	}
 	e.State = StateInFlight
 	e.RequestedAt = l.Eng.Now()
+	e.attempts = 0
 	if l.Cfg.Cache != nil {
 		if res, ok := l.Cfg.Cache.Get(e.URL.String(), l.Eng.Now()); ok {
 			delay := l.Cfg.CacheHitDelay
@@ -266,17 +348,145 @@ func (l *Load) FetchNow(e *Entry) {
 			return
 		}
 	}
-	l.Transport.Fetch(e.URL, func(f *Fetched) { l.deliver(e, f) })
+	l.fetchAttempt(e)
+}
+
+// fetchAttempt issues one transport attempt for an in-flight entry, arming
+// the per-attempt first-byte timeout.
+func (l *Load) fetchAttempt(e *Entry) {
+	e.attempts++
+	settled := false
+	e.abort = l.Transport.Fetch(e.URL, func() {
+		if settled {
+			return
+		}
+		// Headers arrived: the response is live, so stop the clock. Faults
+		// that strike after this point (truncation, 5xx body) surface
+		// through the done callback, not the timeout.
+		l.clearTimeout(e)
+	}, func(f *Fetched) {
+		if settled {
+			return
+		}
+		settled = true
+		l.clearTimeout(e)
+		e.abort = nil
+		if f.Failed {
+			l.onFetchFailed(e, f.FailReason)
+			return
+		}
+		l.deliver(e, f)
+	})
+	if l.Cfg.FetchTimeout > 0 {
+		e.timeoutEv = l.Eng.ScheduleAfter(l.Cfg.FetchTimeout, "fetch-timeout@"+e.URL.String(), func() {
+			if settled {
+				return
+			}
+			settled = true
+			e.timeoutEv = nil
+			l.timeouts++
+			if e.abort != nil {
+				e.abort() // stream reset: frees a wedged connection
+				e.abort = nil
+			}
+			l.onFetchFailed(e, "timeout")
+		})
+	}
+}
+
+// onFetchFailed handles one failed attempt: retry with capped exponential
+// backoff while budget remains, otherwise degrade. Only required work earns
+// retries — an advisory prefetch is pure speculation, and a speculative
+// fetch grinding through its backoff schedule holds the scheduler's stage
+// gates hostage for something the page may never need. It degrades to
+// vanilla discovery after a single failure instead, and if parsing later
+// requires the URL the fetch reissues with a full fresh budget.
+func (l *Load) onFetchFailed(e *Entry, reason string) {
+	l.failedFetches++
+	if l.Cfg.OnFetchFailure != nil {
+		l.Cfg.OnFetchFailure(e.URL, reason)
+	}
+	if e.Required && e.attempts < l.Cfg.Retry.maxAttempts() {
+		l.retries++
+		l.Eng.ScheduleAfter(l.Cfg.Retry.backoff(e.attempts), "retry@"+e.URL.String(), func() {
+			if e.State != StateInFlight {
+				return
+			}
+			l.fetchAttempt(e)
+		})
+		return
+	}
+	l.giveUp(e, reason)
+}
+
+// giveUp retires an entry whose retry budget is exhausted (for advisory
+// prefetches, after the single attempt they get). The invariant: a failed
+// fetch must never block parse/execute progress.
+//
+//   - A required resource degrades to an error body — the page renders
+//     without it rather than hanging (browsers fire onerror and move on).
+//   - An advisory (hinted) prefetch reverts to vanilla discovery: the entry
+//     returns to StateKnown so that if parsing later requires the URL, the
+//     fetch is reissued with a fresh budget.
+func (l *Load) giveUp(e *Entry, reason string) {
+	if e.Hinted {
+		l.hintsFailed++
+	}
+	if e.Required {
+		l.deliver(e, &Fetched{URL: e.URL, Failed: true, FailReason: reason})
+		return
+	}
+	e.State = StateKnown
+	e.attempts = 0
+	l.Sched.OnArrived(l, e) // retire the issue so stages advance past it
+}
+
+// clearTimeout cancels an entry's pending attempt timeout, if any.
+func (l *Load) clearTimeout(e *Entry) {
+	if e.timeoutEv != nil {
+		l.Eng.Cancel(e.timeoutEv)
+		e.timeoutEv = nil
+	}
 }
 
 // PushPromise records a server's announcement that it will push u; the
-// browser will not issue its own request for a promised resource.
+// browser will not issue its own request for a promised resource. There is
+// no timer on a promise: every way a push can die in the network (stalled,
+// 5xx, truncated stream) reports back through PushFailed, and a slow push
+// that is merely queued behind other responses will arrive.
 func (l *Load) PushPromise(u urlutil.URL) {
 	e := l.Entry(u)
-	if e.State == StateKnown {
-		e.State = StateInFlight
-		e.Pushed = true
-		e.RequestedAt = l.Eng.Now()
+	if e.State != StateKnown {
+		return
+	}
+	e.State = StateInFlight
+	e.Pushed = true
+	e.RequestedAt = l.Eng.Now()
+}
+
+// PushFailed tells the browser a promised push died before delivering (the
+// server stream was reset). The entry re-enters the normal fetch path.
+func (l *Load) PushFailed(u urlutil.URL, reason string) {
+	e := l.Entry(u)
+	if e.State != StateInFlight {
+		return
+	}
+	l.failedFetches++
+	if l.Cfg.OnFetchFailure != nil {
+		l.Cfg.OnFetchFailure(u, reason)
+	}
+	l.pushBroken(e)
+}
+
+// pushBroken recovers an entry whose promised push never delivered: it
+// returns to StateKnown, and if the page already required it the scheduler
+// is re-asked so the fetch goes out client-initiated.
+func (l *Load) pushBroken(e *Entry) {
+	l.clearTimeout(e)
+	e.State = StateKnown
+	e.attempts = 0
+	if e.Required {
+		l.Sched.OnRequired(l, e)
 	}
 }
 
@@ -291,11 +501,14 @@ func (l *Load) PushArrived(f *Fetched) {
 	l.deliver(e, f)
 }
 
-// deliver finalizes arrival of a response (fetched, pushed, or cache hit).
+// deliver finalizes arrival of a response (fetched, pushed, cache hit, or
+// an exhausted-retries error body).
 func (l *Load) deliver(e *Entry, f *Fetched) {
 	if e.State == StateArrived || e.State == StateProcessed {
 		return
 	}
+	l.clearTimeout(e)
+	e.abort = nil
 	e.State = StateArrived
 	e.ArrivedAt = l.Eng.Now()
 	e.Res = f.Res
@@ -303,11 +516,19 @@ func (l *Load) deliver(e *Entry, f *Fetched) {
 	if f.Pushed {
 		e.Pushed = true
 	}
+	if e.Hinted && f.Res == nil && !f.NotModified && !f.Failed && f.RedirectTo.Host == "" {
+		l.hintsFailed++ // stale hint: the server 404ed the prefetch
+	}
 	if l.Cfg.Cache != nil && f.Res != nil && f.Res.Cacheable {
 		l.Cfg.Cache.Put(e.URL.String(), f.Res, l.Eng.Now())
 	}
 	for _, h := range f.Hints {
 		l.Hint(h)
+	}
+	if f.RedirectTo.Host != "" {
+		// A stale hint that redirects: follow to the fresh URL as a new
+		// hint-driven prefetch, paying the extra round trip.
+		l.Hint(hints.Hint{URL: f.RedirectTo, Priority: e.Priority})
 	}
 	if e.Required {
 		l.beginProcessing(e)

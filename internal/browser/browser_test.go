@@ -24,7 +24,7 @@ type fakeTransport struct {
 	log []string
 }
 
-func (ft *fakeTransport) Fetch(u urlutil.URL, done func(*Fetched)) {
+func (ft *fakeTransport) Fetch(u urlutil.URL, started func(), done func(*Fetched)) func() {
 	ft.log = append(ft.log, u.String())
 	d := ft.delay
 	if o, ok := ft.perURL[u.String()]; ok {
@@ -38,6 +38,7 @@ func (ft *fakeTransport) Fetch(u urlutil.URL, done func(*Fetched)) {
 		}
 		done(&Fetched{URL: u, Res: res, Size: res.Size})
 	})
+	return nil
 }
 
 func loadSite(t *testing.T, cfg Config, sched Scheduler, delay time.Duration) (*Load, *fakeTransport) {

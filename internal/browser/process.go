@@ -184,6 +184,17 @@ func (l *Load) advanceDoc(doc *docState) {
 		l.advanceDoc(doc)
 		return
 	}
+	if e.Res == nil {
+		// The script's fetch failed terminally: nothing to execute. Wait
+		// for its error-body task to retire the entry, then move on — the
+		// parser must not hang on a dead script.
+		doc.waiting = true
+		l.onProcessed(e, func() {
+			doc.waiting = false
+			l.advanceDoc(doc)
+		})
+		return
+	}
 	doc.running = true
 	c := l.Cfg.costs()
 	gate := step.cssGate

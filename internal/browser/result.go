@@ -46,9 +46,19 @@ type Result struct {
 	// speculative fetches (hints/pushes) the page never needed.
 	BytesFetched int64
 	WastedBytes  int64
-	NumRequired  int
-	NumFetched   int
-	Resources    []ResourceTiming
+	// WastedPushBytes are delivered push bytes the page never required —
+	// the server burned client bandwidth on them.
+	WastedPushBytes int64
+	// Fault/degradation counters: retries issued, attempt timeouts fired,
+	// terminal per-attempt failures observed, and hinted prefetches that
+	// failed or 404ed (degrading to vanilla discovery).
+	Retries       int
+	Timeouts      int
+	FailedFetches int
+	HintsFailed   int
+	NumRequired   int
+	NumFetched    int
+	Resources     []ResourceTiming
 }
 
 // Result computes the load summary. It must be called after the load
@@ -68,12 +78,19 @@ func (l *Load) Result() Result {
 		}
 		r.IdleFrac = float64(idle) / float64(r.PLT)
 	}
+	r.Retries = l.retries
+	r.Timeouts = l.timeouts
+	r.FailedFetches = l.failedFetches
+	r.HintsFailed = l.hintsFailed
 	for _, e := range l.Entries() {
 		if e.State == StateArrived || e.State == StateProcessed {
 			r.NumFetched++
 			r.BytesFetched += int64(e.Size)
 			if !e.Required {
 				r.WastedBytes += int64(e.Size)
+				if e.Pushed {
+					r.WastedPushBytes += int64(e.Size)
+				}
 			}
 		}
 		rt := ResourceTiming{

@@ -23,7 +23,7 @@ type recordingTransport struct {
 	}
 }
 
-func (rt *recordingTransport) Fetch(u urlutil.URL, done func(*browser.Fetched)) {
+func (rt *recordingTransport) Fetch(u urlutil.URL, started func(), done func(*browser.Fetched)) func() {
 	rt.log = append(rt.log, struct {
 		url string
 		at  time.Time
@@ -35,6 +35,7 @@ func (rt *recordingTransport) Fetch(u urlutil.URL, done func(*browser.Fetched)) 
 		}
 		done(&browser.Fetched{URL: u, Size: 100})
 	})
+	return nil
 }
 
 func TestStagedSchedulerHoldsLowUntilHighDone(t *testing.T) {
@@ -85,6 +86,63 @@ func TestStagedSchedulerHoldsLowUntilHighDone(t *testing.T) {
 	if !lowAt.After(highAt.Add(tr.delay - time.Millisecond)) {
 		t.Errorf("low hint fetched before high stage drained: low at %v, high at %v (+%v delay)",
 			lowAt.Sub(rootAt), highAt.Sub(rootAt), tr.delay)
+	}
+}
+
+// TestStagedSchedulerHinted404DoesNotBlock is the graceful-degradation
+// regression test for stale hints: a hinted URL the server 404s (error body,
+// no content) must not deadlock the staged scheduler's stage gates, must not
+// count toward the page's required work, and must not move PLT beyond the
+// cost of the wasted fetch itself.
+func TestStagedSchedulerHinted404DoesNotBlock(t *testing.T) {
+	site := webpage.NewSite("stagetest", webpage.Top100, 99)
+	sn := site.Snapshot(trainTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}, 1)
+	const delay = 50 * time.Millisecond
+	stale := urlutil.MustParse("https://static.stagetest.com/js/gone-404.js")
+
+	run := func(withStaleHint bool) browser.Result {
+		eng := event.New(trainTime)
+		tr := &recordingTransport{eng: eng, sn: sn, delay: delay}
+		l := browser.NewLoad(eng, tr, browser.Config{}, NewStagedScheduler(), sn.Root)
+		l.Start()
+		if withStaleHint {
+			// High priority on purpose: Semi and Low stages gate on the
+			// high stage draining, so a wedged 404 would deadlock here.
+			l.Hint(hints.Hint{URL: stale, Priority: hints.High})
+		}
+		if _, err := eng.Run(3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if !l.Finished() {
+			t.Fatalf("load wedged (withStaleHint=%v): %s", withStaleHint, l)
+		}
+		if withStaleHint {
+			e := l.Entry(stale)
+			if e == nil {
+				t.Fatal("hinted entry missing")
+			}
+			if e.Required {
+				t.Error("404ed hint marked required")
+			}
+		}
+		return l.Result()
+	}
+
+	clean := run(false)
+	faulted := run(true)
+	if faulted.NumRequired != clean.NumRequired {
+		t.Errorf("stale hint changed required count: %d vs %d", faulted.NumRequired, clean.NumRequired)
+	}
+	if faulted.HintsFailed != 1 {
+		t.Errorf("HintsFailed = %d, want 1", faulted.HintsFailed)
+	}
+	if faulted.WastedBytes == 0 {
+		t.Error("404 error body not counted as waste")
+	}
+	// The 404 occupies the high stage for one round trip at worst; it must
+	// not cascade into the load's critical path beyond that.
+	if faulted.PLT > clean.PLT+2*delay {
+		t.Errorf("stale hint inflated PLT: %v vs %v", faulted.PLT, clean.PLT)
 	}
 }
 

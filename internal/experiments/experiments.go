@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vroom/internal/browser"
+	"vroom/internal/faults"
 	"vroom/internal/metrics"
 	"vroom/internal/runner"
 	"vroom/internal/webpage"
@@ -29,6 +30,10 @@ type Options struct {
 	// LoadsPerSite takes the median over this many back-to-back loads
 	// (the paper uses 3).
 	LoadsPerSite int
+	// FaultRegime subjects every measured load to seeded fault injection
+	// (cmd/vroom-bench -faults). The plans derive from Seed, so results
+	// stay reproducible. RegimeNone (the zero value) is the perfect world.
+	FaultRegime faults.Regime
 }
 
 // DefaultOptions reproduces the paper's scale.
@@ -87,8 +92,12 @@ type Result struct {
 func medianLoad(site *webpage.Site, pol runner.Policy, o Options, cache *browser.Cache) (browser.Result, error) {
 	var results []browser.Result
 	for i := 0; i < o.LoadsPerSite; i++ {
+		var plan *faults.Plan
+		if o.FaultRegime != faults.RegimeNone {
+			plan = faults.New(faultSeed(o.Seed, site.Name, uint64(i+1)), faults.RegimeConfig(o.FaultRegime))
+		}
 		r, err := runner.Run(site, pol, runner.Options{
-			Time: o.Time, Profile: o.Profile, Nonce: uint64(i + 1), Cache: cache,
+			Time: o.Time, Profile: o.Profile, Nonce: uint64(i + 1), Cache: cache, Faults: plan,
 		})
 		if err != nil {
 			return browser.Result{}, err

@@ -24,6 +24,7 @@ var Registry = map[string]Runner{
 	"fig21": Fig21,
 	"ext01": Ext01,
 	"ext02": Ext02,
+	"ext03": Ext03,
 }
 
 // IDs returns the registered figure IDs in order.

@@ -86,40 +86,78 @@ func Format(hs []Hint) map[string][]string {
 	return out
 }
 
-// Parse reconstructs hints from HTTP headers produced by Format. Unparsable
-// entries are skipped; order within each priority class is preserved.
+// Limits applied while parsing untrusted headers. Hints are advisory, so a
+// hostile or corrupted response must not be able to balloon the client's
+// bookkeeping: entries past MaxHints and URLs longer than MaxURLLen are
+// dropped rather than rejected wholesale.
+const (
+	// MaxHints bounds the total number of hints Parse returns. Real pages
+	// top out in the low hundreds of resources; anything past this is junk.
+	MaxHints = 512
+	// MaxURLLen bounds a single hinted URL, matching common server-side
+	// request-line limits.
+	MaxURLLen = 4096
+)
+
+// Parse reconstructs hints from HTTP headers produced by Format. Parsing is
+// defensive — hint headers cross the network and may be truncated, duplicated
+// or hostile. Unparsable and oversized entries are skipped, duplicate URLs
+// keep only their first (highest-priority) occurrence, and the result is
+// capped at MaxHints. Order within each priority class is preserved.
 func Parse(headers map[string][]string) []Hint {
 	var hs []Hint
+	seen := make(map[urlutil.URL]bool)
+	add := func(u urlutil.URL, p Priority) {
+		if len(hs) >= MaxHints || seen[u] {
+			return
+		}
+		seen[u] = true
+		hs = append(hs, Hint{URL: u, Priority: p})
+	}
 	for _, v := range headers[HeaderLink] {
 		if u, ok := parseLinkPreload(v); ok {
-			hs = append(hs, Hint{URL: u, Priority: High})
+			add(u, High)
 		}
 	}
 	for _, v := range headers[HeaderSemi] {
-		if u, err := urlutil.Parse(v); err == nil {
-			hs = append(hs, Hint{URL: u, Priority: Semi})
+		if u, ok := parsePlainURL(v); ok {
+			add(u, Semi)
 		}
 	}
 	for _, v := range headers[HeaderLow] {
-		if u, err := urlutil.Parse(v); err == nil {
-			hs = append(hs, Hint{URL: u, Priority: Low})
+		if u, ok := parsePlainURL(v); ok {
+			add(u, Low)
 		}
 	}
 	return hs
 }
 
-// parseLinkPreload parses a single `<url>; rel=preload` Link value.
+// parsePlainURL parses a bare-URL header value with the size cap applied.
+func parsePlainURL(v string) (urlutil.URL, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" || len(v) > MaxURLLen {
+		return urlutil.URL{}, false
+	}
+	u, err := urlutil.Parse(v)
+	if err != nil {
+		return urlutil.URL{}, false
+	}
+	return u, true
+}
+
+// parseLinkPreload parses a single `<url>; rel=preload` Link value. The rel
+// parameter is matched as a whole token — `rel=preloader` or a `rel=` list
+// that merely contains the substring does not qualify.
 func parseLinkPreload(v string) (urlutil.URL, bool) {
 	v = strings.TrimSpace(v)
 	if !strings.HasPrefix(v, "<") {
 		return urlutil.URL{}, false
 	}
 	end := strings.IndexByte(v, '>')
-	if end < 0 {
+	if end < 0 || end-1 > MaxURLLen {
 		return urlutil.URL{}, false
 	}
-	rest := strings.ToLower(v[end+1:])
-	if !strings.Contains(rest, "rel=preload") && !strings.Contains(rest, `rel="preload"`) {
+	if !relIsPreload(v[end+1:]) {
 		return urlutil.URL{}, false
 	}
 	u, err := urlutil.Parse(v[1:end])
@@ -127,4 +165,25 @@ func parseLinkPreload(v string) (urlutil.URL, bool) {
 		return urlutil.URL{}, false
 	}
 	return u, true
+}
+
+// relIsPreload reports whether the parameter list after the <url> part
+// carries rel=preload. RFC 8288 rel values are space-separated lists and may
+// be quoted; empty rel values never match.
+func relIsPreload(params string) bool {
+	for _, param := range strings.Split(params, ";") {
+		param = strings.TrimSpace(param)
+		k, val, ok := strings.Cut(param, "=")
+		if !ok || !strings.EqualFold(strings.TrimSpace(k), "rel") {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		val = strings.Trim(val, `"`)
+		for _, rel := range strings.Fields(val) {
+			if strings.EqualFold(rel, "preload") {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -2,6 +2,7 @@ package hints
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -86,5 +87,72 @@ func TestParseIgnoresGarbage(t *testing.T) {
 func TestEmptyFormat(t *testing.T) {
 	if h := Format(nil); len(h) != 0 {
 		t.Fatalf("empty hints produced headers: %v", h)
+	}
+}
+
+func TestParseRelTokenMatching(t *testing.T) {
+	cases := []struct {
+		value string
+		want  bool
+	}{
+		{"<https://a.com/x.js>; rel=preload", true},
+		{`<https://a.com/x.js>; rel="preload"`, true},
+		{`<https://a.com/x.js>; rel="preload prefetch"`, true},
+		{`<https://a.com/x.js>; rel="prefetch preload"; as=script`, true},
+		{"<https://a.com/x.js>; REL=Preload", true},
+		{"<https://a.com/x.js>; rel=preloader", false},
+		{`<https://a.com/x.js>; rel="preloader"`, false},
+		{"<https://a.com/x.js>; rel=", false},
+		{`<https://a.com/x.js>; rel=""`, false},
+		{"<https://a.com/x.js>; as=preload", false},
+		{"<https://a.com/x.js>", false},
+	}
+	for _, c := range cases {
+		out := Parse(map[string][]string{HeaderLink: {c.value}})
+		if got := len(out) == 1; got != c.want {
+			t.Errorf("Parse(%q) accepted=%v, want %v", c.value, got, c.want)
+		}
+	}
+}
+
+func TestParseDeduplicates(t *testing.T) {
+	headers := map[string][]string{
+		HeaderLink: {
+			"<https://a.com/x.js>; rel=preload",
+			"<https://a.com/x.js>; rel=preload", // exact duplicate
+		},
+		HeaderSemi: {"https://a.com/x.js"}, // same URL, lower priority
+		HeaderLow:  {"https://a.com/x.js", "https://a.com/i.jpg"},
+	}
+	out := Parse(headers)
+	if len(out) != 2 {
+		t.Fatalf("parsed %d hints, want 2: %v", len(out), out)
+	}
+	if out[0].Priority != High {
+		t.Errorf("duplicate kept lower priority: %v", out[0])
+	}
+}
+
+func TestParseCapsHintCount(t *testing.T) {
+	var low []string
+	for i := 0; i < MaxHints+100; i++ {
+		low = append(low, (&urlutil.URL{Scheme: "https", Host: "a.com", Path: "/r", Query: "i=" + string(rune('0'+i%10)) + string(rune('a'+i/10%26)) + string(rune('a'+i/260))}).String())
+	}
+	out := Parse(map[string][]string{HeaderLow: low})
+	if len(out) > MaxHints {
+		t.Fatalf("parsed %d hints, cap is %d", len(out), MaxHints)
+	}
+}
+
+func TestParseCapsURLLength(t *testing.T) {
+	long := "https://a.com/" + strings.Repeat("x", MaxURLLen)
+	headers := map[string][]string{
+		HeaderLink: {"<" + long + ">; rel=preload"},
+		HeaderSemi: {long},
+		HeaderLow:  {long, "https://a.com/ok.jpg"},
+	}
+	out := Parse(headers)
+	if len(out) != 1 || out[0].URL.Path != "/ok.jpg" {
+		t.Fatalf("oversized URLs not dropped: %v", out)
 	}
 }

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters accumulates named event counts — retries, timeouts, wasted-push
+// bytes, injected faults — across the loads of an experiment, for the
+// report alongside the PLT distributions.
+type Counters struct {
+	counts map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{counts: make(map[string]int64)} }
+
+// Add increments a named counter.
+func (c *Counters) Add(name string, n int64) {
+	if n == 0 {
+		return
+	}
+	c.counts[name] += n
+}
+
+// Get returns a counter's value (zero if never added).
+func (c *Counters) Get(name string) int64 { return c.counts[name] }
+
+// Touch ensures a counter exists so it renders even at zero. Add skips
+// zero increments to keep incidental counters out of reports, but headline
+// counters (retries, timeouts, wasted-push bytes) should read "=0" rather
+// than vanish when nothing fired.
+func (c *Counters) Touch(name string) {
+	if _, ok := c.counts[name]; !ok {
+		c.counts[name] = 0
+	}
+}
+
+// Names returns the counter names, sorted.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.counts))
+	for name := range c.counts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "name=value" pairs sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.counts[name])
+	}
+	return b.String()
+}

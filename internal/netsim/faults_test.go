@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"vroom/internal/event"
+	"vroom/internal/faults"
+	"vroom/internal/urlutil"
+)
+
+// faultConfig returns a test network wired to a plan with the given rates.
+func faultNet(t *testing.T, cfg faults.Config) (*event.Engine, *Net, *faults.Plan) {
+	t.Helper()
+	eng := event.New(start)
+	c := testConfig(HTTP2)
+	plan := faults.New(1, cfg)
+	c.Faults = plan
+	return eng, New(eng, c), plan
+}
+
+func TestOutageRefusesConnection(t *testing.T) {
+	eng, n, _ := faultNet(t, faults.Config{
+		OriginOutageFrac: 1, OutageMaxStart: 0, OutageDuration: time.Minute,
+	})
+	var reason string
+	var doneAt time.Time
+	req := n.Do(urlutil.MustParse("https://dead.com/x.js"), func(rt *RoundTrip) {
+		t.Fatal("request reached a dead origin")
+	})
+	req.OnFail = func(r string) { reason = r; doneAt = eng.Now() }
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if reason != "connect-refused" {
+		t.Fatalf("reason = %q", reason)
+	}
+	// The refusal costs one RTT (SYN out, RST back), not a timeout.
+	if d := doneAt.Sub(start); d != 100*time.Millisecond {
+		t.Fatalf("refused after %v, want 100ms", d)
+	}
+	if !n.Idle() {
+		t.Fatal("network not idle after refusal")
+	}
+}
+
+func TestErrorResponseFailsAfterSmallBody(t *testing.T) {
+	eng, n, _ := faultNet(t, faults.Config{ErrorRate: 1})
+	var reason string
+	req := n.Do(urlutil.MustParse("https://a.com/x.js"), func(rt *RoundTrip) {
+		rt.Respond(1e6, 0, func() { t.Fatal("done fired for a 5xx") })
+	})
+	req.OnFail = func(r string) { reason = r }
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if reason != "http-error" {
+		t.Fatalf("reason = %q", reason)
+	}
+	// Only the short error body crossed the link, not the 1 MB payload.
+	if n.BytesDelivered >= 1e6 {
+		t.Fatalf("5xx delivered full body: %d bytes", n.BytesDelivered)
+	}
+}
+
+func TestTruncatedTransferDeliversPartialBytes(t *testing.T) {
+	eng, n, _ := faultNet(t, faults.Config{TruncateRate: 1})
+	var reason string
+	req := n.Do(urlutil.MustParse("https://a.com/big.js"), func(rt *RoundTrip) {
+		rt.Respond(1e6, 0, func() { t.Fatal("done fired for a truncated transfer") })
+	})
+	req.OnFail = func(r string) { reason = r }
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if reason != "truncated" {
+		t.Fatalf("reason = %q", reason)
+	}
+	if n.BytesDelivered == 0 || n.BytesDelivered >= 1e6 {
+		t.Fatalf("truncated transfer delivered %d bytes, want partial", n.BytesDelivered)
+	}
+}
+
+func TestStalledResponseNeverCompletesUntilAborted(t *testing.T) {
+	cfg := faults.Config{StallRate: 1}
+	eng := event.New(start)
+	c := testConfig(HTTP2)
+	c.SerializeResponses = true
+	c.Faults = faults.New(1, cfg)
+	n := New(eng, c)
+
+	var stalledDone, victimDone bool
+	stalled := n.Do(urlutil.MustParse("https://a.com/stall.js"), func(rt *RoundTrip) {
+		rt.Respond(1000, 0, func() { stalledDone = true })
+	})
+	// Exempt the second URL so only the first stalls; it queues behind the
+	// stalled head on the serialized connection.
+	victim := urlutil.MustParse("https://a.com/after.css")
+	c.Faults.ExemptURL(victim)
+	n.Do(victim, func(rt *RoundTrip) {
+		rt.Respond(1000, 0, func() { victimDone = true })
+	})
+
+	// Without an abort the stalled head wedges the whole connection.
+	eng.RunUntil(start.Add(5 * time.Second))
+	if stalledDone || victimDone {
+		t.Fatal("stalled or blocked response completed without an abort")
+	}
+	// The abort (client timeout's stream reset) frees the line.
+	stalled.Abort()
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if stalledDone {
+		t.Fatal("aborted response completed")
+	}
+	if !victimDone {
+		t.Fatal("abort did not unwedge the serialized connection")
+	}
+	if !n.Idle() {
+		t.Fatal("network not idle after abort")
+	}
+}
+
+func TestStalledPushDiesInsteadOfWedging(t *testing.T) {
+	eng, n, plan := faultNet(t, faults.Config{StallRate: 1})
+	u := urlutil.MustParse("https://a.com/index.html")
+	plan.ExemptURL(u)
+	var pushFailReason string
+	var mainDone bool
+	n.Do(u, func(rt *RoundTrip) {
+		rt.Push(urlutil.MustParse("https://a.com/style.css"), 2000, 0,
+			func() { t.Fatal("stalled push completed") },
+			func(r string) { pushFailReason = r })
+		rt.Respond(2000, 0, func() { mainDone = true })
+	})
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if pushFailReason != "stalled" {
+		t.Fatalf("push fail reason = %q", pushFailReason)
+	}
+	if !mainDone {
+		t.Fatal("main response blocked by a dead push stream")
+	}
+}
+
+func TestBrownoutDelaysFirstByte(t *testing.T) {
+	run := func(cfg faults.Config) time.Duration {
+		eng := event.New(start)
+		c := testConfig(HTTP2)
+		c.Faults = faults.New(1, cfg)
+		n := New(eng, c)
+		var doneAt time.Time
+		n.Do(urlutil.MustParse("https://slow.com/x.js"), echoServer(1000, 0, func(at time.Time) { doneAt = at }, eng))
+		if _, err := eng.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if doneAt.IsZero() {
+			t.Fatal("transfer never completed")
+		}
+		return doneAt.Sub(start)
+	}
+	clean := run(faults.Config{})
+	browned := run(faults.Config{BrownoutFrac: 1, BrownoutMaxDelay: 800 * time.Millisecond})
+	if browned <= clean+100*time.Millisecond {
+		t.Fatalf("brownout had no effect: %v vs %v", browned, clean)
+	}
+}
+
+func TestAbortBeforeDispatchDropsRequest(t *testing.T) {
+	eng := event.New(start)
+	n := New(eng, testConfig(HTTP2))
+	served := false
+	req := n.Do(urlutil.MustParse("https://a.com/x.js"), func(rt *RoundTrip) {
+		served = true
+		rt.Respond(100, 0, nil)
+	})
+	req.Abort()
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if served {
+		t.Fatal("aborted request reached the server")
+	}
+	if !n.Idle() {
+		t.Fatal("network not idle after early abort")
+	}
+}
+
+func TestAbortFreesHTTP1Connection(t *testing.T) {
+	cfg := testConfig(HTTP1)
+	cfg.MaxConnsPerOrigin = 1
+	cfg.Faults = faults.New(1, faults.Config{StallRate: 1})
+	eng := event.New(start)
+	n := New(eng, cfg)
+	stall := n.Do(urlutil.MustParse("https://a.com/stall"), func(rt *RoundTrip) {
+		rt.Respond(1000, 0, func() { t.Fatal("stalled flow completed") })
+	})
+	next := urlutil.MustParse("https://a.com/next")
+	cfg.Faults.ExemptURL(next)
+	var nextDone bool
+	n.Do(next, func(rt *RoundTrip) {
+		rt.Respond(1000, 0, func() { nextDone = true })
+	})
+	eng.RunUntil(start.Add(2 * time.Second))
+	if nextDone {
+		t.Fatal("second request completed while the connection was wedged")
+	}
+	stall.Abort()
+	if _, err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !nextDone {
+		t.Fatal("abort did not free the HTTP/1.1 connection")
+	}
+}

@@ -17,9 +17,11 @@ package netsim
 import (
 	"hash/fnv"
 	"math"
+	"sort"
 	"time"
 
 	"vroom/internal/event"
+	"vroom/internal/faults"
 	"vroom/internal/urlutil"
 )
 
@@ -83,6 +85,10 @@ type Config struct {
 	// (Mahimahi-style); DownlinkBytesPerSec is ignored while a trace
 	// sample is in effect.
 	Trace *RateTrace
+	// Faults, when set, injects the plan's network-level failures: origin
+	// outages refuse new requests, brown-outs delay first bytes, and
+	// responses may stall or truncate. Nil injects nothing.
+	Faults *faults.Plan
 }
 
 // LTEDefaults returns the configuration used throughout the evaluation: a
@@ -110,11 +116,13 @@ type Net struct {
 	dns     map[string]time.Time // host -> resolution completion
 
 	activeConns map[*conn]struct{}
+	connSeq     uint64
 	lastUpdate  time.Time
 
 	completion *event.Event
 	traceTick  *event.Event
 	traceStart time.Time
+	start      time.Time
 
 	// BytesDelivered counts response payload bytes fully delivered.
 	BytesDelivered int64
@@ -142,6 +150,7 @@ func New(eng *event.Engine, cfg Config) *Net {
 		activeConns: make(map[*conn]struct{}),
 		lastUpdate:  eng.Now(),
 		traceStart:  eng.Now(),
+		start:       eng.Now(),
 	}
 }
 
@@ -176,7 +185,7 @@ func (n *Net) queueDelay() time.Duration {
 		return 0
 	}
 	var backlog float64
-	for c := range n.activeConns {
+	for _, c := range n.activeSorted() {
 		for _, f := range c.transferring() {
 			backlog += f.remaining
 		}
@@ -199,36 +208,99 @@ type RoundTrip struct {
 
 	net  *Net
 	conn *conn
+	req  *Request
+}
+
+// Request is the client's handle on an issued request. It exposes the
+// failure path that fault injection opens up: OnFail fires at most once if
+// the request dies (connection refused, 5xx, truncated transfer), and
+// Abort cancels it from the client side — the stream-reset analog that
+// rescues a serialized connection wedged behind a stalled response.
+type Request struct {
+	url urlutil.URL
+	net *Net
+
+	// OnFail, if set, is invoked (at most once, in simulated time) when the
+	// request fails terminally. It is not invoked for Abort: the caller
+	// already knows.
+	OnFail func(reason string)
+
+	// OnStart, if set, is invoked when the response headers reach the
+	// client — the transfer is live even if the body is still queued
+	// behind other responses. Clients use it to disarm their timeouts.
+	OnStart func()
+
+	aborted bool
+	failed  bool
+	flow    *flow
+}
+
+// fail marks the request terminally failed and notifies the client.
+func (r *Request) fail(reason string) {
+	if r == nil || r.failed || r.aborted {
+		return
+	}
+	r.failed = true
+	if r.OnFail != nil {
+		r.OnFail(reason)
+	}
+}
+
+// Abort cancels the request from the client side. Any queued or in-flight
+// response flow is dropped — freeing a serialized connection blocked behind
+// it — and no further callbacks fire. Safe to call at any point, including
+// after completion or failure (then a no-op).
+func (r *Request) Abort() {
+	if r == nil || r.aborted || r.failed {
+		return
+	}
+	r.aborted = true
+	if r.flow != nil {
+		r.flow.conn.abortFlow(r.flow)
+		r.flow = nil
+	}
 }
 
 // Do issues a request for u. onServer is invoked (in simulated time) when
 // the request reaches the origin server; the handler must eventually call
 // Respond or Push on the RoundTrip. Pushed responses created by the handler
-// share the same connection.
-func (n *Net) Do(u urlutil.URL, onServer func(*RoundTrip)) {
+// share the same connection. The returned Request carries the failure and
+// abort path; callers that predate fault injection may ignore it.
+func (n *Net) Do(u urlutil.URL, onServer func(*RoundTrip)) *Request {
+	r := &Request{url: u, net: n}
+	if n.cfg.Faults.OriginDown(u.Origin(), n.eng.Now().Sub(n.start)) {
+		// Connection refused: the SYN's RST comes back after one RTT.
+		n.eng.ScheduleAfter(n.RTT(u.Host), "refused@"+u.String(), func() {
+			r.fail("connect-refused")
+		})
+		return r
+	}
 	o := n.origin(u)
-	req := &pendingReq{url: u, issued: n.eng.Now(), onServer: onServer}
+	req := &pendingReq{url: u, issued: n.eng.Now(), onServer: onServer, req: r}
 	o.pending = append(o.pending, req)
 	n.dispatch(o)
+	return r
 }
 
 // Respond queues size bytes of response after thinkTime of server-side
 // processing. done fires when the client has received the last byte.
 func (rt *RoundTrip) Respond(size int, thinkTime time.Duration, done func()) {
-	rt.net.respond(rt.conn, rt.URL, size, thinkTime, done)
+	rt.net.respond(rt.conn, rt.URL, size, thinkTime, done, rt.req, nil)
 }
 
 // Push queues a server-initiated response for u on the same connection
 // (HTTP/2 PUSH). It is subject to the same ordering and bandwidth sharing
-// as regular responses.
-func (rt *RoundTrip) Push(u urlutil.URL, size int, thinkTime time.Duration, done func()) {
-	rt.net.respond(rt.conn, u, size, thinkTime, done)
+// as regular responses. fail, if non-nil, fires when the pushed stream dies
+// instead of completing (injected fault); done then never fires.
+func (rt *RoundTrip) Push(u urlutil.URL, size int, thinkTime time.Duration, done func(), fail func(reason string)) {
+	rt.net.respond(rt.conn, u, size, thinkTime, done, nil, fail)
 }
 
 type pendingReq struct {
 	url      urlutil.URL
 	issued   time.Time
 	onServer func(*RoundTrip)
+	req      *Request
 }
 
 type origin struct {
@@ -241,6 +313,7 @@ type origin struct {
 type conn struct {
 	origin  *origin
 	net     *Net
+	seq     uint64    // creation order, for deterministic iteration
 	readyAt time.Time // handshake completion
 	// busy marks an HTTP/1.1 connection with an outstanding request.
 	busy bool
@@ -328,6 +401,10 @@ func (n *Net) connLimit() int {
 // dispatch assigns pending requests to connections.
 func (n *Net) dispatch(o *origin) {
 	for len(o.pending) > 0 {
+		if r := o.pending[0].req; r != nil && (r.aborted || r.failed) {
+			o.pending = o.pending[1:]
+			continue
+		}
 		c := n.pickConn(o)
 		if c == nil {
 			return // all connections busy (HTTP/1.1)
@@ -370,7 +447,8 @@ func (n *Net) openConn(o *origin) *conn {
 	// Each handshake round trip's downlink leg queues behind backlogged
 	// response data.
 	handshakes := time.Duration(1+n.cfg.TLSRoundTrips) * (rtt + n.queueDelay())
-	c := &conn{origin: o, net: n, readyAt: dnsReady.Add(handshakes), cwnd: n.cfg.InitCwndBytes}
+	n.connSeq++
+	c := &conn{origin: o, net: n, seq: n.connSeq, readyAt: dnsReady.Add(handshakes), cwnd: n.cfg.InitCwndBytes}
 	o.conns = append(o.conns, c)
 	return c
 }
@@ -385,28 +463,132 @@ func (n *Net) sendRequest(c *conn, req *pendingReq) {
 	}
 	arrive := start.Add(n.RTT(c.origin.host)/2 + n.queueDelay())
 	n.eng.Schedule(arrive, "req@"+req.url.String(), func() {
-		req.onServer(&RoundTrip{URL: req.url, RequestedAt: req.issued, ServerAt: n.eng.Now(), net: n, conn: c})
+		if r := req.req; r != nil && (r.aborted || r.failed) {
+			n.freeH1(c)
+			return
+		}
+		req.onServer(&RoundTrip{URL: req.url, RequestedAt: req.issued, ServerAt: n.eng.Now(), net: n, conn: c, req: req.req})
 	})
 }
 
-// respond enqueues a response flow on a connection.
-func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration, done func()) {
+// respond enqueues a response flow on a connection. req is the client's
+// handle for request/response pairs (nil for pushes); pushFail is the
+// failure callback for pushes (nil for request/response pairs). When a
+// fault plan is configured the response may instead 5xx, truncate, or
+// stall.
+func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration, done func(), req *Request, pushFail func(string)) {
+	if req != nil && (req.aborted || req.failed) {
+		// The client gave up while the request was in flight to the server.
+		n.freeH1(c)
+		return
+	}
 	if size <= 0 {
 		size = 1
 	}
+	deliver := done
+	failTo := func(reason string) func() {
+		if req != nil {
+			return func() { req.fail(reason) }
+		}
+		return func() {
+			if pushFail != nil {
+				pushFail(reason)
+			}
+		}
+	}
+	if p := n.cfg.Faults; p != nil {
+		switch p.ResponseVerdict(u) {
+		case faults.FaultError:
+			// 5xx: a short error body arrives in place of the content.
+			size = errorBodyBytes
+			deliver = failTo("http-error")
+		case faults.FaultTruncate:
+			// The connection dies mid-transfer: part of the body arrives,
+			// then the request fails.
+			size = int(float64(size) * p.TruncateFrac(u))
+			if size < 1 {
+				size = 1
+			}
+			deliver = failTo("truncated")
+		case faults.FaultStall:
+			if req == nil {
+				// A stalled push is a dead server stream; drop it so an
+				// un-abortable push can never wedge the connection. The
+				// reset reaches the client half an RTT out — after the
+				// PUSH_PROMISE, which travels the same path, so the client
+				// has the promised entry to recover.
+				if pushFail != nil {
+					rstAt := thinkTime + n.RTT(c.origin.host)/2
+					n.eng.ScheduleAfter(rstAt, "push-rst@"+u.String(), func() {
+						pushFail("stalled")
+					})
+				}
+				return
+			}
+			// The first byte never arrives. The flow sits unstarted on the
+			// connection — on a serialized connection everything queued
+			// behind it blocks too (head-of-line) — until the client's
+			// timeout aborts it.
+			f := &flow{conn: c, url: u, size: size, remaining: float64(size), done: done}
+			req.flow = f
+			c.flows = append(c.flows, f)
+			return
+		}
+	}
+	extraDelay := n.cfg.Faults.BrownoutDelay(u.Origin())
 	f := &flow{
 		conn:        c,
 		url:         u,
-		availableAt: n.eng.Now().Add(thinkTime).Add(n.RTT(c.origin.host)/2 + n.queueDelay()),
+		availableAt: n.eng.Now().Add(thinkTime).Add(extraDelay).Add(n.RTT(c.origin.host)/2 + n.queueDelay()),
 		size:        size,
 		remaining:   float64(size),
-		done:        done,
+		done:        deliver,
+	}
+	if req != nil {
+		req.flow = f
 	}
 	c.flows = append(c.flows, f)
+	if req != nil && req.OnStart != nil {
+		// Response headers are a handful of bytes and reach the client
+		// ~RTT/2 after the server starts sending; only the body queues
+		// behind the bufferbloated bulk backlog. OnStart marks the
+		// headers' arrival, so client timeouts distinguish a response that
+		// is merely queued from one that will never come.
+		headersAt := n.eng.Now().Add(thinkTime).Add(extraDelay).Add(n.RTT(c.origin.host) / 2)
+		n.eng.Schedule(headersAt, "resp-headers@"+u.String(), func() {
+			if !req.aborted && !req.failed {
+				req.OnStart()
+			}
+		})
+	}
 	n.eng.Schedule(f.availableAt, "resp-start@"+u.String(), func() {
 		f.started = true
 		n.recompute()
 	})
+}
+
+// errorBodyBytes is the size of a synthetic 5xx error body.
+const errorBodyBytes = 512
+
+// freeH1 releases an HTTP/1.1 connection whose in-flight request died
+// before a response flow existed, and re-dispatches queued requests.
+func (n *Net) freeH1(c *conn) {
+	if n.cfg.Protocol == HTTP1 && c.busy {
+		c.busy = false
+		n.eng.ScheduleAfter(0, "h1-next", func() { n.dispatch(c.origin) })
+	}
+}
+
+// abortFlow drops an aborted request's response flow, if it is still queued
+// or transferring, and reassigns rates.
+func (c *conn) abortFlow(f *flow) {
+	for _, g := range c.flows {
+		if g == f {
+			c.removeFlow(f)
+			c.net.recompute()
+			return
+		}
+	}
 }
 
 // transferring returns the flows currently consuming bandwidth on c.
@@ -431,6 +613,18 @@ func (c *conn) transferring() []*flow {
 	return out
 }
 
+// activeSorted returns the active connections in creation order. Iterating
+// the activeConns map directly would randomize completion-callback order and
+// float accumulation order, breaking run-to-run determinism.
+func (n *Net) activeSorted() []*conn {
+	out := make([]*conn, 0, len(n.activeConns))
+	for c := range n.activeConns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
 // recompute advances all in-flight transfers to the current instant,
 // completes finished flows, reassigns rates, and schedules the next
 // completion event. It is the heart of the fluid model.
@@ -438,10 +632,11 @@ func (n *Net) recompute() {
 	now := n.eng.Now()
 	elapsed := now.Sub(n.lastUpdate).Seconds()
 	n.lastUpdate = now
+	active := n.activeSorted()
 
 	// Drain progress at the previously computed rates.
 	if elapsed > 0 {
-		for c := range n.activeConns {
+		for _, c := range active {
 			for _, f := range c.transferring() {
 				f.remaining -= f.rate * elapsed
 			}
@@ -451,7 +646,7 @@ func (n *Net) recompute() {
 	// Complete flows that have fully drained.
 	const eps = 1e-6
 	var completed []*flow
-	for c := range n.activeConns {
+	for _, c := range active {
 		for {
 			tr := c.transferring()
 			finished := false
@@ -469,7 +664,8 @@ func (n *Net) recompute() {
 		}
 	}
 
-	// Rebuild the active set and assign rates.
+	// Rebuild the active set and assign rates, in stable connection order —
+	// waterFill's arithmetic must see the same sequence every run.
 	n.activeConns = make(map[*conn]struct{})
 	var activeList []*conn
 	for _, o := range n.origins {
@@ -480,6 +676,7 @@ func (n *Net) recompute() {
 			}
 		}
 	}
+	sort.Slice(activeList, func(i, j int) bool { return activeList[i].seq < activeList[j].seq })
 	next := time.Duration(math.MaxInt64)
 	if len(activeList) > 0 {
 		rates := waterFill(n.capacity(), activeList)

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -181,7 +182,7 @@ func TestPushSharesConnection(t *testing.T) {
 	u := urlutil.MustParse("https://a.com/index.html")
 	pu := urlutil.MustParse("https://a.com/style.css")
 	n.Do(u, func(rt *RoundTrip) {
-		rt.Push(pu, 2000, 0, func() { pushedAt = eng.Now() })
+		rt.Push(pu, 2000, 0, func() { pushedAt = eng.Now() }, nil)
 		rt.Respond(2000, 0, func() { mainAt = eng.Now() })
 	})
 	if _, err := eng.Run(0); err != nil {
@@ -332,7 +333,7 @@ func TestRateTraceLookup(t *testing.T) {
 }
 
 func TestSyntheticTraceBounds(t *testing.T) {
-	tr := SyntheticLTETrace(7, 500, 100*time.Millisecond, 5e5, 2e6)
+	tr := SyntheticLTETrace(rand.New(rand.NewSource(7)), 500, 100*time.Millisecond, 5e5, 2e6)
 	if len(tr.Rates) != 500 {
 		t.Fatalf("%d samples", len(tr.Rates))
 	}

@@ -48,15 +48,15 @@ func (t *RateTrace) Mean() float64 {
 
 // SyntheticLTETrace synthesizes a cellular capacity trace as a bounded
 // random walk between floor and ceil bytes/second, the shape of the
-// Verizon LTE traces shipped with Mahimahi.
-func SyntheticLTETrace(seed int64, samples int, interval time.Duration, floor, ceil float64) *RateTrace {
+// Verizon LTE traces shipped with Mahimahi. The caller supplies the random
+// source so traces and fault plans can share one reproducible seed.
+func SyntheticLTETrace(r *rand.Rand, samples int, interval time.Duration, floor, ceil float64) *RateTrace {
 	if samples <= 0 {
 		samples = 600
 	}
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
-	r := rand.New(rand.NewSource(seed))
 	rates := make([]float64, samples)
 	cur := (floor + ceil) / 2
 	span := ceil - floor
@@ -76,5 +76,5 @@ func SyntheticLTETrace(seed int64, samples int, interval time.Duration, floor, c
 // DefaultLTETrace matches the steady-state defaults: a 9 Mbit/s-average
 // link wobbling between roughly 4 and 14 Mbit/s.
 func DefaultLTETrace(seed int64) *RateTrace {
-	return SyntheticLTETrace(seed, 600, 100*time.Millisecond, 4e6/8, 14e6/8)
+	return SyntheticLTETrace(rand.New(rand.NewSource(seed)), 600, 100*time.Millisecond, 4e6/8, 14e6/8)
 }

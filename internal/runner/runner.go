@@ -10,6 +10,7 @@ import (
 	"vroom/internal/browser"
 	"vroom/internal/core"
 	"vroom/internal/event"
+	"vroom/internal/faults"
 	"vroom/internal/netsim"
 	"vroom/internal/polaris"
 	"vroom/internal/server"
@@ -67,6 +68,12 @@ type Options struct {
 	CPUScale float64
 	// EventLimit bounds simulation events (0 = default 5M).
 	EventLimit uint64
+	// Faults injects a fault plan into the network and server layers and
+	// arms the browser's timeout/retry machinery. The root document is
+	// exempted so every load has content to degrade around. Nil models the
+	// perfect world. Plans carry per-load mutable state (attempt counters,
+	// origin health): build a fresh Plan per Run, reusing only the seed.
+	Faults *faults.Plan
 }
 
 func (o *Options) fill() {
@@ -84,11 +91,17 @@ func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 	eng := event.New(opts.Time)
 	sn := site.Snapshot(opts.Time, opts.Profile, opts.Nonce)
 
+	// Shield the root document: a load with no root has nothing to
+	// degrade around.
+	opts.Faults.ExemptURL(site.RootURL())
+
 	ncfg := networkConfig(pol, opts)
+	ncfg.Faults = opts.Faults
 	net := netsim.New(eng, ncfg)
 
 	resolver, srvPolicy := serverSide(site, pol, opts)
 	farm := server.NewFarm(net, sn, resolver, srvPolicy, server.DefaultConfig())
+	farm.Faults = opts.Faults
 	// Old fingerprinted assets remain fetchable, as on real CDNs; stale
 	// hints and stale Polaris graph entries hit these.
 	for _, back := range []time.Duration{time.Hour, 2 * time.Hour, 3 * time.Hour, 24 * time.Hour, 7 * 24 * time.Hour} {
@@ -99,6 +112,18 @@ func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 	bcfg := browser.Config{CPUScale: opts.CPUScale, Cache: opts.Cache}
 	if pol == NetworkOnly {
 		bcfg.NoProcessing = true
+	}
+	if opts.Faults != nil {
+		// Defaults documented in DESIGN.md's failure model: a 5s attempt
+		// timeout (rescues stalled transfers well before PLT scales), three
+		// attempts with 250ms..4s exponential backoff, and client-observed
+		// failures feeding the server's push-suppression health state.
+		bcfg.FetchTimeout = 5 * time.Second
+		bcfg.Retry = browser.DefaultRetryPolicy()
+		plan := opts.Faults
+		bcfg.OnFetchFailure = func(u urlutil.URL, reason string) {
+			plan.MarkFailing(u.Origin())
+		}
 	}
 
 	sched := clientScheduler(site, pol, opts, sn)

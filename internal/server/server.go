@@ -10,6 +10,7 @@ import (
 
 	"vroom/internal/browser"
 	"vroom/internal/core"
+	"vroom/internal/faults"
 	"vroom/internal/hints"
 	"vroom/internal/netsim"
 	"vroom/internal/urlutil"
@@ -92,15 +93,22 @@ type Farm struct {
 	Client *browser.Load
 	// ClientCache is the client's cache digest for CacheAware push.
 	ClientCache *browser.Cache
+	// Faults, when set, injects server-level faults: hinted URLs go stale
+	// (404 or redirect) and pushes to failing origins are suppressed. Nil
+	// injects nothing.
+	Faults *faults.Plan
 
 	pushed map[string]bool
+	// redirects maps stale hinted URLs to the fresh URL they now point at.
+	redirects map[string]urlutil.URL
 }
 
 // NewFarm builds a farm for one load.
 func NewFarm(net *netsim.Net, sn *webpage.Snapshot, res *core.Resolver, pol Policy, cfg Config) *Farm {
 	return &Farm{
 		Net: net, Snapshot: sn, Resolver: res, Policy: pol, Cfg: cfg,
-		pushed: make(map[string]bool),
+		pushed:    make(map[string]bool),
+		redirects: make(map[string]urlutil.URL),
 	}
 }
 
@@ -124,13 +132,37 @@ func (f *Farm) Lookup(u urlutil.URL) (*webpage.Resource, bool) {
 	return nil, false
 }
 
-// Fetch implements browser.Transport.
-func (f *Farm) Fetch(u urlutil.URL, done func(*browser.Fetched)) {
-	f.Net.Do(u, func(rt *netsim.RoundTrip) { f.handle(rt, done) })
+// Fetch implements browser.Transport. The returned abort func cancels the
+// request from the client side (the browser's timeout path).
+func (f *Farm) Fetch(u urlutil.URL, started func(), done func(*browser.Fetched)) func() {
+	req := f.Net.Do(u, func(rt *netsim.RoundTrip) { f.handle(rt, done) })
+	req.OnStart = started
+	req.OnFail = func(reason string) {
+		done(&browser.Fetched{URL: u, Failed: true, FailReason: reason})
+	}
+	return req.Abort
+}
+
+// sinceStart returns the offset from load start (for fault windows).
+func (f *Farm) sinceStart() time.Duration {
+	if f.Client == nil {
+		return 0
+	}
+	return f.Client.Eng.Now().Sub(f.Client.StartTime())
 }
 
 // handle services one request at the server.
 func (f *Farm) handle(rt *netsim.RoundTrip, done func(*browser.Fetched)) {
+	// A stale hinted URL whose content moved: answer with a redirect to
+	// the fresh URL (headers only, no content).
+	if fresh, ok := f.redirects[rt.URL.String()]; ok {
+		const redirectSize = 300
+		rt.Respond(redirectSize, f.Cfg.ThinkTime, func() {
+			done(&browser.Fetched{URL: rt.URL, Size: redirectSize, RedirectTo: fresh})
+		})
+		return
+	}
+
 	res, ok := f.Lookup(rt.URL)
 	if !ok {
 		size := f.Cfg.ErrorSize
@@ -167,7 +199,7 @@ func (f *Farm) handle(rt *netsim.RoundTrip, done func(*browser.Fetched)) {
 		if f.Policy.OnlineAnalysis {
 			body = res.Body
 		}
-		hs = f.Resolver.HintsFor(rt.URL, body, device)
+		hs = f.staleify(f.Resolver.HintsFor(rt.URL, body, device))
 		f.push(rt, hs)
 		if !f.Policy.SendHints {
 			hs = nil
@@ -177,6 +209,28 @@ func (f *Farm) handle(rt *netsim.RoundTrip, done func(*browser.Fetched)) {
 	rt.Respond(res.Size, think, func() {
 		done(&browser.Fetched{URL: rt.URL, Res: res, Size: res.Size, Hints: hs})
 	})
+}
+
+// staleify passes served hints through the fault plan: a stale hint's URL
+// is mangled to what the resolver's outdated view carries, and redirecting
+// ones are remembered so handle can answer them.
+func (f *Farm) staleify(hs []hints.Hint) []hints.Hint {
+	if f.Faults == nil || len(hs) == 0 {
+		return hs
+	}
+	out := make([]hints.Hint, len(hs))
+	for i, h := range hs {
+		m, fate := f.Faults.StaleHint(h.URL)
+		switch fate {
+		case faults.HintRedirect:
+			f.redirects[m.String()] = h.URL
+			h.URL = m
+		case faults.HintGone:
+			h.URL = m
+		}
+		out[i] = h
+	}
+	return out
 }
 
 // push initiates the policy's pushes for an HTML response.
@@ -198,6 +252,9 @@ func (f *Farm) push(rt *netsim.RoundTrip, hs []hints.Hint) {
 		if f.Policy.CacheAware && f.ClientCache != nil && f.ClientCache.Fresh(key, now) {
 			continue // client already holds it; pushing would waste bandwidth
 		}
+		if f.Faults.Failing(u.Origin(), f.sinceStart()) {
+			continue // origin marked unhealthy: pushing burns client bandwidth
+		}
 		f.pushed[key] = true
 		// The PUSH_PROMISE reaches the client half an RTT after the
 		// server emits it.
@@ -206,8 +263,11 @@ func (f *Farm) push(rt *netsim.RoundTrip, hs []hints.Hint) {
 			f.Client.PushPromise(u)
 		})
 		pushedRes := res
+		pushURL := u
 		rt.Push(u, res.Size, f.Cfg.ThinkTime, func() {
-			f.Client.PushArrived(&browser.Fetched{URL: u, Res: pushedRes, Size: pushedRes.Size, Pushed: true})
+			f.Client.PushArrived(&browser.Fetched{URL: pushURL, Res: pushedRes, Size: pushedRes.Size, Pushed: true})
+		}, func(reason string) {
+			f.Client.PushFailed(pushURL, reason)
 		})
 	}
 }

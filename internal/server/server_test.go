@@ -114,7 +114,7 @@ func TestUnknownURLServesErrorBody(t *testing.T) {
 	e := setup(t, Policy{}, nil)
 	done := false
 	stale := urlutil.MustParse("https://static.servertest.com/js/nope-00.js")
-	e.farm.Fetch(stale, func(f *browser.Fetched) {
+	e.farm.Fetch(stale, nil, func(f *browser.Fetched) {
 		done = true
 		if f.Res != nil {
 			t.Error("stale URL returned content")
