@@ -18,6 +18,7 @@ import (
 	"vroom"
 	"vroom/internal/experiments"
 	"vroom/internal/h2"
+	"vroom/internal/obs"
 	"vroom/internal/runner"
 	"vroom/internal/webpage"
 )
@@ -188,6 +189,37 @@ func BenchmarkSimulatedVroomLoad(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTracerOverhead measures the cost the observability layer adds to
+// a full simulated load: "disabled" is the nil-tracer fast path every normal
+// experiment runs on (must stay within ~2% of an untraced load), "recording"
+// pays for event capture into an in-memory recording.
+func BenchmarkTracerOverhead(b *testing.B) {
+	site := vroom.NewSite("tracebench", vroom.CategoryNews, 6)
+	opts := func(i int) runner.Options {
+		return runner.Options{Nonce: uint64(i + 1),
+			Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.Run(site, runner.Vroom, opts(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		var events int
+		for i := 0; i < b.N; i++ {
+			o := opts(i)
+			o.Trace = &obs.Recording{}
+			if _, err := runner.Run(site, runner.Vroom, o); err != nil {
+				b.Fatal(err)
+			}
+			events = o.Trace.Len()
+		}
+		b.ReportMetric(float64(events), "events")
+	})
 }
 
 func BenchmarkResolverTraining(b *testing.B) {

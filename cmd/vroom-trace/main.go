@@ -5,6 +5,7 @@
 // Usage:
 //
 //	vroom-trace -site dailynews00 -policy vroom [-rows 40] [-width 100]
+//	vroom-trace -site dailynews00 -policy vroom -blame -perfetto out.json
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"vroom/internal/har"
+	"vroom/internal/obs"
 	"vroom/internal/runner"
 	"vroom/internal/trace"
 	"vroom/internal/webpage"
@@ -29,6 +31,8 @@ func main() {
 		width    = flag.Int("width", 90, "waterfall width")
 		allRes   = flag.Bool("all", false, "include speculative fetches")
 		harOut   = flag.String("har", "", "also write a HAR 1.2 file to this path")
+		blame    = flag.Bool("blame", false, "print the critical-path blame decomposition of PLT")
+		perfetto = flag.String("perfetto", "", "write a Chrome trace-event JSON file to this path (load in ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -40,11 +44,17 @@ func main() {
 		cat = webpage.Top100
 	}
 	site := webpage.NewSite(*siteName, cat, *seed)
-	res, err := runner.Run(site, runner.Policy(*policy), runner.Options{
+	opts := runner.Options{
 		Time:    time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC),
 		Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 11},
 		Nonce:   1,
-	})
+	}
+	var rec *obs.Recording
+	if *blame || *perfetto != "" {
+		rec = &obs.Recording{}
+		opts.Trace = rec
+	}
+	res, err := runner.Run(site, runner.Policy(*policy), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -53,6 +63,35 @@ func main() {
 	fmt.Println()
 	fmt.Print(trace.Waterfall(res, trace.Options{Width: *width, MaxRows: *rows, RequiredOnly: !*allRes}))
 
+	if *blame {
+		rep := obs.Blame(rec, res.PLT)
+		fmt.Println()
+		fmt.Print(rep.Format())
+		if diff := rep.Sum() - res.PLT; diff > time.Millisecond || diff < -time.Millisecond {
+			fmt.Fprintf(os.Stderr, "blame segments sum to %v but PLT is %v (off by %v)\n",
+				rep.Sum(), res.PLT, diff)
+			os.Exit(1)
+		}
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.WritePerfetto(f, rec); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nPerfetto trace written to %s\n", *perfetto)
+	}
+
 	if *harOut != "" {
 		f, err := os.Create(*harOut)
 		if err != nil {
@@ -60,8 +99,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		start := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
-		if err := har.FromResult(res, site.RootURL().String(), start).Write(f); err != nil {
+		if err := har.FromResult(res, site.RootURL().String(), opts.Time).Write(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -18,6 +18,7 @@ import (
 
 	"vroom/internal/event"
 	"vroom/internal/hints"
+	"vroom/internal/obs"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
 )
@@ -88,11 +89,21 @@ type Entry struct {
 	// Size is the number of bytes transferred for this entry.
 	Size int
 
+	// FailReason names the terminal transport failure when the entry
+	// degraded to an error body ("" otherwise).
+	FailReason string
+
 	DiscoveredAt time.Time // first knowledge (hint, push promise, or parse)
 	RequiredAt   time.Time
 	RequestedAt  time.Time
-	ArrivedAt    time.Time
-	ProcessedAt  time.Time
+	// FirstByteAt is when response headers first reached the client for
+	// this entry (zero if no response ever started).
+	FirstByteAt time.Time
+	// PushPromisedAt is when the PUSH_PROMISE for this entry reached the
+	// client (zero if never promised).
+	PushPromisedAt time.Time
+	ArrivedAt      time.Time
+	ProcessedAt    time.Time
 
 	waiters           []func(*Entry)
 	procWaiters       []func()
@@ -103,6 +114,7 @@ type Entry struct {
 	attempts  int // fetch attempts made for the current in-flight cycle
 	abort     func()
 	timeoutEv *event.Event
+	fetchSpan obs.Span
 }
 
 // Load is one page load in progress.
@@ -138,6 +150,10 @@ type Load struct {
 	// syncChains tracks in-order execution of synchronous scripts per
 	// document.
 	docs map[string]*docState
+
+	// via names the resource whose processing is currently discovering
+	// references, so discovery events carry dependency edges.
+	via string
 
 	// OnFinish, when set, fires once when the load completes.
 	OnFinish func()
@@ -175,6 +191,9 @@ type Config struct {
 	// OnFetchFailure, when set, observes every terminal per-attempt failure
 	// (the runner uses it to mark origins unhealthy).
 	OnFetchFailure func(u urlutil.URL, reason string)
+	// Trace records main-thread task slices and per-resource fetch
+	// lifecycle events. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // RetryPolicy caps retries of failed fetches with exponential backoff.
@@ -274,6 +293,10 @@ func (l *Load) Start() {
 // StartTime returns when the load began.
 func (l *Load) StartTime() time.Time { return l.start }
 
+// Tracer returns the load's tracer (nil when tracing is disabled).
+// Schedulers and the server farm use it to emit onto the shared recording.
+func (l *Load) Tracer() *obs.Tracer { return l.Cfg.Trace }
+
 // Entry returns (creating) the bookkeeping entry for a URL.
 func (l *Load) Entry(u urlutil.URL) *Entry {
 	key := u.String()
@@ -282,6 +305,9 @@ func (l *Load) Entry(u urlutil.URL) *Entry {
 		e = &Entry{URL: u, DiscoveredAt: l.Eng.Now(), Priority: hints.Low}
 		l.entries[key] = e
 		l.order = append(l.order, key)
+		if l.Cfg.Trace.Enabled() {
+			l.Cfg.Trace.Instant(obs.TrackLoad, "discover:"+key, obs.Arg{Key: "by", Val: l.via})
+		}
 	}
 	return e
 }
@@ -317,6 +343,9 @@ func (l *Load) Require(u urlutil.URL, prio hints.Priority) *Entry {
 	if !e.Required {
 		e.Required = true
 		e.RequiredAt = l.Eng.Now()
+		if l.Cfg.Trace.Enabled() {
+			l.Cfg.Trace.Instant(obs.TrackLoad, "require:"+u.String(), obs.Arg{Key: "by", Val: l.via})
+		}
 		l.outstandingRequired++
 		if e.State == StateArrived {
 			l.beginProcessing(e)
@@ -342,6 +371,9 @@ func (l *Load) FetchNow(e *Entry) {
 			if delay <= 0 {
 				delay = time.Millisecond
 			}
+			if l.Cfg.Trace.Enabled() {
+				l.Cfg.Trace.Instant(obs.TrackLoad, "cache-hit:"+e.URL.String())
+			}
 			l.Eng.ScheduleAfter(delay, "cache-hit", func() {
 				l.deliver(e, &Fetched{URL: e.URL, Res: res, Size: 0})
 			})
@@ -356,6 +388,10 @@ func (l *Load) FetchNow(e *Entry) {
 func (l *Load) fetchAttempt(e *Entry) {
 	e.attempts++
 	settled := false
+	if tr := l.Cfg.Trace; tr.Enabled() {
+		e.fetchSpan = tr.Begin(obs.TrackLoad, "fetch:"+e.URL.String(),
+			obs.Arg{Key: "attempt", Val: fmt.Sprint(e.attempts)})
+	}
 	e.abort = l.Transport.Fetch(e.URL, func() {
 		if settled {
 			return
@@ -363,6 +399,12 @@ func (l *Load) fetchAttempt(e *Entry) {
 		// Headers arrived: the response is live, so stop the clock. Faults
 		// that strike after this point (truncation, 5xx body) surface
 		// through the done callback, not the timeout.
+		if e.FirstByteAt.IsZero() {
+			e.FirstByteAt = l.Eng.Now()
+		}
+		if l.Cfg.Trace.Enabled() {
+			l.Cfg.Trace.Instant(obs.TrackLoad, "headers:"+e.URL.String())
+		}
 		l.clearTimeout(e)
 	}, func(f *Fetched) {
 		if settled {
@@ -372,9 +414,11 @@ func (l *Load) fetchAttempt(e *Entry) {
 		l.clearTimeout(e)
 		e.abort = nil
 		if f.Failed {
+			l.endFetchSpan(e, "failed:"+f.FailReason)
 			l.onFetchFailed(e, f.FailReason)
 			return
 		}
+		l.endFetchSpan(e, "ok")
 		l.deliver(e, f)
 	})
 	if l.Cfg.FetchTimeout > 0 {
@@ -389,8 +433,17 @@ func (l *Load) fetchAttempt(e *Entry) {
 				e.abort() // stream reset: frees a wedged connection
 				e.abort = nil
 			}
+			l.endFetchSpan(e, "timeout")
 			l.onFetchFailed(e, "timeout")
 		})
+	}
+}
+
+// endFetchSpan closes the entry's open fetch-attempt span with its outcome.
+func (l *Load) endFetchSpan(e *Entry, outcome string) {
+	if e.fetchSpan.Active() {
+		e.fetchSpan.End(obs.Arg{Key: "outcome", Val: outcome})
+		e.fetchSpan = obs.Span{}
 	}
 }
 
@@ -408,7 +461,13 @@ func (l *Load) onFetchFailed(e *Entry, reason string) {
 	}
 	if e.Required && e.attempts < l.Cfg.Retry.maxAttempts() {
 		l.retries++
-		l.Eng.ScheduleAfter(l.Cfg.Retry.backoff(e.attempts), "retry@"+e.URL.String(), func() {
+		delay := l.Cfg.Retry.backoff(e.attempts)
+		if tr := l.Cfg.Trace; tr.Enabled() {
+			now := l.Eng.Now()
+			tr.BeginAt(now, obs.TrackLoad, "backoff:"+e.URL.String(),
+				obs.Arg{Key: "after", Val: reason}).EndAt(now.Add(delay))
+		}
+		l.Eng.ScheduleAfter(delay, "retry@"+e.URL.String(), func() {
 			if e.State != StateInFlight {
 				return
 			}
@@ -431,6 +490,9 @@ func (l *Load) onFetchFailed(e *Entry, reason string) {
 func (l *Load) giveUp(e *Entry, reason string) {
 	if e.Hinted {
 		l.hintsFailed++
+	}
+	if l.Cfg.Trace.Enabled() {
+		l.Cfg.Trace.Instant(obs.TrackLoad, "give-up:"+e.URL.String(), obs.Arg{Key: "reason", Val: reason})
 	}
 	if e.Required {
 		l.deliver(e, &Fetched{URL: e.URL, Failed: true, FailReason: reason})
@@ -462,6 +524,10 @@ func (l *Load) PushPromise(u urlutil.URL) {
 	e.State = StateInFlight
 	e.Pushed = true
 	e.RequestedAt = l.Eng.Now()
+	e.PushPromisedAt = l.Eng.Now()
+	if l.Cfg.Trace.Enabled() {
+		l.Cfg.Trace.Instant(obs.TrackLoad, "push-promise:"+u.String())
+	}
 }
 
 // PushFailed tells the browser a promised push died before delivering (the
@@ -474,6 +540,9 @@ func (l *Load) PushFailed(u urlutil.URL, reason string) {
 	l.failedFetches++
 	if l.Cfg.OnFetchFailure != nil {
 		l.Cfg.OnFetchFailure(u, reason)
+	}
+	if l.Cfg.Trace.Enabled() {
+		l.Cfg.Trace.Instant(obs.TrackLoad, "push-failed:"+u.String(), obs.Arg{Key: "reason", Val: reason})
 	}
 	l.pushBroken(e)
 }
@@ -513,6 +582,19 @@ func (l *Load) deliver(e *Entry, f *Fetched) {
 	e.ArrivedAt = l.Eng.Now()
 	e.Res = f.Res
 	e.Size = f.Size
+	if f.Failed {
+		e.FailReason = f.FailReason
+	}
+	if tr := l.Cfg.Trace; tr.Enabled() {
+		args := []obs.Arg{{Key: "bytes", Val: fmt.Sprint(f.Size)}}
+		if f.Pushed {
+			args = append(args, obs.Arg{Key: "pushed", Val: "1"})
+		}
+		if f.Failed {
+			args = append(args, obs.Arg{Key: "failed", Val: f.FailReason})
+		}
+		tr.Instant(obs.TrackLoad, "arrived:"+e.URL.String(), args...)
+	}
 	if f.Pushed {
 		e.Pushed = true
 	}
@@ -522,8 +604,12 @@ func (l *Load) deliver(e *Entry, f *Fetched) {
 	if l.Cfg.Cache != nil && f.Res != nil && f.Res.Cacheable {
 		l.Cfg.Cache.Put(e.URL.String(), f.Res, l.Eng.Now())
 	}
-	for _, h := range f.Hints {
-		l.Hint(h)
+	if len(f.Hints) > 0 {
+		restore := l.setVia(e)
+		for _, h := range f.Hints {
+			l.Hint(h)
+		}
+		restore()
 	}
 	if f.RedirectTo.Host != "" {
 		// A stale hint that redirects: follow to the fresh URL as a new
@@ -547,6 +633,9 @@ func (l *Load) onEntryDone(e *Entry) {
 	}
 	e.State = StateProcessed
 	e.ProcessedAt = l.Eng.Now()
+	if l.Cfg.Trace.Enabled() {
+		l.Cfg.Trace.Instant(obs.TrackLoad, "processed:"+e.URL.String())
+	}
 	if e.Res != nil && e.Res.ViewportWeight > 0 {
 		l.paints = append(l.paints, paintEvent{at: e.ProcessedAt, weight: e.Res.ViewportWeight})
 	}
@@ -602,7 +691,20 @@ func (l *Load) runTask(d time.Duration, name string, fn func()) {
 	end := start.Add(d)
 	l.cpuFreeAt = end
 	l.busyTotal += d
+	if tr := l.Cfg.Trace; tr.Enabled() && d > 0 {
+		tr.BeginAt(start, obs.TrackMain, name).EndAt(end)
+	}
 	l.Eng.Schedule(end, "task:"+name, fn)
+}
+
+// setVia records e as the resource currently discovering references, so
+// discover/require instants carry the dependency edge. It returns a restore
+// func for the previous context (discovery can nest: a sync script's
+// document.write runs inside the document pump).
+func (l *Load) setVia(e *Entry) func() {
+	prev := l.via
+	l.via = e.URL.String()
+	return func() { l.via = prev }
 }
 
 // onArrivedOrNow runs fn immediately if the entry has arrived, or when it

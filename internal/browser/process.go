@@ -79,6 +79,7 @@ func (l *Load) processDocument(e *Entry) {
 	doc := &docState{entry: e}
 	l.docs[e.URL.String()] = doc
 
+	defer l.setVia(e)()
 	refs := webpage.ExtractRefs(e.Res)
 	// Preload scan. Gating flags must be set before Require: a resource
 	// may already have arrived (hint prefetch, warm cache), in which case
@@ -224,6 +225,7 @@ func (l *Load) finishDoc(doc *docState) {
 		return
 	}
 	doc.finished = true
+	defer l.setVia(doc.entry)()
 	for _, d := range doc.inline {
 		l.Require(d.URL, refPriority(d))
 	}
@@ -256,6 +258,7 @@ func (l *Load) processJS(e *Entry) {
 // insertion. Flags are set before Require so that an already-arrived child
 // is processed under the right ownership.
 func (l *Load) discoverScriptChildren(e *Entry, viaDocPump bool) []*Entry {
+	defer l.setVia(e)()
 	var blocking []*Entry
 	for _, d := range webpage.ExtractRefs(e.Res) {
 		prio := refPriority(d)
@@ -283,6 +286,7 @@ func (l *Load) discoverScriptChildren(e *Entry, viaDocPump bool) []*Entry {
 func (l *Load) processCSS(e *Entry) {
 	c := l.Cfg.costs()
 	l.runTask(l.cost(c.For(webpage.CSS, e.Res.Size)), "parse-css", func() {
+		defer l.setVia(e)()
 		var imports []*Entry
 		for _, d := range webpage.ExtractRefs(e.Res) {
 			child := l.Require(d.URL, refPriority(d))

@@ -16,9 +16,20 @@ type ResourceTiming struct {
 	Pushed       bool
 	Size         int
 	DiscoveredAt time.Duration // relative to load start
+	RequiredAt   time.Duration
 	RequestedAt  time.Duration
-	ArrivedAt    time.Duration
-	ProcessedAt  time.Duration
+	// PushPromisedAt is when the PUSH_PROMISE reached the client (zero if
+	// the resource was never promised).
+	PushPromisedAt time.Duration
+	// FirstByteAt is when response headers first reached the client (zero
+	// if no response ever started — refused connection, dead push).
+	FirstByteAt time.Duration
+	ArrivedAt   time.Duration
+	ProcessedAt time.Duration
+	// Failed marks an entry that degraded to an error body after exhausting
+	// its retries; FailReason names the terminal transport failure.
+	Failed     bool
+	FailReason string
 }
 
 // Result summarizes a finished load.
@@ -94,17 +105,28 @@ func (l *Load) Result() Result {
 			}
 		}
 		rt := ResourceTiming{
-			URL:      e.URL.String(),
-			Priority: e.Priority,
-			Required: e.Required,
-			Pushed:   e.Pushed,
-			Size:     e.Size,
+			URL:        e.URL.String(),
+			Priority:   e.Priority,
+			Required:   e.Required,
+			Pushed:     e.Pushed,
+			Size:       e.Size,
+			Failed:     e.FailReason != "",
+			FailReason: e.FailReason,
 		}
 		if !e.DiscoveredAt.IsZero() {
 			rt.DiscoveredAt = e.DiscoveredAt.Sub(start)
 		}
+		if !e.RequiredAt.IsZero() {
+			rt.RequiredAt = e.RequiredAt.Sub(start)
+		}
 		if !e.RequestedAt.IsZero() {
 			rt.RequestedAt = e.RequestedAt.Sub(start)
+		}
+		if !e.PushPromisedAt.IsZero() {
+			rt.PushPromisedAt = e.PushPromisedAt.Sub(start)
+		}
+		if !e.FirstByteAt.IsZero() {
+			rt.FirstByteAt = e.FirstByteAt.Sub(start)
 		}
 		if !e.ArrivedAt.IsZero() {
 			rt.ArrivedAt = e.ArrivedAt.Sub(start)

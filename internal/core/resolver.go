@@ -5,9 +5,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"vroom/internal/hints"
+	"vroom/internal/obs"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
 )
@@ -64,6 +66,9 @@ type Resolver struct {
 	// page type (the §7 scalability extension; see template.go).
 	templates    map[string][]Dep
 	pendingPages map[string][][]Dep
+	// Trace, when set, records each hint resolution (online/offline dep
+	// counts) on the server track. Nil disables.
+	Trace *obs.Tracer
 }
 
 // NewResolver returns a resolver with the given strategy.
@@ -297,6 +302,7 @@ func (r *Resolver) HintsFor(doc urlutil.URL, body string, device webpage.DeviceC
 			deps = append(deps, Dep{URL: d.URL, Priority: depPriority(d), Order: i})
 		}
 	}
+	online := len(deps)
 	if r.cfg.UseOffline || r.cfg.SingleLoad {
 		for _, d := range r.stable[docKey(doc, device)] {
 			k := d.URL.String()
@@ -306,6 +312,11 @@ func (r *Resolver) HintsFor(doc urlutil.URL, body string, device webpage.DeviceC
 			seen[k] = true
 			deps = append(deps, d)
 		}
+	}
+	if r.Trace.Enabled() {
+		r.Trace.Instant(obs.TrackServer, "resolve:"+doc.String(),
+			obs.Arg{Key: "online", Val: fmt.Sprint(online)},
+			obs.Arg{Key: "offline", Val: fmt.Sprint(len(deps) - online)})
 	}
 	hs := make([]hints.Hint, 0, len(deps))
 	for _, d := range deps {

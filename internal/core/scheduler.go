@@ -3,6 +3,7 @@ package core
 import (
 	"vroom/internal/browser"
 	"vroom/internal/hints"
+	"vroom/internal/obs"
 )
 
 // StagedScheduler is Vroom's client-side request scheduler (§4.3, §5.2).
@@ -21,6 +22,10 @@ type StagedScheduler struct {
 	outstanding map[hints.Priority]int
 	issued      map[string]hints.Priority
 	queued      map[string]bool
+	// held tracks the open "hold:" span of each queued resource so the
+	// blame decomposition can see exactly how long the stage gate delayed
+	// each fetch.
+	held map[string]obs.Span
 }
 
 // NewStagedScheduler returns a scheduler at the high stage.
@@ -31,6 +36,7 @@ func NewStagedScheduler() *StagedScheduler {
 		outstanding: make(map[hints.Priority]int),
 		issued:      make(map[string]hints.Priority),
 		queued:      make(map[string]bool),
+		held:        make(map[string]obs.Span),
 	}
 }
 
@@ -64,6 +70,10 @@ func (s *StagedScheduler) fetchOrQueue(l *browser.Load, e *browser.Entry, p hint
 	if !s.queued[key] {
 		s.queued[key] = true
 		s.pending[p] = append(s.pending[p], e)
+		if tr := l.Tracer(); tr.Enabled() {
+			s.held[key] = tr.Begin(obs.TrackSched, "hold:"+key,
+				obs.Arg{Key: "prio", Val: p.String()})
+		}
 	}
 }
 
@@ -72,6 +82,10 @@ func (s *StagedScheduler) issue(l *browser.Load, e *browser.Entry, p hints.Prior
 		return
 	}
 	key := e.URL.String()
+	if sp, ok := s.held[key]; ok {
+		sp.End()
+		delete(s.held, key)
+	}
 	if _, dup := s.issued[key]; !dup {
 		s.issued[key] = p
 		s.outstanding[p]++
@@ -101,9 +115,15 @@ func (s *StagedScheduler) advance(l *browser.Load) {
 		switch {
 		case s.stage == hints.High && s.rootArrived && s.outstanding[hints.High] == 0:
 			s.stage = hints.Semi
+			if tr := l.Tracer(); tr.Enabled() {
+				tr.Instant(obs.TrackSched, "stage:semi")
+			}
 			s.flush(l, hints.Semi)
 		case s.stage == hints.Semi && s.outstanding[hints.High] == 0 && s.outstanding[hints.Semi] == 0:
 			s.stage = hints.Low
+			if tr := l.Tracer(); tr.Enabled() {
+				tr.Instant(obs.TrackSched, "stage:low")
+			}
 			s.flush(l, hints.Low)
 			return
 		default:

@@ -85,6 +85,39 @@ type Result struct {
 	Text string
 	// Notes carries scalar findings quoted in the paper's prose.
 	Notes []string
+	// Hists holds the experiment's per-resource metric distributions
+	// (time-to-first-byte, scheduler hold, push lead), when the figure
+	// records them.
+	Hists *metrics.Registry
+}
+
+// observeLoadHists records per-resource metric distributions from a corpus
+// run into reg under "<prefix>/..." names:
+//
+//   - ttfb: request issue to first response byte;
+//   - sched-hold: discovery to request issue — how long the scheduler (or
+//     stage gate) held the fetch;
+//   - push-lead: PUSH_PROMISE arrival to the moment parsing actually
+//     required the resource — how far ahead of need the push ran (pushes
+//     that were promised after being required record zero lead).
+func observeLoadHists(reg *metrics.Registry, prefix string, rs []browser.Result) {
+	for _, r := range rs {
+		for _, rt := range r.Resources {
+			if rt.FirstByteAt > rt.RequestedAt && rt.FirstByteAt > 0 {
+				reg.ObserveDuration(prefix+"/ttfb", rt.FirstByteAt-rt.RequestedAt)
+			}
+			if rt.RequestedAt >= rt.DiscoveredAt && rt.ArrivedAt > 0 {
+				reg.ObserveDuration(prefix+"/sched-hold", rt.RequestedAt-rt.DiscoveredAt)
+			}
+			if rt.Pushed && rt.PushPromisedAt > 0 && rt.RequiredAt > 0 {
+				lead := rt.RequiredAt - rt.PushPromisedAt
+				if lead < 0 {
+					lead = 0
+				}
+				reg.ObserveDuration(prefix+"/push-lead", lead)
+			}
+		}
+	}
 }
 
 // medianLoad runs a policy on a site LoadsPerSite times back-to-back and

@@ -79,6 +79,7 @@ func Ext03(o Options) (*Result, error) {
 	}
 	dists := make(map[cell]*metrics.Dist)
 	counters := make(map[faults.Regime]*metrics.Counters)
+	hists := metrics.NewRegistry()
 	var rows []metrics.TableRow
 	for _, reg := range regimes {
 		counters[reg] = metrics.NewCounters()
@@ -87,12 +88,21 @@ func Ext03(o Options) (*Result, error) {
 		}
 		for _, pol := range runner.AllPolicies() {
 			d := metrics.NewDist()
+			var vroomLoads []browser.Result
 			for _, s := range sites {
 				res, err := chaosLoad(s, pol, o, reg, counters[reg])
 				if err != nil {
 					return nil, fmt.Errorf("ext03: %s under %s: %w", pol, reg, err)
 				}
 				d.AddDuration(res.PLT)
+				if pol == runner.Vroom {
+					vroomLoads = append(vroomLoads, res)
+				}
+			}
+			if pol == runner.Vroom {
+				// The per-resource distributions show how the fault regime
+				// shifts time-to-first-byte and hold times under Vroom.
+				observeLoadHists(hists, fmt.Sprintf("%s/vroom", reg), vroomLoads)
 			}
 			dists[cell{pol, reg}] = d
 			rows = append(rows, metrics.TableRow{Label: fmt.Sprintf("%s/%s", reg, pol), Dist: d})
@@ -116,6 +126,7 @@ func Ext03(o Options) (*Result, error) {
 	r.Notes = append(r.Notes, fmt.Sprintf(
 		"severe-regime medians: vroom %.2fs vs no-hints h2 %.2fs (%+.1f%%); vroom clean-world %.2fs — bad hints degrade to vanilla discovery, they do not break the load",
 		vroomSevere, h2Severe, (vroomSevere/h2Severe-1)*100, vroomNone))
-	r.Text = renderResult(r)
+	r.Hists = hists
+	r.Text = renderResult(r) + hists.Render("  vroom per-resource distributions by regime")
 	return r, nil
 }

@@ -141,6 +141,7 @@ func Fig13(o Options) (*Result, error) {
 		{label: "http/2 baseline", pol: runner.H2},
 		{label: "http/1.1", pol: runner.HTTP1},
 	}
+	hists := metrics.NewRegistry()
 	for _, s := range pols {
 		rs, err := runCorpus(sites, s.pol, o)
 		if err != nil {
@@ -152,6 +153,7 @@ func Fig13(o Options) (*Result, error) {
 			s.aft.AddDuration(r.AFT)
 			s.si.Add(r.SpeedIndex)
 		}
+		observeLoadHists(hists, string(s.pol), rs)
 	}
 	rows := []metrics.TableRow{{Label: "lower bound PLT", Dist: boundPLT}}
 	for _, s := range pols {
@@ -174,7 +176,8 @@ func Fig13(o Options) (*Result, error) {
 		fmt.Sprintf("vroom vs h2 PLT: Mann-Whitney p=%.2g, Cliff's delta=%.2f", pVal, delta),
 		fmt.Sprintf("paper: first-party-only adoption 5.6s vs 5.1s full; measured %.1f vs %.1f",
 			pols[1].plt.Median(), pols[0].plt.Median()))
-	r.Text = renderResult(r)
+	r.Hists = hists
+	r.Text = renderResult(r) + hists.Render("  per-resource distributions")
 	return r, nil
 }
 

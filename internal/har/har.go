@@ -105,15 +105,35 @@ func FromResult(res browser.Result, pageURL string, start time.Time) *Log {
 			continue
 		}
 		req := rt.RequestedAt
+		if req == 0 && rt.PushPromisedAt > 0 {
+			req = rt.PushPromisedAt // server-initiated: no client request
+		}
 		if req == 0 {
 			req = rt.DiscoveredAt
 		}
 		blocked := dur(req - rt.DiscoveredAt)
+		// With first-byte recorded, wait is request→headers and receive is
+		// headers→last byte; without a response start (failed fetch, cache
+		// hit) the whole interval is wait.
 		wait := dur(rt.ArrivedAt - req)
-		status := 200
+		receive := time.Duration(0)
+		if rt.FirstByteAt > req && rt.FirstByteAt <= rt.ArrivedAt {
+			wait = dur(rt.FirstByteAt - req)
+			receive = dur(rt.ArrivedAt - rt.FirstByteAt)
+		}
+		status, statusText := 200, "OK"
 		comment := ""
 		if rt.Pushed {
 			comment = "pushed"
+		}
+		if rt.Failed {
+			// Terminal transport failure degraded to an error body: HAR
+			// uses status 0 for responses that never completed.
+			status, statusText = 0, rt.FailReason
+			if comment != "" {
+				comment += "; "
+			}
+			comment += "failed: " + rt.FailReason
 		}
 		entry := Entry{
 			PageRef:         "page_1",
@@ -121,7 +141,7 @@ func FromResult(res browser.Result, pageURL string, start time.Time) *Log {
 			Time:            ms(rt.ArrivedAt - rt.DiscoveredAt),
 			Request:         Request{Method: "GET", URL: rt.URL, HTTPVersion: "HTTP/2.0"},
 			Response: Response{
-				Status: status, StatusText: "OK", HTTPVersion: "HTTP/2.0",
+				Status: status, StatusText: statusText, HTTPVersion: "HTTP/2.0",
 				BodySize: rt.Size, Comment: comment,
 			},
 			Timings: Timings{
@@ -130,7 +150,7 @@ func FromResult(res browser.Result, pageURL string, start time.Time) *Log {
 				Connect: -1,
 				Send:    0,
 				Wait:    ms(wait),
-				Receive: 0,
+				Receive: ms(receive),
 			},
 		}
 		log.Log.Entries = append(log.Log.Entries, entry)

@@ -1,0 +1,115 @@
+package har
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"vroom/internal/faults"
+	"vroom/internal/runner"
+	"vroom/internal/webpage"
+)
+
+// TestFaultedLoadRoundTrip runs a load under the severe fault regime —
+// error bodies, retried fetches, stalled streams — and checks the export
+// still round-trips as schema-valid HAR 1.2 with sane timings.
+func TestFaultedLoadRoundTrip(t *testing.T) {
+	start := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	prof := webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}
+
+	// Scan a few fixed seeds for a load that actually degraded (failed
+	// fetches and retries) so the test exercises the faulted entries; the
+	// scan is deterministic, so the chosen seed is stable.
+	var log *Log
+	for seed := int64(1); seed <= 20; seed++ {
+		site := webpage.NewSite("harfault", webpage.Top100, 9)
+		plan := faults.New(seed, faults.RegimeConfig(faults.RegimeSevere))
+		res, err := runner.Run(site, runner.Vroom, runner.Options{
+			Time: start, Profile: prof, Nonce: 1, Faults: plan,
+		})
+		if err != nil {
+			continue // a load that never finishes is not exportable
+		}
+		if res.FailedFetches == 0 || res.Retries == 0 {
+			continue
+		}
+		log = FromResult(res, site.RootURL().String(), start)
+		break
+	}
+	if log == nil {
+		t.Fatal("no seed in 1..20 produced a finished load with failures and retries")
+	}
+
+	var buf bytes.Buffer
+	if err := log.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip: the emitted JSON must decode back into the same shape.
+	var back Log
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if back.Log.Version != "1.2" {
+		t.Fatalf("version %q, want 1.2", back.Log.Version)
+	}
+	if len(back.Log.Entries) != len(log.Log.Entries) {
+		t.Fatalf("round-trip lost entries: %d != %d", len(back.Log.Entries), len(log.Log.Entries))
+	}
+
+	// Schema-level checks on the raw JSON: required HAR 1.2 fields present
+	// on every entry.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	lg := raw["log"].(map[string]any)
+	for _, key := range []string{"version", "creator", "pages", "entries"} {
+		if _, ok := lg[key]; !ok {
+			t.Fatalf("missing log.%s", key)
+		}
+	}
+	for i, e := range lg["entries"].([]any) {
+		entry := e.(map[string]any)
+		for _, key := range []string{"startedDateTime", "time", "request", "response", "timings"} {
+			if _, ok := entry[key]; !ok {
+				t.Fatalf("entry %d missing %q", i, key)
+			}
+		}
+		tm := entry["timings"].(map[string]any)
+		for _, key := range []string{"blocked", "wait", "receive"} {
+			if v, ok := tm[key].(float64); !ok || v < -1 {
+				t.Fatalf("entry %d timings.%s = %v", i, key, tm[key])
+			}
+		}
+	}
+
+	// The degraded fetches must surface: status 0 + a failure comment.
+	failed := 0
+	for _, e := range back.Log.Entries {
+		if e.Response.Status == 0 {
+			failed++
+			if !strings.Contains(e.Response.Comment, "failed:") {
+				t.Errorf("failed entry without failure comment: %+v", e.Response)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Error("no failed entries exported despite FailedFetches > 0")
+	}
+
+	// And the span-derived receive phase must be populated somewhere: a
+	// successful transfer has headers before last byte.
+	gotReceive := false
+	for _, e := range back.Log.Entries {
+		if e.Timings.Receive > 0 {
+			gotReceive = true
+			break
+		}
+	}
+	if !gotReceive {
+		t.Error("no entry has timings.receive > 0; first-byte data not flowing into the export")
+	}
+}

@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Counters accumulates named event counts — retries, timeouts, wasted-push
 // bytes, injected faults — across the loads of an experiment, for the
-// report alongside the PLT distributions.
+// report alongside the PLT distributions. It is safe for concurrent use:
+// experiments share one instance across loads, and callers may fan loads
+// out over goroutines.
 type Counters struct {
+	mu     sync.Mutex
 	counts map[string]int64
 }
 
@@ -21,17 +25,25 @@ func (c *Counters) Add(name string, n int64) {
 	if n == 0 {
 		return
 	}
+	c.mu.Lock()
 	c.counts[name] += n
+	c.mu.Unlock()
 }
 
 // Get returns a counter's value (zero if never added).
-func (c *Counters) Get(name string) int64 { return c.counts[name] }
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
 
 // Touch ensures a counter exists so it renders even at zero. Add skips
 // zero increments to keep incidental counters out of reports, but headline
 // counters (retries, timeouts, wasted-push bytes) should read "=0" rather
 // than vanish when nothing fired.
 func (c *Counters) Touch(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.counts[name]; !ok {
 		c.counts[name] = 0
 	}
@@ -39,6 +51,13 @@ func (c *Counters) Touch(name string) {
 
 // Names returns the counter names, sorted.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.names()
+}
+
+// names is Names without the lock, for callers that already hold it.
+func (c *Counters) names() []string {
 	out := make([]string, 0, len(c.counts))
 	for name := range c.counts {
 		out = append(out, name)
@@ -49,8 +68,10 @@ func (c *Counters) Names() []string {
 
 // String renders "name=value" pairs sorted by name.
 func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
-	for i, name := range c.Names() {
+	for i, name := range c.names() {
 		if i > 0 {
 			b.WriteByte(' ')
 		}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCountersConcurrent hammers Add/Get/Names/String from many goroutines;
+// run under -race (CI does) it proves the counter set is goroutine-safe —
+// experiments share one across loads and may fan loads out.
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add("shared", 1)
+				c.Add(fmt.Sprintf("worker-%d", w), 2)
+				if i%100 == 0 {
+					_ = c.Names()
+					_ = c.String()
+					_ = c.Get("shared")
+					c.Touch("touched")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != workers*perWorker {
+		t.Errorf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := c.Get(fmt.Sprintf("worker-%d", w)); got != 2*perWorker {
+			t.Errorf("worker-%d = %d, want %d", w, got, 2*perWorker)
+		}
+	}
+	if got := c.Get("touched"); got != 0 {
+		t.Errorf("touched counter = %d, want 0", got)
+	}
+	// names: shared + touched + one per worker.
+	if got := len(c.Names()); got != workers+2 {
+		t.Errorf("len(Names()) = %d, want %d", got, workers+2)
+	}
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histMin is the lower bound of the first histogram bucket, in the caller's
+// unit (milliseconds for the duration histograms the experiments record):
+// 10µs, far below anything the simulation resolves.
+const histMin = 0.01
+
+// histGrowth is the per-bucket growth factor: 2^(1/8), ≈9% relative
+// resolution — tight enough that p50/p90/p99 readings are not artifacts of
+// bucketing, small enough that a histogram spanning 10µs..100s needs only
+// ~190 buckets.
+var histGrowth = math.Pow(2, 1.0/8)
+
+// Histogram is a log-bucketed sample distribution with quantile
+// estimation. Unlike Dist it never stores individual samples, so an
+// experiment can feed it millions of observations at constant memory.
+// It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []uint64 // bucket i covers [histMin*g^i, histMin*g^(i+1))
+	zero    uint64   // samples <= 0 (and below histMin)
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: math.Inf(1), max: math.Inf(-1)} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if v < histMin {
+		h.zero++
+		return
+	}
+	idx := int(math.Log(v/histMin) / math.Log(histGrowth))
+	if idx < 0 {
+		idx = 0
+	}
+	for len(h.buckets) <= idx {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[idx]++
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile estimates the p-th percentile (0 < p <= 100) by locating the
+// bucket holding the target rank and interpolating linearly inside it. The
+// exact observed min and max anchor the extremes. Returns NaN when empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := p / 100 * float64(h.count)
+	cum := float64(h.zero)
+	if target <= cum {
+		// Inside the sub-resolution bucket: interpolate min..histMin.
+		lo, hi := h.min, math.Min(histMin, h.max)
+		return lo + (hi-lo)*target/cum
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if target <= next {
+			lo := histMin * math.Pow(histGrowth, float64(i))
+			hi := lo * histGrowth
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return lo + (hi-lo)*(target-cum)/float64(n)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// Summary formats the distribution's headline quantiles.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("p50=%.2f p90=%.2f p99=%.2f mean=%.2f n=%d",
+		h.Quantile(50), h.Quantile(90), h.Quantile(99), h.Mean(), h.N())
+}
+
+// Registry is a named set of histograms for one experiment, so figure code
+// can record distributions (time-to-first-byte, scheduler hold time, push
+// lead time) without threading individual histograms around. Safe for
+// concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{hists: make(map[string]*Histogram)} }
+
+// Histogram returns (creating) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe records a sample in the named histogram.
+func (r *Registry) Observe(name string, v float64) { r.Histogram(name).Observe(v) }
+
+// ObserveDuration records a duration sample (milliseconds) in the named
+// histogram.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.Histogram(name).ObserveDuration(d)
+}
+
+// Names returns the histogram names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render formats every non-empty histogram, one line each, sorted by name.
+// Values are in the unit observed (milliseconds for ObserveDuration).
+func (r *Registry) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (ms)\n", title)
+	for _, name := range r.Names() {
+		h := r.Histogram(name)
+		if h.N() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-28s %s\n", name, h.Summary())
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.N() != 0 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if !math.IsNaN(h.Quantile(50)) || !math.IsNaN(h.Mean()) {
+		t.Error("empty histogram quantile/mean should be NaN")
+	}
+}
+
+// TestHistogramQuantiles checks the log-bucketed estimates stay within the
+// bucket resolution (~9%) of the exact sample quantiles across several
+// orders of magnitude.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	exact := NewDist()
+	for i := 0; i < 50_000; i++ {
+		// Log-uniform over 0.1ms .. 10s — the range load metrics live in.
+		v := math.Pow(10, -1+5*rng.Float64())
+		h.Observe(v)
+		exact.Add(v)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		got := h.Quantile(p)
+		want := exact.Percentile(p)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("p%.0f: histogram %.4g vs exact %.4g (%.1f%% off)", p, got, want, rel*100)
+		}
+	}
+	if got, want := h.Quantile(0), exact.Min(); got != want {
+		t.Errorf("min: %g != %g", got, want)
+	}
+	if got, want := h.Quantile(100), exact.Max(); got != want {
+		t.Errorf("max: %g != %g", got, want)
+	}
+}
+
+func TestHistogramZeroAndTiny(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(0)
+	h.ObserveDuration(500 * time.Millisecond)
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if q := h.Quantile(99); math.Abs(q-500) > 500*0.1 {
+		t.Errorf("p99 = %g, want ≈500 (ms)", q)
+	}
+	if q := h.Quantile(10); q < 0 || q > histMin {
+		t.Errorf("p10 = %g, want within the sub-resolution bucket [0, %g]", q, histMin)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.ObserveDuration("a/ttfb", time.Duration(i)*time.Millisecond)
+				r.Observe("b/hold", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Names(); len(got) != 2 || got[0] != "a/ttfb" || got[1] != "b/hold" {
+		t.Fatalf("Names = %v", got)
+	}
+	if n := r.Histogram("a/ttfb").N(); n != 4000 {
+		t.Errorf("a/ttfb N = %d, want 4000", n)
+	}
+	out := r.Render("dists")
+	for _, want := range []string{"dists", "a/ttfb", "b/hold", "p50=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

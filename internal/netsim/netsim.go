@@ -15,6 +15,7 @@
 package netsim
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"sort"
@@ -22,6 +23,7 @@ import (
 
 	"vroom/internal/event"
 	"vroom/internal/faults"
+	"vroom/internal/obs"
 	"vroom/internal/urlutil"
 )
 
@@ -89,6 +91,9 @@ type Config struct {
 	// outages refuse new requests, brown-outs delay first bytes, and
 	// responses may stall or truncate. Nil injects nothing.
 	Faults *faults.Plan
+	// Tracer records connection and stream lifecycle spans (DNS, handshake,
+	// request, first byte, body, stall/reset). Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // LTEDefaults returns the configuration used throughout the evaluation: a
@@ -233,6 +238,7 @@ type Request struct {
 	aborted bool
 	failed  bool
 	flow    *flow
+	span    obs.Span
 }
 
 // fail marks the request terminally failed and notifies the client.
@@ -241,6 +247,8 @@ func (r *Request) fail(reason string) {
 		return
 	}
 	r.failed = true
+	r.span.End(obs.Arg{Key: "outcome", Val: reason})
+	r.span = obs.Span{}
 	if r.OnFail != nil {
 		r.OnFail(reason)
 	}
@@ -258,7 +266,10 @@ func (r *Request) Abort() {
 	if r.flow != nil {
 		r.flow.conn.abortFlow(r.flow)
 		r.flow = nil
+	} else {
+		r.span.End(obs.Arg{Key: "outcome", Val: "aborted"})
 	}
+	r.span = obs.Span{}
 }
 
 // Do issues a request for u. onServer is invoked (in simulated time) when
@@ -270,6 +281,10 @@ func (n *Net) Do(u urlutil.URL, onServer func(*RoundTrip)) *Request {
 	r := &Request{url: u, net: n}
 	if n.cfg.Faults.OriginDown(u.Origin(), n.eng.Now().Sub(n.start)) {
 		// Connection refused: the SYN's RST comes back after one RTT.
+		if n.cfg.Tracer.Enabled() {
+			n.cfg.Tracer.InstantAt(n.eng.Now().Add(n.RTT(u.Host)), obs.TrackNet,
+				"refused:"+u.String(), obs.Arg{Key: "origin", Val: u.Origin()})
+		}
 		n.eng.ScheduleAfter(n.RTT(u.Host), "refused@"+u.String(), func() {
 			r.fail("connect-refused")
 		})
@@ -314,6 +329,7 @@ type conn struct {
 	origin  *origin
 	net     *Net
 	seq     uint64    // creation order, for deterministic iteration
+	track   string    // trace track name ("" when tracing is disabled)
 	readyAt time.Time // handshake completion
 	// busy marks an HTTP/1.1 connection with an outstanding request.
 	busy bool
@@ -370,6 +386,7 @@ func (c *conn) grow() {
 type flow struct {
 	conn *conn
 	url  urlutil.URL
+	span obs.Span
 	// availableAt is when the first byte could reach the client
 	// (server start + think + half RTT).
 	availableAt time.Time
@@ -449,6 +466,14 @@ func (n *Net) openConn(o *origin) *conn {
 	handshakes := time.Duration(1+n.cfg.TLSRoundTrips) * (rtt + n.queueDelay())
 	n.connSeq++
 	c := &conn{origin: o, net: n, seq: n.connSeq, readyAt: dnsReady.Add(handshakes), cwnd: n.cfg.InitCwndBytes}
+	if tr := n.cfg.Tracer; tr.Enabled() {
+		c.track = fmt.Sprintf("conn:%s#%d", o.key, c.seq)
+		if !resolved && dnsReady.After(now) {
+			tr.BeginAt(now, c.track, "dns", obs.Arg{Key: "host", Val: o.host}).EndAt(dnsReady)
+		}
+		tr.BeginAt(dnsReady, c.track, "handshake",
+			obs.Arg{Key: "rtts", Val: fmt.Sprint(1 + n.cfg.TLSRoundTrips)}).EndAt(c.readyAt)
+	}
 	o.conns = append(o.conns, c)
 	return c
 }
@@ -460,6 +485,9 @@ func (n *Net) sendRequest(c *conn, req *pendingReq) {
 	start := n.eng.Now()
 	if c.readyAt.After(start) {
 		start = c.readyAt
+	}
+	if tr := n.cfg.Tracer; tr.Enabled() && req.req != nil {
+		req.req.span = tr.BeginAt(start, c.track, "stream:"+req.url.String())
 	}
 	arrive := start.Add(n.RTT(c.origin.host)/2 + n.queueDelay())
 	n.eng.Schedule(arrive, "req@"+req.url.String(), func() {
@@ -502,6 +530,9 @@ func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration,
 			// 5xx: a short error body arrives in place of the content.
 			size = errorBodyBytes
 			deliver = failTo("http-error")
+			if n.cfg.Tracer.Enabled() {
+				n.cfg.Tracer.Instant(c.track, "fault:"+u.String(), obs.Arg{Key: "kind", Val: "http-error"})
+			}
 		case faults.FaultTruncate:
 			// The connection dies mid-transfer: part of the body arrives,
 			// then the request fails.
@@ -510,6 +541,9 @@ func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration,
 				size = 1
 			}
 			deliver = failTo("truncated")
+			if n.cfg.Tracer.Enabled() {
+				n.cfg.Tracer.Instant(c.track, "fault:"+u.String(), obs.Arg{Key: "kind", Val: "truncated"})
+			}
 		case faults.FaultStall:
 			if req == nil {
 				// A stalled push is a dead server stream; drop it so an
@@ -519,6 +553,10 @@ func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration,
 				// has the promised entry to recover.
 				if pushFail != nil {
 					rstAt := thinkTime + n.RTT(c.origin.host)/2
+					if n.cfg.Tracer.Enabled() {
+						n.cfg.Tracer.InstantAt(n.eng.Now().Add(rstAt), c.track,
+							"push-rst:"+u.String(), obs.Arg{Key: "kind", Val: "stalled"})
+					}
 					n.eng.ScheduleAfter(rstAt, "push-rst@"+u.String(), func() {
 						pushFail("stalled")
 					})
@@ -529,7 +567,11 @@ func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration,
 			// connection — on a serialized connection everything queued
 			// behind it blocks too (head-of-line) — until the client's
 			// timeout aborts it.
-			f := &flow{conn: c, url: u, size: size, remaining: float64(size), done: done}
+			if n.cfg.Tracer.Enabled() {
+				n.cfg.Tracer.Instant(c.track, "fault:"+u.String(), obs.Arg{Key: "kind", Val: "stalled"})
+			}
+			f := &flow{conn: c, url: u, size: size, remaining: float64(size), done: done, span: req.span}
+			req.span = obs.Span{}
 			req.flow = f
 			c.flows = append(c.flows, f)
 			return
@@ -546,6 +588,11 @@ func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration,
 	}
 	if req != nil {
 		req.flow = f
+		f.span = req.span
+		req.span = obs.Span{}
+	} else if tr := n.cfg.Tracer; tr.Enabled() {
+		// Server-initiated: the push stream opens when the server starts it.
+		f.span = tr.Begin(c.track, "push:"+u.String())
 	}
 	c.flows = append(c.flows, f)
 	if req != nil && req.OnStart != nil {
@@ -563,6 +610,9 @@ func (n *Net) respond(c *conn, u urlutil.URL, size int, thinkTime time.Duration,
 	}
 	n.eng.Schedule(f.availableAt, "resp-start@"+u.String(), func() {
 		f.started = true
+		if tr := n.cfg.Tracer; tr.Enabled() {
+			tr.Instant(c.track, "first-byte:"+u.String())
+		}
 		n.recompute()
 	})
 }
@@ -584,6 +634,9 @@ func (n *Net) freeH1(c *conn) {
 func (c *conn) abortFlow(f *flow) {
 	for _, g := range c.flows {
 		if g == f {
+			if f.span.Active() {
+				f.span.End(obs.Arg{Key: "outcome", Val: "aborted"})
+			}
 			c.removeFlow(f)
 			c.net.recompute()
 			return
@@ -720,6 +773,9 @@ func (n *Net) recompute() {
 	// re-enter recompute.
 	for _, f := range completed {
 		n.BytesDelivered += int64(f.size)
+		if f.span.Active() {
+			f.span.End(obs.Arg{Key: "outcome", Val: "ok"}, obs.Arg{Key: "bytes", Val: fmt.Sprint(f.size)})
+		}
 		if f.done != nil {
 			f.done()
 		}

@@ -1,0 +1,159 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"vroom/internal/obs"
+	"vroom/internal/runner"
+	"vroom/internal/webpage"
+)
+
+func traceLoad(t *testing.T, pol runner.Policy) (*obs.Recording, time.Duration) {
+	t.Helper()
+	site := webpage.NewSite("obssite", webpage.Top100, 11)
+	rec := &obs.Recording{}
+	res, err := runner.Run(site, pol, runner.Options{
+		Time:    time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC),
+		Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 1},
+		Nonce:   1,
+		Trace:   rec,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", pol, err)
+	}
+	if rec.Len() == 0 {
+		t.Fatalf("%s: tracing enabled but no events recorded", pol)
+	}
+	return rec, res.PLT
+}
+
+// TestBlameSumsToPLT is the acceptance gate for the blame decomposition:
+// for every policy on a fixed-seed site, the segments must add back up to
+// the reported PLT within 1ms.
+func TestBlameSumsToPLT(t *testing.T) {
+	for _, pol := range runner.AllPolicies() {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			rec, plt := traceLoad(t, pol)
+			rep := obs.Blame(rec, plt)
+			diff := rep.Sum() - plt
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > time.Millisecond {
+				t.Errorf("blame sum %v vs PLT %v (off by %v)\n%s",
+					rep.Sum(), plt, diff, rep.Format())
+			}
+			if plt > 0 && len(rep.Segments) == 0 {
+				t.Error("nonzero PLT but no blame segments")
+			}
+		})
+	}
+}
+
+// TestCriticalPathRooted checks the blame report's critical path starts at
+// the root document and is causally ordered.
+func TestCriticalPathRooted(t *testing.T) {
+	rec, plt := traceLoad(t, runner.Vroom)
+	rep := obs.Blame(rec, plt)
+	if len(rep.CriticalPath) == 0 {
+		t.Fatal("empty critical path")
+	}
+	for i := 1; i < len(rep.CriticalPath); i++ {
+		prev, cur := rep.CriticalPath[i-1], rep.CriticalPath[i]
+		if cur.DiscoveredAt < prev.DiscoveredAt {
+			t.Errorf("path not causally ordered: %s@%v before %s@%v",
+				cur.URL, cur.DiscoveredAt, prev.URL, prev.DiscoveredAt)
+		}
+	}
+	last := rep.CriticalPath[len(rep.CriticalPath)-1]
+	if last.ProcessedAt <= 0 {
+		t.Errorf("terminal path node %s has no processed time", last.URL)
+	}
+}
+
+// TestPerfettoValid renders a real trace and checks the Chrome trace-event
+// invariants a viewer depends on: valid JSON, non-decreasing timestamps,
+// and every B matched by an E on the same tid (and b/e per async id).
+func TestPerfettoValid(t *testing.T) {
+	for _, pol := range []runner.Policy{runner.Vroom, runner.H2, runner.HTTP1} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			rec, _ := traceLoad(t, pol)
+			var buf bytes.Buffer
+			if err := obs.WritePerfetto(&buf, rec); err != nil {
+				t.Fatal(err)
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Fatal("emitted trace is not valid JSON")
+			}
+			var tf struct {
+				TraceEvents []struct {
+					Name string  `json:"name"`
+					Ph   string  `json:"ph"`
+					Ts   float64 `json:"ts"`
+					Tid  int     `json:"tid"`
+					ID   string  `json:"id"`
+				} `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+				t.Fatal(err)
+			}
+			if len(tf.TraceEvents) == 0 {
+				t.Fatal("no trace events emitted")
+			}
+
+			// Timestamps non-decreasing (metadata events carry ts 0 and
+			// sort first, which is fine).
+			lastTs := -1.0
+			for i, ev := range tf.TraceEvents {
+				if ev.Ph == "M" {
+					continue
+				}
+				if ev.Ts < 0 {
+					t.Fatalf("event %d %q has negative ts %v", i, ev.Name, ev.Ts)
+				}
+				if ev.Ts < lastTs {
+					t.Fatalf("event %d %q ts %v decreases below %v", i, ev.Name, ev.Ts, lastTs)
+				}
+				lastTs = ev.Ts
+			}
+
+			// Duration events nest per tid; async events pair per id.
+			stacks := map[int][]string{}
+			async := map[string]int{}
+			for i, ev := range tf.TraceEvents {
+				switch ev.Ph {
+				case "B":
+					stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+				case "E":
+					st := stacks[ev.Tid]
+					if len(st) == 0 {
+						t.Fatalf("event %d: E %q on tid %d with empty stack", i, ev.Name, ev.Tid)
+					}
+					stacks[ev.Tid] = st[:len(st)-1]
+				case "b":
+					async[ev.ID]++
+				case "e":
+					async[ev.ID]--
+					if async[ev.ID] < 0 {
+						t.Fatalf("event %d: async end %q id %s before its begin", i, ev.Name, ev.ID)
+					}
+				}
+			}
+			for tid, st := range stacks {
+				if len(st) != 0 {
+					t.Errorf("tid %d: %d unclosed B events (%v)", tid, len(st), st)
+				}
+			}
+			for id, n := range async {
+				if n != 0 {
+					t.Errorf("async id %s: %d unmatched begins", id, n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func clockAt(t *time.Time) func() time.Time { return func() time.Time { return *t } }
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Begin(TrackMain, "x")
+	if sp.Active() {
+		t.Fatal("nil tracer returned an active span")
+	}
+	sp.End() // must not panic
+	tr.Instant(TrackLoad, "y")
+	tr.InstantAt(time.Time{}, TrackLoad, "z")
+}
+
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(TrackMain, "task")
+		sp.End()
+		tr.Instant(TrackLoad, "i")
+	}); allocs != 0 {
+		t.Errorf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestTracerRecords(t *testing.T) {
+	now := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	rec := &Recording{Start: now}
+	tr := New(clockAt(&now), rec)
+
+	sp := tr.Begin(TrackMain, "parse", Arg{Key: "doc", Val: "root"})
+	now = now.Add(10 * time.Millisecond)
+	tr.Instant(TrackLoad, "discover:x", Arg{Key: "by", Val: "root"})
+	now = now.Add(5 * time.Millisecond)
+	sp.End(Arg{Key: "outcome", Val: "ok"})
+
+	if rec.Len() != 3 {
+		t.Fatalf("recorded %d events, want 3", rec.Len())
+	}
+	b, i, e := rec.Events[0], rec.Events[1], rec.Events[2]
+	if b.Kind != KindBegin || b.Track != TrackMain || b.Name != "parse" || b.Arg("doc") != "root" {
+		t.Errorf("begin event: %+v", b)
+	}
+	if i.Kind != KindInstant || i.Arg("by") != "root" {
+		t.Errorf("instant event: %+v", i)
+	}
+	if e.Kind != KindEnd || e.ID != b.ID || e.Arg("outcome") != "ok" {
+		t.Errorf("end event: %+v", e)
+	}
+	if !e.At.Equal(b.At.Add(15 * time.Millisecond)) {
+		t.Errorf("end at %v, want begin+15ms", e.At)
+	}
+}
+
+func TestBlameSumsExactly(t *testing.T) {
+	start := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	rec := &Recording{Start: start}
+	now := start
+	tr := New(clockAt(&now), rec)
+
+	// A tiny synthetic load: 20ms CPU, overlapping fetches (one failing),
+	// a backoff, a hold, a push, and idle gaps.
+	tr.BeginAt(start, TrackMain, "parse-html").EndAt(start.Add(20 * time.Millisecond))
+	tr.BeginAt(start.Add(5*time.Millisecond), TrackLoad, "fetch:a").
+		EndAt(start.Add(60*time.Millisecond), Arg{Key: "outcome", Val: "ok"})
+	tr.BeginAt(start.Add(10*time.Millisecond), TrackLoad, "fetch:b").
+		EndAt(start.Add(40*time.Millisecond), Arg{Key: "outcome", Val: "timeout"})
+	tr.BeginAt(start.Add(40*time.Millisecond), TrackLoad, "backoff:b").
+		EndAt(start.Add(90 * time.Millisecond))
+	tr.BeginAt(start.Add(30*time.Millisecond), TrackSched, "hold:c").
+		EndAt(start.Add(120 * time.Millisecond))
+	tr.BeginAt(start.Add(95*time.Millisecond), "conn:o#1", "push:d").
+		EndAt(start.Add(110*time.Millisecond), Arg{Key: "outcome", Val: "ok"})
+	tr.BeginAt(start.Add(130*time.Millisecond), TrackMain, "finalize").
+		EndAt(start.Add(150 * time.Millisecond))
+
+	plt := 150 * time.Millisecond
+	rep := Blame(rec, plt)
+	if rep.Sum() != plt {
+		t.Fatalf("segments sum to %v, want exactly %v\n%s", rep.Sum(), plt, rep.Format())
+	}
+	seg := make(map[string]time.Duration)
+	for _, s := range rep.Segments {
+		seg[s.Name] = s.Dur
+	}
+	// Priority sweep over [0,150), highest class winning each slice:
+	//   [0,20) cpu   [20,40) fault   [40,90) backoff   [90,95) hold
+	//   [95,110) push   [110,120) hold   [120,130) idle   [130,150) cpu
+	// fetch:a [5,60) is entirely shadowed by cpu/fault/backoff → net 0.
+	want := map[string]time.Duration{
+		SegCPUBusy:      40 * time.Millisecond,
+		SegFaultStall:   20 * time.Millisecond,
+		SegRetryBackoff: 50 * time.Millisecond,
+		SegNetworkWait:  0,
+		SegPushSaved:    15 * time.Millisecond,
+		SegSchedHold:    15 * time.Millisecond,
+		SegOtherIdle:    10 * time.Millisecond,
+	}
+	for name, w := range want {
+		if seg[name] != w {
+			t.Errorf("%s = %v, want %v\n%s", name, seg[name], w, rep.Format())
+		}
+	}
+}
+
+func TestBlameUnfinishedWindow(t *testing.T) {
+	start := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	rec := &Recording{Start: start}
+	tr := New(func() time.Time { return start }, rec)
+	// A span left open (stalled stream) must be clamped to the window and
+	// still produce an exact sum.
+	tr.BeginAt(start.Add(10*time.Millisecond), TrackLoad, "fetch:x")
+	rep := Blame(rec, 100*time.Millisecond)
+	if rep.Sum() != 100*time.Millisecond {
+		t.Fatalf("sum %v != 100ms", rep.Sum())
+	}
+	// Zero-PLT trace.
+	rep = Blame(&Recording{Start: start}, 0)
+	if rep.Sum() != 0 || rep.PLT != 0 {
+		t.Fatalf("empty trace: %+v", rep)
+	}
+}
+
+func TestCriticalPathWalk(t *testing.T) {
+	start := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	rec := &Recording{Start: start}
+	at := func(ms int) time.Time { return start.Add(time.Duration(ms) * time.Millisecond) }
+	emit := func(name string, ms int, by string) {
+		var args []Arg
+		if by != "" {
+			args = append(args, Arg{Key: "by", Val: by})
+		}
+		rec.Emit(Event{Kind: KindInstant, Track: TrackLoad, Name: name, At: at(ms), Args: args})
+	}
+	emit("discover:root", 0, "")
+	emit("arrived:root", 50, "")
+	emit("discover:app.js", 55, "root")
+	emit("arrived:app.js", 120, "")
+	emit("processed:root", 130, "")
+	emit("discover:late.png", 125, "app.js")
+	emit("arrived:late.png", 200, "")
+	emit("processed:app.js", 140, "")
+	emit("processed:late.png", 230, "")
+
+	rep := Report{CriticalPath: criticalPath(rec, at(300))}
+	want := []string{"root", "app.js", "late.png"}
+	if len(rep.CriticalPath) != len(want) {
+		t.Fatalf("path %v, want %v", rep.CriticalPath, want)
+	}
+	for i, n := range rep.CriticalPath {
+		if n.URL != want[i] {
+			t.Errorf("path[%d] = %s, want %s", i, n.URL, want[i])
+		}
+	}
+	if rep.CriticalPath[2].ProcessedAt != 230*time.Millisecond {
+		t.Errorf("late.png processed at %v", rep.CriticalPath[2].ProcessedAt)
+	}
+}

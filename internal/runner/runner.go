@@ -12,6 +12,7 @@ import (
 	"vroom/internal/event"
 	"vroom/internal/faults"
 	"vroom/internal/netsim"
+	"vroom/internal/obs"
 	"vroom/internal/polaris"
 	"vroom/internal/server"
 	"vroom/internal/urlutil"
@@ -74,6 +75,10 @@ type Options struct {
 	// perfect world. Plans carry per-load mutable state (attempt counters,
 	// origin health): build a fresh Plan per Run, reusing only the seed.
 	Faults *faults.Plan
+	// Trace, when set, records the load's full structured trace (netsim
+	// streams, main-thread tasks, scheduler holds, server decisions) into
+	// the recording. Nil disables tracing — the zero-overhead path.
+	Trace *obs.Recording
 }
 
 func (o *Options) fill() {
@@ -95,13 +100,22 @@ func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 	// degrade around.
 	opts.Faults.ExemptURL(site.RootURL())
 
+	var tracer *obs.Tracer
+	if opts.Trace != nil {
+		opts.Trace.Start = opts.Time
+		tracer = obs.New(eng.Now, opts.Trace)
+	}
+
 	ncfg := networkConfig(pol, opts)
 	ncfg.Faults = opts.Faults
+	ncfg.Tracer = tracer
 	net := netsim.New(eng, ncfg)
 
 	resolver, srvPolicy := serverSide(site, pol, opts)
+	resolver.Trace = tracer
 	farm := server.NewFarm(net, sn, resolver, srvPolicy, server.DefaultConfig())
 	farm.Faults = opts.Faults
+	farm.Trace = tracer
 	// Old fingerprinted assets remain fetchable, as on real CDNs; stale
 	// hints and stale Polaris graph entries hit these.
 	for _, back := range []time.Duration{time.Hour, 2 * time.Hour, 3 * time.Hour, 24 * time.Hour, 7 * 24 * time.Hour} {
@@ -109,7 +123,7 @@ func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 		farm.Archive = append(farm.Archive, site.Snapshot(at, opts.Profile, uint64(at.UnixNano())))
 	}
 
-	bcfg := browser.Config{CPUScale: opts.CPUScale, Cache: opts.Cache}
+	bcfg := browser.Config{CPUScale: opts.CPUScale, Cache: opts.Cache, Trace: tracer}
 	if pol == NetworkOnly {
 		bcfg.NoProcessing = true
 	}

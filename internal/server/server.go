@@ -6,6 +6,7 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"vroom/internal/browser"
@@ -13,6 +14,7 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/hints"
 	"vroom/internal/netsim"
+	"vroom/internal/obs"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
 )
@@ -97,6 +99,10 @@ type Farm struct {
 	// (404 or redirect) and pushes to failing origins are suppressed. Nil
 	// injects nothing.
 	Faults *faults.Plan
+
+	// Trace, when set, records hint emission and push decisions on the
+	// server track. Nil disables.
+	Trace *obs.Tracer
 
 	pushed map[string]bool
 	// redirects maps stale hinted URLs to the fresh URL they now point at.
@@ -200,6 +206,10 @@ func (f *Farm) handle(rt *netsim.RoundTrip, done func(*browser.Fetched)) {
 			body = res.Body
 		}
 		hs = f.staleify(f.Resolver.HintsFor(rt.URL, body, device))
+		if f.Trace.Enabled() {
+			f.Trace.Instant(obs.TrackServer, "hints:"+rt.URL.String(),
+				obs.Arg{Key: "count", Val: fmt.Sprint(len(hs))})
+		}
 		f.push(rt, hs)
 		if !f.Policy.SendHints {
 			hs = nil
@@ -240,6 +250,11 @@ func (f *Farm) push(rt *netsim.RoundTrip, hs []hints.Hint) {
 	}
 	urls := core.PushSet(hs, rt.URL, f.Policy.Push == PushAllLocal)
 	now := f.Client.Eng.Now()
+	skip := func(key, why string) {
+		if f.Trace.Enabled() {
+			f.Trace.Instant(obs.TrackServer, "push-skip:"+key, obs.Arg{Key: "why", Val: why})
+		}
+	}
 	for _, u := range urls {
 		key := u.String()
 		if f.pushed[key] {
@@ -247,15 +262,22 @@ func (f *Farm) push(rt *netsim.RoundTrip, hs []hints.Hint) {
 		}
 		res, ok := f.Lookup(u)
 		if !ok {
+			skip(key, "unknown-url")
 			continue
 		}
 		if f.Policy.CacheAware && f.ClientCache != nil && f.ClientCache.Fresh(key, now) {
+			skip(key, "client-cached")
 			continue // client already holds it; pushing would waste bandwidth
 		}
 		if f.Faults.Failing(u.Origin(), f.sinceStart()) {
+			skip(key, "origin-unhealthy")
 			continue // origin marked unhealthy: pushing burns client bandwidth
 		}
 		f.pushed[key] = true
+		if f.Trace.Enabled() {
+			f.Trace.Instant(obs.TrackServer, "push-decide:"+key,
+				obs.Arg{Key: "with", Val: rt.URL.String()})
+		}
 		// The PUSH_PROMISE reaches the client half an RTT after the
 		// server emits it.
 		promiseAt := f.Net.RTT(u.Host) / 2

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/runner"
+	"vroom/internal/webpage"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against the named testdata file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestWaterfallGolden pins the full waterfall + summary rendering of one
+// fixed-seed load per scheduler family, so any change to row glyphs, axis
+// layout, or summary arithmetic shows up as a diff.
+func TestWaterfallGolden(t *testing.T) {
+	site := webpage.NewSite("goldensite", webpage.Top100, 7)
+	for _, pol := range []runner.Policy{runner.Vroom, runner.H2} {
+		res, err := runner.Run(site, pol, runner.Options{
+			Time:    time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC),
+			Profile: webpage.Profile{Device: webpage.PhoneSmall, UserID: 1},
+			Nonce:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Waterfall(res, Options{Width: 60, MaxRows: 15}) + "\n" + Summary(res)
+		checkGolden(t, "waterfall_"+string(pol)+".golden", got)
+	}
+}
+
+// TestWaterfallUnfinishedGolden pins the zero-PLT rendering: a load that
+// never finished must say so rather than divide by zero.
+func TestWaterfallUnfinishedGolden(t *testing.T) {
+	got := Waterfall(browser.Result{}, Options{}) + "\n" + Summary(browser.Result{})
+	checkGolden(t, "waterfall_unfinished.golden", got)
+}
+
+// TestWaterfallPushedNoRequest covers the glyph fix: a pushed resource the
+// client never requested must draw its in-flight bar from the PUSH_PROMISE
+// time, not from discovery.
+func TestWaterfallPushedNoRequest(t *testing.T) {
+	res := browser.Result{
+		PLT: 10 * time.Second,
+		Resources: []browser.ResourceTiming{{
+			URL:            "https://x.test/pushed.css",
+			Required:       true,
+			Pushed:         true,
+			DiscoveredAt:   1 * time.Second,
+			PushPromisedAt: 4 * time.Second,
+			ArrivedAt:      8 * time.Second,
+			ProcessedAt:    9 * time.Second,
+		}},
+	}
+	out := Waterfall(res, Options{Width: 10})
+	// Columns: 1s→col 1, 4s→col 4, 8s→col 8. Discovery..promise is a
+	// scheduler-hold dot run; promise..arrival the in-flight dashes.
+	var row string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "pushed.css") {
+			row = ln
+		}
+	}
+	if row == "" {
+		t.Fatalf("no row for pushed.css:\n%s", out)
+	}
+	close := strings.LastIndexByte(row, '|')
+	bar := row[close-10 : close]
+	if bar[1] != '.' || bar[3] != '.' {
+		t.Errorf("pushed row bar %q: want hold dots from discovery (col 1) to promise (col 3)", bar)
+	}
+	if bar[4] != '-' || bar[7] != '-' {
+		t.Errorf("pushed row bar %q: want in-flight bar from promise (col 4), not from discovery", bar)
+	}
+}

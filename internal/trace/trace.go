@@ -78,6 +78,11 @@ func Waterfall(res browser.Result, opts Options) string {
 			}
 		}
 		req := rt.RequestedAt
+		if req == 0 && rt.PushPromisedAt > 0 {
+			// Server-initiated delivery with no client request: the
+			// in-flight bar starts at the PUSH_PROMISE, not at discovery.
+			req = rt.PushPromisedAt
+		}
 		if req == 0 && rt.ArrivedAt > 0 {
 			req = rt.DiscoveredAt
 		}
