@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	vroom-bench [-fig all|fig01,...] [-scale quick|half|full] [-seed N]
+//	vroom-bench [-fig all|fig01,...] [-scale quick|half|full] [-seed N] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ func main() {
 		scale   = flag.String("scale", "half", "corpus scale: quick (3+3 sites), half (15+15), full (50+50, the paper's)")
 		seed    = flag.Int64("seed", 2017, "corpus seed")
 		regimeS = flag.String("faults", "none", "fault regime applied to every measured load: none, mild, or severe (seeded, reproducible)")
+		workers = flag.Int("workers", 0, "concurrent site workers per figure (0 = GOMAXPROCS, 1 = serial); any count produces identical tables")
 		list    = flag.Bool("list", false, "list figure ids and exit")
 	)
 	flag.Parse()
@@ -43,6 +45,10 @@ func main() {
 	o := experiments.DefaultOptions()
 	o.Seed = *seed
 	o.FaultRegime = regime
+	o.Workers = *workers
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	switch *scale {
 	case "quick":
 		o.NewsSites, o.SportsSites, o.Top100Sites = 3, 3, 6
@@ -77,5 +83,5 @@ func main() {
 		fmt.Println(res.Text)
 		fmt.Printf("  [%s completed in %.1fs]\n\n", id, time.Since(t0).Seconds())
 	}
-	fmt.Printf("all done in %.1fs (scale=%s, seed=%d)\n", time.Since(start).Seconds(), *scale, *seed)
+	fmt.Printf("all done in %.1fs (scale=%s, seed=%d, workers=%d)\n", time.Since(start).Seconds(), *scale, *seed, o.Workers)
 }

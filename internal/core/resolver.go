@@ -82,6 +82,18 @@ func NewResolver(cfg ResolverConfig) *Resolver {
 	return &Resolver{cfg: cfg, stable: make(map[string][]Dep)}
 }
 
+// Clone returns a resolver that shares this resolver's trained state (the
+// stable sets and template tables) but carries its own Trace, so one
+// training pass can back many concurrent loads: the maps are only read
+// after training, and per-load mutable state lives on the clone. The clone
+// must not be retrained — Train/TrainTemplates would write into the shared
+// maps.
+func (r *Resolver) Clone() *Resolver {
+	c := *r
+	c.Trace = nil
+	return &c
+}
+
 func docKey(doc urlutil.URL, device webpage.DeviceClass) string {
 	return doc.String() + "|" + device.String()
 }

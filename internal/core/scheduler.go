@@ -21,7 +21,10 @@ type StagedScheduler struct {
 	pending     map[hints.Priority][]*browser.Entry
 	outstanding map[hints.Priority]int
 	issued      map[string]hints.Priority
-	queued      map[string]bool
+	// queued records the priority class each held-back resource currently
+	// waits under, so a later hint or requirement at a higher priority can
+	// re-file it instead of leaving it behind a slower stage gate.
+	queued map[string]hints.Priority
 	// held tracks the open "hold:" span of each queued resource so the
 	// blame decomposition can see exactly how long the stage gate delayed
 	// each fetch.
@@ -35,7 +38,7 @@ func NewStagedScheduler() *StagedScheduler {
 		pending:     make(map[hints.Priority][]*browser.Entry),
 		outstanding: make(map[hints.Priority]int),
 		issued:      make(map[string]hints.Priority),
-		queued:      make(map[string]bool),
+		queued:      make(map[string]hints.Priority),
 		held:        make(map[string]obs.Span),
 	}
 }
@@ -67,14 +70,33 @@ func (s *StagedScheduler) fetchOrQueue(l *browser.Load, e *browser.Entry, p hint
 		return
 	}
 	key := e.URL.String()
-	if !s.queued[key] {
-		s.queued[key] = true
-		s.pending[p] = append(s.pending[p], e)
+	old, queuedBefore := s.queued[key]
+	if queuedBefore && p >= old {
+		return // already waiting under this or a more urgent class
+	}
+	if queuedBefore {
+		// Upgrade: a resource hinted at a low priority is now needed at a
+		// higher one — re-file it so it goes out when the earlier stage
+		// opens rather than sitting behind the old gate.
+		s.pending[old] = removeEntry(s.pending[old], e)
+	}
+	s.queued[key] = p
+	s.pending[p] = append(s.pending[p], e)
+	if !queuedBefore {
 		if tr := l.Tracer(); tr.Enabled() {
 			s.held[key] = tr.Begin(obs.TrackSched, "hold:"+key,
 				obs.Arg{Key: "prio", Val: p.String()})
 		}
 	}
+}
+
+func removeEntry(list []*browser.Entry, e *browser.Entry) []*browser.Entry {
+	for i, x := range list {
+		if x == e {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 func (s *StagedScheduler) issue(l *browser.Load, e *browser.Entry, p hints.Priority) {

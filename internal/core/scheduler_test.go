@@ -146,6 +146,87 @@ func TestStagedSchedulerHinted404DoesNotBlock(t *testing.T) {
 	}
 }
 
+// TestStagedSchedulerUpgradesQueuedPriority is the regression test for the
+// stage-gate priority upgrade: a resource queued at Low and later hinted at
+// a higher priority must be re-filed under the higher class (and issued
+// when that stage opens), not left to wait behind the Low gate.
+func TestStagedSchedulerUpgradesQueuedPriority(t *testing.T) {
+	site := webpage.NewSite("stagetest", webpage.Top100, 99)
+	sn := site.Snapshot(trainTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}, 1)
+	eng := event.New(trainTime)
+	tr := &recordingTransport{eng: eng, sn: sn, delay: 80 * time.Millisecond}
+	sched := NewStagedScheduler()
+	l := browser.NewLoad(eng, tr, browser.Config{}, sched, sn.Root)
+	l.Start()
+
+	// Two images (Low by type); upgrade the first to Semi after queueing.
+	var imgA, imgB urlutil.URL
+	for _, r := range sn.Ordered() {
+		if r.Type != webpage.Image {
+			continue
+		}
+		if imgA.IsZero() {
+			imgA = r.URL
+		} else if imgB.IsZero() {
+			imgB = r.URL
+			break
+		}
+	}
+	if imgB.IsZero() {
+		t.Skip("snapshot has fewer than two images")
+	}
+	l.Hint(hints.Hint{URL: imgA, Priority: hints.Low})
+	l.Hint(hints.Hint{URL: imgB, Priority: hints.Low})
+	l.Hint(hints.Hint{URL: imgA, Priority: hints.Semi}) // the upgrade
+
+	keyA := imgA.String()
+	if got := sched.queued[keyA]; got != hints.Semi {
+		t.Errorf("queued[%s] = %v, want %v", keyA, got, hints.Semi)
+	}
+	for _, e := range sched.pending[hints.Low] {
+		if e.URL == imgA {
+			t.Error("upgraded entry still filed under the Low gate")
+		}
+	}
+	found := false
+	for _, e := range sched.pending[hints.Semi] {
+		if e.URL == imgA {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("upgraded entry not filed under the Semi gate")
+	}
+	// A downgrade attempt must not move it back.
+	l.Hint(hints.Hint{URL: imgA, Priority: hints.Low})
+	if got := sched.queued[keyA]; got != hints.Semi {
+		t.Errorf("after downgrade attempt queued[%s] = %v, want %v", keyA, got, hints.Semi)
+	}
+
+	if _, err := eng.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Finished() {
+		t.Fatalf("unfinished: %s", l)
+	}
+	at := map[string]time.Time{}
+	for _, e := range tr.log {
+		if _, dup := at[e.url]; !dup {
+			at[e.url] = e.at
+		}
+	}
+	aAt, bAt := at[imgA.String()], at[imgB.String()]
+	if aAt.IsZero() || bAt.IsZero() {
+		t.Fatal("hinted images never fetched")
+	}
+	// The upgraded image goes out when the Semi stage opens; the Low gate
+	// (and imgB behind it) cannot open until the Semi fetch has drained.
+	if !aAt.Before(bAt) {
+		t.Errorf("upgraded image not issued before the Low stage: semi at %v, low at %v",
+			aAt.Sub(trainTime), bAt.Sub(trainTime))
+	}
+}
+
 func TestStagedSchedulerFetchesRequiredHighImmediately(t *testing.T) {
 	site := webpage.NewSite("stagetest", webpage.Top100, 99)
 	sn := site.Snapshot(trainTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 1}, 1)

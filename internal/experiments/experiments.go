@@ -7,7 +7,10 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vroom/internal/browser"
@@ -34,6 +37,17 @@ type Options struct {
 	// (cmd/vroom-bench -faults). The plans derive from Seed, so results
 	// stay reproducible. RegimeNone (the zero value) is the perfect world.
 	FaultRegime faults.Regime
+	// Workers bounds the number of sites loaded concurrently. Results are
+	// gathered in corpus order and every load is seeded independently of
+	// its worker, so any worker count produces byte-identical tables;
+	// <= 1 runs serially.
+	Workers int
+
+	// caches shares the deterministic offline work (resolver training,
+	// snapshot materialization, Polaris graphs) across the loads of one
+	// figure. fill() creates it, so every Options copy derived from one
+	// figure invocation shares the same cache set.
+	caches *runner.Caches
 }
 
 // DefaultOptions reproduces the paper's scale.
@@ -60,6 +74,9 @@ func (o Options) fill() Options {
 	}
 	if o.LoadsPerSite <= 0 {
 		o.LoadsPerSite = 1
+	}
+	if o.caches == nil {
+		o.caches = runner.NewCaches()
 	}
 	return o
 }
@@ -103,7 +120,9 @@ type Result struct {
 func observeLoadHists(reg *metrics.Registry, prefix string, rs []browser.Result) {
 	for _, r := range rs {
 		for _, rt := range r.Resources {
-			if rt.FirstByteAt > rt.RequestedAt && rt.FirstByteAt > 0 {
+			// >= so that zero-TTFB samples (pushed and cache-satisfied
+			// resources) are kept; dropping them biased the histogram up.
+			if rt.FirstByteAt >= rt.RequestedAt && rt.FirstByteAt > 0 {
 				reg.ObserveDuration(prefix+"/ttfb", rt.FirstByteAt-rt.RequestedAt)
 			}
 			if rt.RequestedAt >= rt.DiscoveredAt && rt.ArrivedAt > 0 {
@@ -131,37 +150,83 @@ func medianLoad(site *webpage.Site, pol runner.Policy, o Options, cache *browser
 		}
 		r, err := runner.Run(site, pol, runner.Options{
 			Time: o.Time, Profile: o.Profile, Nonce: uint64(i + 1), Cache: cache, Faults: plan,
+			Caches: o.caches,
 		})
 		if err != nil {
 			return browser.Result{}, err
 		}
 		results = append(results, r)
 	}
-	// Median by PLT.
-	best := results[0]
-	if len(results) >= 3 {
-		a, b, c := results[0], results[1], results[2]
-		switch {
-		case (a.PLT >= b.PLT) == (a.PLT <= c.PLT):
-			best = a
-		case (b.PLT >= a.PLT) == (b.PLT <= c.PLT):
-			best = b
-		default:
-			best = c
-		}
-	}
-	return best, nil
+	return medianByPLT(results), nil
 }
 
-// runCorpus executes a policy across sites, collecting per-site results.
+// medianByPLT returns the load with the median PLT: the middle of the
+// PLT-sorted loads, or the lower middle for even counts (so the result is
+// always an actual load).
+func medianByPLT(results []browser.Result) browser.Result {
+	sorted := append([]browser.Result(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].PLT < sorted[j].PLT })
+	return sorted[(len(sorted)-1)/2]
+}
+
+// forEachSite runs fn(i, site) for every site, fanning out across up to
+// workers goroutines (<= 1 runs inline). Each invocation is independent and
+// writes results into caller slices by index, so the schedule does not
+// affect output. When invocations fail, the error for the lowest-indexed
+// site wins — the same error a serial sweep would have returned first.
+func forEachSite(sites []*webpage.Site, workers int, fn func(i int, s *webpage.Site) error) error {
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	if workers <= 1 {
+		for i, s := range sites {
+			if err := fn(i, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		errs = make([]error, len(sites))
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(sites) {
+					return
+				}
+				errs[i] = fn(i, sites[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCorpus executes a policy across sites, collecting per-site results in
+// corpus order (regardless of worker count).
 func runCorpus(sites []*webpage.Site, pol runner.Policy, o Options) ([]browser.Result, error) {
-	out := make([]browser.Result, 0, len(sites))
-	for _, s := range sites {
+	out := make([]browser.Result, len(sites))
+	err := forEachSite(sites, o.Workers, func(i int, s *webpage.Site) error {
 		r, err := medianLoad(s, pol, o, nil)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", s.Name, err)
+			return fmt.Errorf("experiments: %s: %w", s.Name, err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -178,22 +243,31 @@ func pltDist(rs []browser.Result) *metrics.Dist {
 // lowerBound computes the paper's per-site bound: the max of the
 // CPU-bottleneck and network-bottleneck loads (§2).
 func lowerBound(sites []*webpage.Site, o Options) (plt, aft, si *metrics.Dist, err error) {
-	plt, aft, si = metrics.NewDist(), metrics.NewDist(), metrics.NewDist()
-	for _, s := range sites {
+	type bound struct{ cpu, net browser.Result }
+	bounds := make([]bound, len(sites))
+	err = forEachSite(sites, o.Workers, func(i int, s *webpage.Site) error {
 		cpu, err := medianLoad(s, runner.CPUOnly, o, nil)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
 		net, err := medianLoad(s, runner.NetworkOnly, o, nil)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
-		plt.AddDuration(maxDur(cpu.PLT, net.PLT))
-		aft.AddDuration(maxDur(cpu.AFT, net.AFT))
-		if cpu.SpeedIndex > net.SpeedIndex {
-			si.Add(cpu.SpeedIndex)
+		bounds[i] = bound{cpu, net}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plt, aft, si = metrics.NewDist(), metrics.NewDist(), metrics.NewDist()
+	for _, b := range bounds {
+		plt.AddDuration(maxDur(b.cpu.PLT, b.net.PLT))
+		aft.AddDuration(maxDur(b.cpu.AFT, b.net.AFT))
+		if b.cpu.SpeedIndex > b.net.SpeedIndex {
+			si.Add(b.cpu.SpeedIndex)
 		} else {
-			si.Add(net.SpeedIndex)
+			si.Add(b.net.SpeedIndex)
 		}
 	}
 	return plt, aft, si, nil

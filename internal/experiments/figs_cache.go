@@ -8,6 +8,7 @@ import (
 	"vroom/internal/hints"
 	"vroom/internal/metrics"
 	"vroom/internal/runner"
+	"vroom/internal/webpage"
 )
 
 // Fig20 — warm browser caches: a first load warms the cache, then the page
@@ -28,29 +29,40 @@ func Fig20(o Options) (*Result, error) {
 	var rows []metrics.TableRow
 	var notes []string
 	for _, gap := range gaps {
-		vroomD, h2D := metrics.NewDist(), metrics.NewDist()
-		for _, s := range sites {
+		gap := gap
+		type warm struct{ vroom, h2 browser.Result }
+		warms := make([]warm, len(sites))
+		err := forEachSite(sites, o.Workers, func(i int, s *webpage.Site) error {
 			for pi, pol := range []runner.Policy{runner.Vroom, runner.H2} {
 				cache := browser.NewCache()
 				// Warm-up load at t.
 				if _, err := runner.Run(s, pol, runner.Options{
-					Time: o.Time, Profile: o.Profile, Nonce: 1, Cache: cache,
+					Time: o.Time, Profile: o.Profile, Nonce: 1, Cache: cache, Caches: o.caches,
 				}); err != nil {
-					return nil, err
+					return err
 				}
 				// Measured load after the gap.
 				res, err := runner.Run(s, pol, runner.Options{
-					Time: o.Time.Add(gap.d), Profile: o.Profile, Nonce: 2, Cache: cache,
+					Time: o.Time.Add(gap.d), Profile: o.Profile, Nonce: 2, Cache: cache, Caches: o.caches,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if pi == 0 {
-					vroomD.AddDuration(res.PLT)
+					warms[i].vroom = res
 				} else {
-					h2D.AddDuration(res.PLT)
+					warms[i].h2 = res
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		vroomD, h2D := metrics.NewDist(), metrics.NewDist()
+		for _, w := range warms {
+			vroomD.AddDuration(w.vroom.PLT)
+			h2D.AddDuration(w.h2.PLT)
 		}
 		rows = append(rows,
 			metrics.TableRow{Label: "vroom, " + gap.label, Dist: vroomD},

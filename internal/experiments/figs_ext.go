@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"vroom/internal/core"
 	"vroom/internal/metrics"
@@ -115,20 +116,29 @@ func Ext02(o Options) (*Result, error) {
 	}
 	var rows []metrics.TableRow
 	for _, pc := range pols {
-		d := metrics.NewDist()
-		for si, s := range sites {
+		pc := pc
+		plts := make([]time.Duration, len(sites))
+		err := forEachSite(sites, o.Workers, func(si int, s *webpage.Site) error {
 			cfg := netsim.LTEDefaults(netsim.HTTP2)
 			if pc.pol == runner.HTTP1 {
 				cfg = netsim.LTEDefaults(netsim.HTTP1)
 			}
 			cfg.Trace = netsim.DefaultLTETrace(int64(si + 1))
 			res, err := runner.Run(s, pc.pol, runner.Options{
-				Time: o.Time, Profile: o.Profile, Nonce: 1, Net: &cfg,
+				Time: o.Time, Profile: o.Profile, Nonce: 1, Net: &cfg, Caches: o.caches,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			d.AddDuration(res.PLT)
+			plts[si] = res.PLT
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		d := metrics.NewDist()
+		for _, plt := range plts {
+			d.AddDuration(plt)
 		}
 		rows = append(rows, metrics.TableRow{Label: pc.label, Dist: d})
 	}

@@ -32,6 +32,7 @@ func chaosLoad(s *webpage.Site, pol runner.Policy, o Options, reg faults.Regime,
 		}
 		r, err := runner.Run(s, pol, runner.Options{
 			Time: o.Time, Profile: o.Profile, Nonce: uint64(i + 1), Faults: plan,
+			Caches: o.caches,
 		})
 		if err != nil {
 			return browser.Result{}, err
@@ -46,19 +47,7 @@ func chaosLoad(s *webpage.Site, pol runner.Policy, o Options, reg faults.Regime,
 		}
 		results = append(results, r)
 	}
-	best := results[0]
-	if len(results) >= 3 {
-		a, b, c := results[0], results[1], results[2]
-		switch {
-		case (a.PLT >= b.PLT) == (a.PLT <= c.PLT):
-			best = a
-		case (b.PLT >= a.PLT) == (b.PLT <= c.PLT):
-			best = b
-		default:
-			best = c
-		}
-	}
-	return best, nil
+	return medianByPLT(results), nil
 }
 
 // Ext03 — chaos: PLT for every runner policy under the none/mild/severe
@@ -87,13 +76,25 @@ func Ext03(o Options) (*Result, error) {
 			counters[reg].Touch(name)
 		}
 		for _, pol := range runner.AllPolicies() {
-			d := metrics.NewDist()
-			var vroomLoads []browser.Result
-			for _, s := range sites {
+			pol := pol
+			// Fault counters aggregate commutatively and each load's fault
+			// plan is seeded by (site, load), so the parallel sweep reports
+			// exactly what the serial one would.
+			loads := make([]browser.Result, len(sites))
+			err := forEachSite(sites, o.Workers, func(i int, s *webpage.Site) error {
 				res, err := chaosLoad(s, pol, o, reg, counters[reg])
 				if err != nil {
-					return nil, fmt.Errorf("ext03: %s under %s: %w", pol, reg, err)
+					return fmt.Errorf("ext03: %s under %s: %w", pol, reg, err)
 				}
+				loads[i] = res
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			d := metrics.NewDist()
+			var vroomLoads []browser.Result
+			for _, res := range loads {
 				d.AddDuration(res.PLT)
 				if pol == runner.Vroom {
 					vroomLoads = append(vroomLoads, res)

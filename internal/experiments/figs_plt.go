@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"vroom/internal/browser"
 	"vroom/internal/metrics"
 	"vroom/internal/runner"
+	"vroom/internal/webpage"
 )
 
 // Fig01 — page load times on today's mobile web: Alexa top-100 vs the top
@@ -221,17 +223,27 @@ func Fig14(o Options) (*Result, error) {
 func Fig16(o Options) (*Result, error) {
 	o = o.fill()
 	sites := o.newsAndSports()
-	discAll, discHigh := metrics.NewDist(), metrics.NewDist()
-	fetchAll, fetchHigh := metrics.NewDist(), metrics.NewDist()
-	for _, s := range sites {
+	type pair struct{ base, vr browser.Result }
+	pairs := make([]pair, len(sites))
+	err := forEachSite(sites, o.Workers, func(i int, s *webpage.Site) error {
 		base, err := medianLoad(s, runner.H2, o, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vr, err := medianLoad(s, runner.Vroom, o, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		pairs[i] = pair{base, vr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	discAll, discHigh := metrics.NewDist(), metrics.NewDist()
+	fetchAll, fetchHigh := metrics.NewDist(), metrics.NewDist()
+	for _, p := range pairs {
+		base, vr := p.base, p.vr
 		discAll.Add(improvement(base.DiscoverAll.Seconds(), vr.DiscoverAll.Seconds()))
 		discHigh.Add(improvement(base.DiscoverHigh.Seconds(), vr.DiscoverHigh.Seconds()))
 		fetchAll.Add(improvement(base.FetchAll.Seconds(), vr.FetchAll.Seconds()))

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"vroom/internal/browser"
+	"vroom/internal/webpage"
+)
+
+func TestMedianByPLT(t *testing.T) {
+	mk := func(plts ...int) []browser.Result {
+		out := make([]browser.Result, len(plts))
+		for i, p := range plts {
+			out[i] = browser.Result{PLT: time.Duration(p) * time.Second}
+		}
+		return out
+	}
+	cases := []struct {
+		plts []int
+		want int
+	}{
+		{[]int{7}, 7},
+		{[]int{4, 2}, 2},          // even count: lower middle, not the first load
+		{[]int{5, 1, 3}, 3},       // unsorted three
+		{[]int{1, 2, 3}, 2},       // sorted three
+		{[]int{3, 2, 1}, 2},       // reversed three
+		{[]int{9, 1, 5, 3, 7}, 5}, // five loads: true median, not first-three
+		{[]int{9, 1, 5, 3}, 3},    // four loads: lower middle
+	}
+	for _, c := range cases {
+		got := medianByPLT(mk(c.plts...))
+		if got.PLT != time.Duration(c.want)*time.Second {
+			t.Errorf("medianByPLT(%v) = %v, want %ds", c.plts, got.PLT, c.want)
+		}
+	}
+}
+
+func TestForEachSiteOrderAndErrors(t *testing.T) {
+	sites := make([]*webpage.Site, 8)
+	for i := range sites {
+		sites[i] = webpage.NewSite(fmt.Sprintf("pool%d", i), webpage.Top100, int64(i))
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := make([]string, len(sites))
+		if err := forEachSite(sites, workers, func(i int, s *webpage.Site) error {
+			got[i] = s.Name
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range sites {
+			if got[i] != s.Name {
+				t.Errorf("workers=%d: slot %d holds %q, want %q", workers, i, got[i], s.Name)
+			}
+		}
+	}
+	// The lowest-indexed failure wins, matching what a serial sweep
+	// reports first.
+	errA, errB := errors.New("site 2 broke"), errors.New("site 5 broke")
+	err := forEachSite(sites, 4, func(i int, s *webpage.Site) error {
+		switch i {
+		case 2:
+			return errA
+		case 5:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("got %v, want the lowest-indexed error %v", err, errA)
+	}
+}
+
+// TestParallelDeterminism is the tentpole guarantee: the same seed must
+// produce byte-identical figure output no matter how many workers run the
+// corpus. Fig13 exercises the full surface — lower bounds, four policies,
+// shared training caches, metric histograms — and LoadsPerSite=2 also
+// covers the even-count median path. Run under -race in CI, this test
+// doubles as the data-race check on the parallel load path.
+func TestParallelDeterminism(t *testing.T) {
+	base := QuickOptions()
+	base.LoadsPerSite = 2
+
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+
+	rs, err := Fig13(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Fig13(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Text != rp.Text {
+		t.Errorf("rendered output differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", rs.Text, rp.Text)
+	}
+	if !reflect.DeepEqual(rs.Series, rp.Series) {
+		t.Error("series differ across worker counts")
+	}
+	if !reflect.DeepEqual(rs.Notes, rp.Notes) {
+		t.Errorf("notes differ across worker counts:\n%v\nvs\n%v", rs.Notes, rp.Notes)
+	}
+}
+
+// TestParallelDeterminismUnderFaults covers the chaos path: seeded fault
+// plans derive from (site, load), not from the worker schedule, so fault
+// experiments replay identically too.
+func TestParallelDeterminismUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is slow")
+	}
+	base := QuickOptions()
+	base.NewsSites, base.SportsSites = 2, 2
+
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+
+	rs, err := Ext03(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Ext03(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Text != rp.Text {
+		t.Error("chaos output differs across worker counts")
+	}
+	if !reflect.DeepEqual(rs.Notes, rp.Notes) {
+		t.Errorf("chaos notes differ across worker counts:\n%v\nvs\n%v", rs.Notes, rp.Notes)
+	}
+}

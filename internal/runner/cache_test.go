@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"vroom/internal/core"
+	"vroom/internal/webpage"
+)
+
+var cacheTestTime = time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+
+// TestCachesPreserveResults is the bit-identity guarantee behind the shared
+// training caches: a load served from cached training state must produce
+// exactly the result an uncached load does, for every policy that trains.
+func TestCachesPreserveResults(t *testing.T) {
+	site := webpage.NewSite("cachepolicy", webpage.News, 3)
+	profile := webpage.Profile{Device: webpage.PhoneSmall, UserID: 11}
+	for _, pol := range []Policy{Vroom, VroomFirstParty, DepsFromPrevLoad, OfflineOnly, Polaris, H2} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			caches := NewCaches()
+			for nonce := uint64(1); nonce <= 2; nonce++ {
+				plain, err := Run(site, pol, Options{Time: cacheTestTime, Profile: profile, Nonce: nonce})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cached, err := Run(site, pol, Options{Time: cacheTestTime, Profile: profile, Nonce: nonce, Caches: caches})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(plain, cached) {
+					t.Errorf("nonce %d: cached result diverges from uncached (PLT %v vs %v)",
+						nonce, cached.PLT, plain.PLT)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainedResolverSharedAndKeyed(t *testing.T) {
+	site := webpage.NewSite("cachekeys", webpage.News, 3)
+	other := webpage.NewSite("cachekeys2", webpage.News, 4)
+	caches := NewCaches()
+	cfg := core.DefaultResolverConfig()
+
+	a := caches.TrainedResolver(site, cacheTestTime, webpage.PhoneSmall, cfg)
+	if b := caches.TrainedResolver(site, cacheTestTime, webpage.PhoneSmall, cfg); b != a {
+		t.Error("same training key built a second resolver")
+	}
+	if b := caches.TrainedResolver(site, cacheTestTime, webpage.Tablet, cfg); b == a {
+		t.Error("different device class shared a resolver")
+	}
+	offline := cfg
+	offline.UseOnline = false
+	if b := caches.TrainedResolver(site, cacheTestTime, webpage.PhoneSmall, offline); b == a {
+		t.Error("different resolver config shared a resolver")
+	}
+	if b := caches.TrainedResolver(other, cacheTestTime, webpage.PhoneSmall, cfg); b == a {
+		t.Error("different site shared a resolver")
+	}
+	if b := caches.TrainedResolver(site, cacheTestTime.Add(time.Hour), webpage.PhoneSmall, cfg); b == a {
+		t.Error("different training instant shared a resolver")
+	}
+
+	// The shared instance trains identically to a fresh one, and clones
+	// share its trained state while carrying their own Trace.
+	fresh := core.NewResolver(cfg)
+	fresh.Train(site, cacheTestTime, webpage.PhoneSmall)
+	want := fresh.HintsFor(site.RootURL(), "", webpage.PhoneSmall)
+	got := a.Clone().HintsFor(site.RootURL(), "", webpage.PhoneSmall)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("cached resolver hints diverge: %d vs %d hints", len(got), len(want))
+	}
+}
+
+func TestCachesConcurrentTrainingSingleflight(t *testing.T) {
+	site := webpage.NewSite("cacheconc", webpage.News, 3)
+	caches := NewCaches()
+	cfg := core.DefaultResolverConfig()
+	const n = 16
+	got := make([]*core.Resolver, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = caches.TrainedResolver(site, cacheTestTime, webpage.PhoneSmall, cfg)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent training built distinct resolvers")
+		}
+	}
+}

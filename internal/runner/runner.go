@@ -79,6 +79,11 @@ type Options struct {
 	// streams, main-thread tasks, scheduler holds, server decisions) into
 	// the recording. Nil disables tracing — the zero-overhead path.
 	Trace *obs.Recording
+	// Caches, when set, shares the deterministic offline work across loads:
+	// resolver training, snapshot materialization (measured and archive),
+	// and Polaris graphs. Results are identical with or without it; nil
+	// rebuilds everything per load. Safe for concurrent Runs.
+	Caches *Caches
 }
 
 func (o *Options) fill() {
@@ -94,7 +99,7 @@ func (o *Options) fill() {
 func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 	opts.fill()
 	eng := event.New(opts.Time)
-	sn := site.Snapshot(opts.Time, opts.Profile, opts.Nonce)
+	sn := opts.snapshot(site, opts.Time, opts.Profile, opts.Nonce)
 
 	// Shield the root document: a load with no root has nothing to
 	// degrade around.
@@ -120,7 +125,7 @@ func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 	// hints and stale Polaris graph entries hit these.
 	for _, back := range []time.Duration{time.Hour, 2 * time.Hour, 3 * time.Hour, 24 * time.Hour, 7 * 24 * time.Hour} {
 		at := opts.Time.Add(-back)
-		farm.Archive = append(farm.Archive, site.Snapshot(at, opts.Profile, uint64(at.UnixNano())))
+		farm.Archive = append(farm.Archive, opts.snapshot(site, at, opts.Profile, uint64(at.UnixNano())))
 	}
 
 	bcfg := browser.Config{CPUScale: opts.CPUScale, Cache: opts.Cache, Trace: tracer}
@@ -188,66 +193,50 @@ func networkConfig(pol Policy, opts Options) netsim.Config {
 
 // serverSide builds the resolver and server policy for a policy.
 func serverSide(site *webpage.Site, pol Policy, opts Options) (*core.Resolver, server.Policy) {
-	device := opts.Profile.Device
 	switch pol {
 	case Vroom, VroomNoSerialize:
-		r := core.NewResolver(core.DefaultResolverConfig())
-		r.Train(site, opts.Time, device)
-		return r, server.VroomPolicy()
+		return trainedResolver(site, core.DefaultResolverConfig(), opts), server.VroomPolicy()
 	case VroomIframeDeps:
 		cfg := core.DefaultResolverConfig()
 		cfg.IncludeIframeDescendants = true
-		r := core.NewResolver(cfg)
-		r.Train(site, opts.Time, device)
-		return r, server.VroomPolicy()
+		return trainedResolver(site, cfg, opts), server.VroomPolicy()
 	case VroomFirstParty:
-		r := core.NewResolver(core.DefaultResolverConfig())
-		r.Train(site, opts.Time, device)
 		p := server.VroomPolicy()
 		first := site.FirstPartyDomain()
 		p.Compliant = func(host string) bool { return urlutil.RegistrableDomain(host) == first }
-		return r, p
+		return trainedResolver(site, core.DefaultResolverConfig(), opts), p
 	case DepsFromPrevLoad:
 		cfg := core.DefaultResolverConfig()
 		cfg.SingleLoad = true
 		cfg.UseOnline = false
-		r := core.NewResolver(cfg)
-		r.Train(site, opts.Time, device)
 		p := server.VroomPolicy()
 		p.OnlineAnalysis = false
-		return r, p
+		return trainedResolver(site, cfg, opts), p
 	case OfflineOnly:
 		cfg := core.DefaultResolverConfig()
 		cfg.UseOnline = false
-		r := core.NewResolver(cfg)
-		r.Train(site, opts.Time, device)
 		p := server.VroomPolicy()
 		p.OnlineAnalysis = false
-		return r, p
+		return trainedResolver(site, cfg, opts), p
 	case OnlineOnly:
 		cfg := core.DefaultResolverConfig()
 		cfg.UseOffline = false
 		return core.NewResolver(cfg), server.VroomPolicy()
 	case H2PushAllStatic:
-		r := core.NewResolver(core.DefaultResolverConfig())
-		r.Train(site, opts.Time, device)
 		first := site.FirstPartyDomain()
-		return r, server.Policy{
+		return trainedResolver(site, core.DefaultResolverConfig(), opts), server.Policy{
 			Push:      server.PushAllLocal,
 			Compliant: func(host string) bool { return urlutil.RegistrableDomain(host) == first },
 		}
 	case PushAllFetchASAP:
-		r := core.NewResolver(core.DefaultResolverConfig())
-		r.Train(site, opts.Time, device)
-		return r, server.Policy{SendHints: true, Push: server.PushAllLocal, OnlineAnalysis: true}
+		return trainedResolver(site, core.DefaultResolverConfig(), opts),
+			server.Policy{SendHints: true, Push: server.PushAllLocal, OnlineAnalysis: true}
 	case PushHighNoHints:
-		r := core.NewResolver(core.DefaultResolverConfig())
-		r.Train(site, opts.Time, device)
-		return r, server.Policy{Push: server.PushHighPriorityLocal, OnlineAnalysis: true}
+		return trainedResolver(site, core.DefaultResolverConfig(), opts),
+			server.Policy{Push: server.PushHighPriorityLocal, OnlineAnalysis: true}
 	case PushAllNoHints:
-		r := core.NewResolver(core.DefaultResolverConfig())
-		r.Train(site, opts.Time, device)
-		return r, server.Policy{Push: server.PushAllLocal, OnlineAnalysis: true}
+		return trainedResolver(site, core.DefaultResolverConfig(), opts),
+			server.Policy{Push: server.PushAllLocal, OnlineAnalysis: true}
 	default: // HTTP1, H2, Polaris, CPUOnly, NetworkOnly
 		return core.NewResolver(core.DefaultResolverConfig()), server.Policy{}
 	}
@@ -261,6 +250,9 @@ func clientScheduler(site *webpage.Site, pol Policy, opts Options, sn *webpage.S
 	case PushAllFetchASAP:
 		return &browser.FetchASAP{FollowHints: true}
 	case Polaris:
+		if opts.Caches != nil {
+			return polaris.New(opts.Caches.PolarisGraph(site, opts.Time, opts.Profile, time.Hour))
+		}
 		g := polaris.TrainGraph(site, opts.Time, opts.Profile, time.Hour)
 		return polaris.New(g)
 	case NetworkOnly:
