@@ -5,6 +5,13 @@
 // Usage:
 //
 //	vroom-client -server 127.0.0.1:8443 -root https://www.dailynews00.com/ [-staged=false]
+//	vroom-client -root ... -faults severe -fault-seed 7   # inject wire faults
+//
+// With -faults the client's dials pass through a seeded netem fault shim
+// that injects origin outages, brownout first-byte delays, and per-connection
+// resets/stalls/truncation. The load still completes: failed fetches are
+// reported with a typed error kind and retry count instead of aborting the
+// page.
 package main
 
 import (
@@ -13,20 +20,30 @@ import (
 	"net"
 	"os"
 	"sort"
+	"time"
 
+	"vroom/internal/faults"
 	"vroom/internal/h1"
 	"vroom/internal/hints"
+	"vroom/internal/netem"
 	"vroom/internal/urlutil"
 	"vroom/internal/wire"
 )
 
 func main() {
 	var (
-		server  = flag.String("server", "127.0.0.1:8443", "vroom-server address")
-		rootRaw = flag.String("root", "", "root page URL (as recorded in the archive)")
-		staged  = flag.Bool("staged", true, "use Vroom's staged scheduler")
-		proto   = flag.String("proto", "h2", "wire protocol: h2 or h1")
-		verbose = flag.Bool("v", false, "print every fetch")
+		server    = flag.String("server", "127.0.0.1:8443", "vroom-server address")
+		rootRaw   = flag.String("root", "", "root page URL (as recorded in the archive)")
+		staged    = flag.Bool("staged", true, "use Vroom's staged scheduler")
+		proto     = flag.String("proto", "h2", "wire protocol: h2 or h1")
+		verbose   = flag.Bool("v", false, "print every fetch")
+		faultsRaw = flag.String("faults", "none", "wire fault regime injected on dials: none, mild, or severe")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan (same seed => same injected faults)")
+		dialTO    = flag.Duration("dial-timeout", 10*time.Second, "per-connection dial timeout")
+		headerTO  = flag.Duration("header-timeout", 5*time.Second, "per-request response-header timeout")
+		stallTO   = flag.Duration("stall-timeout", 5*time.Second, "per-request body-progress stall timeout")
+		deadline  = flag.Duration("deadline", 2*time.Minute, "whole-load deadline; a partial report is returned on expiry")
+		retries   = flag.Int("retries", 3, "max attempts per fetch (1 disables retries)")
 	)
 	flag.Parse()
 	if *rootRaw == "" {
@@ -38,18 +55,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	regime, err := faults.ParseRegime(*faultsRaw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	c := &wire.Client{Staged: *staged}
+	dial := func() (net.Conn, error) { return net.Dial("tcp", *server) }
+	originDial := func(origin string) (net.Conn, error) { return dial() }
+	if regime != faults.RegimeNone {
+		plan := faults.New(*faultSeed, faults.RegimeConfig(regime))
+		plan.ExemptURL(root)
+		shim := netem.NewFaultShim(plan)
+		originDial = func(origin string) (net.Conn, error) { return shim.Dial(origin, dial) }
+	}
+
+	c := &wire.Client{
+		Staged:        *staged,
+		DialTimeout:   *dialTO,
+		HeaderTimeout: *headerTO,
+		StallTimeout:  *stallTO,
+		LoadDeadline:  *deadline,
+		Retry:         wire.RetryPolicy{MaxAttempts: *retries},
+	}
 	if *proto == "h1" {
 		c.DialOrigin = func(origin string) (wire.OriginConn, error) {
 			u, err := urlutil.Parse(origin + "/")
 			if err != nil {
 				return nil, err
 			}
-			return &h1.Pool{Authority: u.Host, Dial: func() (net.Conn, error) { return net.Dial("tcp", *server) }}, nil
+			return &h1.Pool{Authority: u.Host, Dial: func() (net.Conn, error) { return originDial(origin) }}, nil
 		}
 	} else {
-		c.Dial = func(string) (net.Conn, error) { return net.Dial("tcp", *server) }
+		c.Dial = originDial
 	}
 	rep, err := c.LoadPage(root)
 	if err != nil {
@@ -64,13 +102,24 @@ func main() {
 			if f.Pushed {
 				mark = "P"
 			}
+			if f.Failed() {
+				mark = "!"
+			}
 			fmt.Printf("%s %-4s %7dB %8.1fms  %s\n", mark, prioName(f.Priority), f.Bytes,
 				f.Done.Sub(rep.Started).Seconds()*1000, f.URL)
 		}
 	}
-	fmt.Printf("loaded %s: %d resources, %d pushed, %.1f KB, %.0f ms (staged=%v)\n",
-		rep.Root, len(rep.Fetches), rep.Pushed, float64(rep.Bytes)/1024,
+	for _, f := range rep.Fetches {
+		if f.Failed() {
+			fmt.Printf("failed %-15s retries=%d  %s  (%s)\n", f.ErrKind, f.Retries, f.URL, f.Err)
+		}
+	}
+	fmt.Printf("loaded %s: %d resources (%d failed, %d retries), %d pushed, %.1f KB, %.0f ms (staged=%v)\n",
+		rep.Root, len(rep.Fetches), rep.Failed, rep.Retries, rep.Pushed, float64(rep.Bytes)/1024,
 		rep.Total().Seconds()*1000, *staged)
+	if rep.DeadlineHit {
+		fmt.Printf("load deadline %v hit: report is partial\n", *deadline)
+	}
 }
 
 func prioName(p hints.Priority) string {

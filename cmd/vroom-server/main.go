@@ -6,6 +6,11 @@
 //
 //	vroom-server -archive page.json -listen :8443 [-hints=false] [-push=false]
 //	vroom-server -site dailynews00 -listen :8443   # generate + serve
+//	vroom-server -site dailynews00 -faults severe -fault-seed 7   # broken world
+//
+// On SIGTERM/SIGINT the server drains gracefully: the listener closes, every
+// HTTP/2 connection gets a GOAWAY, and in-flight streams have -drain to
+// finish before connections are cut.
 package main
 
 import (
@@ -13,11 +18,15 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"vroom/internal/core"
+	"vroom/internal/faults"
 	"vroom/internal/h1"
 	"vroom/internal/replay"
+	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
 	"vroom/internal/wire"
 )
@@ -32,6 +41,9 @@ func main() {
 		push        = flag.Bool("push", true, "push high-priority same-origin dependencies (h2 only)")
 		think       = flag.Duration("think", 10*time.Millisecond, "per-request server think time")
 		proto       = flag.String("proto", "h2", "wire protocol: h2 or h1")
+		faultsRaw   = flag.String("faults", "none", "server-side fault regime: none, mild, or severe")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault plan (same seed => same injected faults)")
+		drain       = flag.Duration("drain", 3*time.Second, "graceful-drain budget for in-flight streams on SIGTERM")
 	)
 	flag.Parse()
 
@@ -61,25 +73,58 @@ func main() {
 		os.Exit(2)
 	}
 
+	regime, err := faults.ParseRegime(*faultsRaw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	srv := wire.NewServer(archive, resolver, device, wire.ServerConfig{
 		SendHints: *sendHints, Push: *push, ThinkTime: *think,
 	})
+	if regime != faults.RegimeNone {
+		plan := faults.New(*faultSeed, faults.RegimeConfig(regime))
+		// The root document must stay loadable or every run is a trivial
+		// total failure.
+		if root, perr := urlutil.Parse(archive.RootURL); perr == nil {
+			plan.ExemptURL(root)
+		}
+		srv.Faults = plan
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d resources (root %s) on %s  proto=%s hints=%v push=%v\n",
-		archive.Len(), archive.RootURL, l.Addr(), *proto, *sendHints, *push)
-	switch *proto {
-	case "h1":
-		h1srv := &h1.Server{Handler: srv}
-		err = h1srv.Serve(l)
-	default:
-		err = srv.H2().Serve(l)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	fmt.Printf("serving %d resources (root %s) on %s  proto=%s hints=%v push=%v faults=%s\n",
+		archive.Len(), archive.RootURL, l.Addr(), *proto, *sendHints, *push, regime)
+
+	h1srv := &h1.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() {
+		if *proto == "h1" {
+			serveErr <- h1srv.Serve(l)
+		} else {
+			serveErr <- srv.H2().Serve(l)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err = <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("%s: draining (up to %v for in-flight streams)\n", s, *drain)
+		l.Close()
+		if *proto == "h1" {
+			h1srv.Drain(*drain)
+		} else {
+			srv.Drain(*drain)
+		}
+		fmt.Println("drained")
 	}
 }

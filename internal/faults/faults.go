@@ -13,12 +13,18 @@
 // occurrence index), so two runs with the same seed inject exactly the same
 // faults regardless of call order, and two policies compared under one seed
 // face the same broken world.
+//
+// The wire path (internal/netem's fault shim and internal/wire's server)
+// shares one Plan across concurrent goroutines, so Plan methods serialize
+// internally; the single-goroutine event engine pays only an uncontended
+// lock.
 package faults
 
 import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"time"
 
 	"vroom/internal/urlutil"
@@ -145,6 +151,9 @@ const (
 	FaultTruncate
 	// FaultStall: the first byte never arrives.
 	FaultStall
+	// FaultReset: the connection is torn down mid-transfer (wire path only;
+	// the simulator models the equivalent as truncation).
+	FaultReset
 )
 
 func (f ResponseFault) String() string {
@@ -155,6 +164,8 @@ func (f ResponseFault) String() string {
 		return "truncated"
 	case FaultStall:
 		return "stall"
+	case FaultReset:
+		return "reset"
 	}
 	return "none"
 }
@@ -173,11 +184,14 @@ const (
 
 // Plan is one load's fault schedule plus the health state accumulated while
 // it runs. A nil *Plan is valid and injects nothing, so call sites need no
-// guards. Plans are single-goroutine, like the event engine that drives
-// them.
+// guards. Plan methods are safe for concurrent use: the wire load path
+// consults one plan from many fetch goroutines at once.
 type Plan struct {
 	cfg  Config
 	seed int64
+
+	// mu serializes the mutable decision state (attempts, stats, failing).
+	mu sync.Mutex
 
 	// attempts counts per-(kind, subject) decisions so that a retried
 	// request can draw a fresh verdict (a 503 on attempt one may succeed on
@@ -219,7 +233,9 @@ func (p *Plan) ExemptURL(u urlutil.URL) {
 	if p == nil {
 		return
 	}
+	p.mu.Lock()
 	p.exempt[u.String()] = true
+	p.mu.Unlock()
 }
 
 // u01 derives a uniform value in [0, 1) from the seed and a decision key.
@@ -248,6 +264,7 @@ func (p *Plan) u01(parts ...string) float64 {
 	return float64(x>>11) / float64(1<<53)
 }
 
+// count records an injected fault. Caller holds p.mu.
 func (p *Plan) count(name string) {
 	p.stats[name]++
 }
@@ -255,7 +272,7 @@ func (p *Plan) count(name string) {
 // nth returns the occurrence index for a (kind, subject) pair, starting at
 // 0, advancing on each call. The simulation is deterministic, so the
 // sequence of calls — and therefore every verdict — replays exactly under
-// the same seed.
+// the same seed. Caller holds p.mu.
 func (p *Plan) nth(kind, subject string) int {
 	k := kind + "|" + subject
 	n := p.attempts[k]
@@ -277,7 +294,9 @@ func (p *Plan) OriginDown(origin string, since time.Duration) bool {
 	if since < start || since >= start+p.cfg.OutageDuration {
 		return false
 	}
+	p.mu.Lock()
 	p.count("outage-refused")
+	p.mu.Unlock()
 	return true
 }
 
@@ -292,7 +311,9 @@ func (p *Plan) BrownoutDelay(origin string) time.Duration {
 		return 0
 	}
 	frac := 0.25 + 0.75*p.u01("brownout-delay", origin)
+	p.mu.Lock()
 	p.count("brownout-responses")
+	p.mu.Unlock()
 	return time.Duration(frac * float64(p.cfg.BrownoutMaxDelay))
 }
 
@@ -309,6 +330,8 @@ func (p *Plan) ResponseVerdict(u urlutil.URL) ResponseFault {
 		return FaultNone
 	}
 	key := u.String()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.exempt[key] {
 		return FaultNone
 	}
@@ -325,6 +348,45 @@ func (p *Plan) ResponseVerdict(u urlutil.URL) ResponseFault {
 		return FaultStall
 	}
 	return FaultNone
+}
+
+// WireConnFault decides, at dial time, the fate of one wire connection to an
+// origin: it may be reset, stalled, or truncated partway through its
+// server-to-client byte stream. The verdict is seeded per (origin, nth
+// connection) so retried or re-dialed connections draw fresh fates, and the
+// returned index identifies the draw for deterministic fault logs. cutBytes
+// is the downlink byte offset at which a mid-transfer fault fires (zero for
+// stalls: the first byte never arrives). internal/netem's fault shim
+// consults this when the wire client dials through it.
+func (p *Plan) WireConnFault(origin string) (fault ResponseFault, cutBytes int, index int) {
+	if p == nil {
+		return FaultNone, 0, 0
+	}
+	c := p.cfg
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	index = p.nth("wire-conn", origin)
+	if c.ErrorRate <= 0 && c.TruncateRate <= 0 && c.StallRate <= 0 {
+		return FaultNone, 0, index
+	}
+	sub := fmt.Sprint(index)
+	draw := p.u01("wire-conn", origin, sub)
+	// Mid-transfer faults cut the stream after a seeded budget of delivered
+	// bytes; the range keeps the HTTP/2 handshake plausible on most draws
+	// while still severing bodies.
+	cutBytes = 256 + int(p.u01("wire-cut", origin, sub)*float64(16<<10))
+	switch {
+	case draw < c.ErrorRate:
+		p.count("wire-conns-reset")
+		return FaultReset, cutBytes, index
+	case draw < c.ErrorRate+c.TruncateRate:
+		p.count("wire-conns-truncated")
+		return FaultTruncate, cutBytes, index
+	case draw < c.ErrorRate+c.TruncateRate+c.StallRate:
+		p.count("wire-conns-stalled")
+		return FaultStall, 0, index
+	}
+	return FaultNone, 0, index
 }
 
 // TruncateFrac returns the fraction of the body delivered before a
@@ -347,6 +409,8 @@ func (p *Plan) StaleHint(u urlutil.URL) (urlutil.URL, HintFate) {
 		return u, HintFresh
 	}
 	key := u.String()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.exempt[key] {
 		return u, HintFresh
 	}
@@ -370,10 +434,12 @@ func (p *Plan) MarkFailing(origin string) {
 	if p == nil {
 		return
 	}
+	p.mu.Lock()
 	if !p.failing[origin] {
 		p.failing[origin] = true
 		p.count("origins-marked-failing")
 	}
+	p.mu.Unlock()
 }
 
 // Failing reports whether an origin should be treated as unhealthy at the
@@ -383,7 +449,10 @@ func (p *Plan) Failing(origin string, since time.Duration) bool {
 	if p == nil {
 		return false
 	}
-	if p.failing[origin] {
+	p.mu.Lock()
+	marked := p.failing[origin]
+	p.mu.Unlock()
+	if marked {
 		return true
 	}
 	if p.cfg.OriginOutageFrac > 0 && p.u01("outage", origin) < p.cfg.OriginOutageFrac {
@@ -404,6 +473,8 @@ func (p *Plan) Stats() []Stat {
 	if p == nil {
 		return nil
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]Stat, 0, len(p.stats))
 	for name, v := range p.stats {
 		out = append(out, Stat{Name: name, Count: v})

@@ -222,3 +222,70 @@ func TestStatsAccumulate(t *testing.T) {
 		t.Errorf("stats = %v", stats)
 	}
 }
+
+func TestWireConnFaultDeterministicPerIndex(t *testing.T) {
+	cfg := Config{ErrorRate: 0.2, TruncateRate: 0.2, StallRate: 0.2}
+	draw := func() []string {
+		p := New(99, cfg)
+		var out []string
+		for _, origin := range []string{"https://a.com", "https://b.com"} {
+			for i := 0; i < 8; i++ {
+				f, cut, idx := p.WireConnFault(origin)
+				out = append(out, fmt.Sprintf("%s#%d:%s@%d", origin, idx, f, cut))
+			}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded plans: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// The sequence must not be constant: with 60% fault probability over 16
+	// draws, both at least one fault and at least one clean conn are
+	// overwhelmingly likely.
+	var faulted, clean int
+	p := New(99, cfg)
+	for i := 0; i < 16; i++ {
+		f, _, _ := p.WireConnFault("https://a.com")
+		if f == FaultNone {
+			clean++
+		} else {
+			faulted++
+		}
+	}
+	if faulted == 0 || clean == 0 {
+		t.Fatalf("degenerate draw distribution: %d faulted, %d clean", faulted, clean)
+	}
+	// Stalls never deliver a first byte.
+	ps := New(7, Config{StallRate: 1})
+	f, cut, _ := ps.WireConnFault("https://a.com")
+	if f != FaultStall || cut != 0 {
+		t.Fatalf("all-stall config drew %s@%d, want stall@0", f, cut)
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	p := New(3, RegimeConfig(RegimeSevere))
+	u := mkURL("https://a.com/x.js")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				p.ResponseVerdict(u)
+				p.WireConnFault("https://a.com")
+				p.OriginDown("https://a.com", time.Second)
+				p.BrownoutDelay("https://b.com")
+				p.StaleHint(u)
+				p.MarkFailing("https://c.com")
+				p.Failing("https://c.com", time.Second)
+				p.Stats()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"vroom/internal/h2"
 )
@@ -34,8 +35,12 @@ func (f HandlerFunc) ServeH1(r *h2.Request) *h2.Response { return f(r) }
 type Server struct {
 	Handler Handler
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	// active counts exchanges between request parse and response flush;
+	// Drain waits for it to reach zero.
+	active int
 	conns  map[net.Conn]struct{}
 }
 
@@ -72,6 +77,32 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 }
 
+// Drain shuts the server down gracefully: in-flight exchanges finish (their
+// responses carry "connection: close"), idle keep-alive connections are cut,
+// and anything still running after timeout is closed hard. The caller closes
+// its listener; Drain marks the server done so Serve returns nil.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	s.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		active := s.active
+		s.mu.Unlock()
+		if active == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+}
+
 func (s *Server) serveConn(nc net.Conn) {
 	defer func() {
 		nc.Close()
@@ -86,6 +117,13 @@ func (s *Server) serveConn(nc net.Conn) {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.draining {
+			// Finish this exchange, then let the connection go.
+			keepAlive = false
+		}
+		s.active++
+		s.mu.Unlock()
 		var resp *h2.Response
 		if s.Handler != nil {
 			resp = s.Handler.ServeH1(req)
@@ -93,13 +131,12 @@ func (s *Server) serveConn(nc net.Conn) {
 		if resp == nil {
 			resp = &h2.Response{Status: 500}
 		}
-		if err := WriteResponse(bw, resp, keepAlive); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-		if !keepAlive {
+		werr := WriteResponse(bw, resp, keepAlive)
+		ferr := bw.Flush()
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+		if werr != nil || ferr != nil || !keepAlive {
 			return
 		}
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vroom/internal/h2"
 )
@@ -21,6 +23,7 @@ type Pool struct {
 
 	mu      sync.Mutex
 	idle    []*poolConn
+	all     map[*poolConn]struct{}
 	total   int
 	waiters []chan *poolConn
 	closed  bool
@@ -35,10 +38,36 @@ type poolConn struct {
 // RoundTrip performs one request/response exchange, reusing or opening a
 // connection within the limit.
 func (p *Pool) RoundTrip(req *h2.Request) (*h2.Response, error) {
+	return p.RoundTripTimeout(req, 0, 0)
+}
+
+// RoundTripTimeout is RoundTrip with one whole-exchange watchdog spanning
+// header+stall: HTTP/1.1 has no frame-level progress to observe, and netem
+// conns ignore read deadlines, so on expiry the connection is closed and the
+// error surfaces as a *h2.TimeoutError. Zero disables the watchdog.
+func (p *Pool) RoundTripTimeout(req *h2.Request, header, stall time.Duration) (*h2.Response, error) {
 	pc, err := p.acquire()
 	if err != nil {
 		return nil, err
 	}
+	var timedOut atomic.Bool
+	if total := header + stall; total > 0 {
+		watchdog := time.AfterFunc(total, func() {
+			timedOut.Store(true)
+			pc.nc.Close()
+		})
+		defer watchdog.Stop()
+	}
+	resp, err := p.exchange(pc, req)
+	if err != nil && timedOut.Load() {
+		return nil, &h2.TimeoutError{Phase: "exchange"}
+	}
+	return resp, err
+}
+
+// exchange runs one request/response on pc, returning it to the pool or
+// discarding it as the outcome dictates.
+func (p *Pool) exchange(pc *poolConn, req *h2.Request) (*h2.Response, error) {
 	if req.Authority == "" {
 		req.Authority = p.Authority
 	}
@@ -64,17 +93,24 @@ func (p *Pool) RoundTrip(req *h2.Request) (*h2.Response, error) {
 	return resp, nil
 }
 
+// SelfHealing reports that the pool replaces broken connections on its own
+// (discard frees a slot, the next acquire redials); the wire client uses it
+// to skip the evict-and-redial bookkeeping h2 conns need.
+func (p *Pool) SelfHealing() bool { return true }
+
 // Promised implements the wire origin-connection interface: HTTP/1.1 has
 // no server push.
 func (p *Pool) Promised(string) (*h2.Request, bool) { return nil, false }
 
-// Close tears down all idle connections; in-flight ones close on release.
+// Close tears down every connection, in-flight ones included, so an aborted
+// page load cannot leak sockets or park goroutines on dead reads.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	p.closed = true
-	for _, pc := range p.idle {
+	for pc := range p.all {
 		pc.nc.Close()
 	}
+	p.all = nil
 	p.idle = nil
 	for _, ch := range p.waiters {
 		close(ch)
@@ -106,7 +142,9 @@ func (p *Pool) acquire() (*poolConn, error) {
 			p.mu.Unlock()
 			return nil, err
 		}
-		return &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}, nil
+		pc := &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+		p.track(pc)
+		return pc, nil
 	}
 	// Saturated: wait for a release.
 	ch := make(chan *poolConn, 1)
@@ -141,6 +179,7 @@ func (p *Pool) release(pc *poolConn) {
 func (p *Pool) discard(pc *poolConn) {
 	pc.nc.Close()
 	p.mu.Lock()
+	delete(p.all, pc)
 	p.total--
 	var next chan *poolConn
 	if len(p.waiters) > 0 && p.total < MaxConnsPerOrigin {
@@ -159,6 +198,24 @@ func (p *Pool) discard(pc *poolConn) {
 			close(next)
 			return
 		}
-		next <- &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+		npc := &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+		p.track(npc)
+		next <- npc
 	}
+}
+
+// track registers a freshly dialed conn so Close can reach it even while a
+// round trip holds it. A pool closed mid-dial closes the conn immediately.
+func (p *Pool) track(pc *poolConn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		pc.nc.Close()
+		return
+	}
+	if p.all == nil {
+		p.all = make(map[*poolConn]struct{})
+	}
+	p.all[pc] = struct{}{}
+	p.mu.Unlock()
 }

@@ -2,10 +2,10 @@ package h2
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // ClientConn is the client end of an HTTP/2 connection.
@@ -20,6 +20,10 @@ type ClientConn struct {
 	pending map[uint32]*clientStream
 	// promises maps pushed stream IDs to their synthetic requests.
 	promises map[uint32]*Request
+	// goneAway records a graceful (NO_ERROR) GOAWAY: the conn keeps
+	// delivering responses for streams at or below LastStreamID, but new
+	// round trips fail fast with this error.
+	goneAway *GoAwayError
 	readErr  error
 	readDone chan struct{}
 }
@@ -29,6 +33,12 @@ type clientStream struct {
 	resp *Response
 	err  error
 	done chan struct{}
+	// hdr closes when response headers arrive (before the body completes),
+	// so callers can enforce a separate time-to-headers deadline.
+	hdr chan struct{}
+	// progress receives a token per DATA frame; body-stall deadlines reset
+	// on it.
+	progress chan struct{}
 }
 
 // NewClientConn performs the client preface on nc and starts the read
@@ -56,10 +66,38 @@ func (cc *ClientConn) Close() error {
 	return nil
 }
 
+// Err returns the terminal read-loop error, or nil while the connection is
+// alive. The wire client consults it to skip round trips on dead conns.
+func (cc *ClientConn) Err() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.readErr
+}
+
 // RoundTrip issues a request and waits for the complete response.
 func (cc *ClientConn) RoundTrip(req *Request) (*Response, error) {
+	return cc.RoundTripTimeout(req, 0, 0)
+}
+
+// RoundTripTimeout issues a request with per-attempt deadlines: header
+// bounds the time to response headers, stall bounds any gap in body
+// progress after headers. Zero disables a deadline. On timeout the stream
+// is reset (RST_STREAM CANCEL) and a *TimeoutError returned; the
+// connection survives.
+func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration) (*Response, error) {
+	cc.mu.Lock()
+	if ga := cc.goneAway; ga != nil {
+		cc.mu.Unlock()
+		return nil, *ga
+	}
+	cc.mu.Unlock()
 	s := cc.conn.newStream()
-	cs := &clientStream{s: s, done: make(chan struct{})}
+	cs := &clientStream{
+		s:        s,
+		done:     make(chan struct{}),
+		hdr:      make(chan struct{}),
+		progress: make(chan struct{}, 1),
+	}
 	cc.mu.Lock()
 	cc.pending[s.id] = cs
 	cc.mu.Unlock()
@@ -73,11 +111,48 @@ func (cc *ClientConn) RoundTrip(req *Request) (*Response, error) {
 	fields = append(fields, sortedFields(req.Header)...)
 	endStream := len(req.Body) == 0
 	if err := cc.conn.writeHeaderBlock(s.id, fields, endStream, 0); err != nil {
+		cc.abortStream(s, nil)
 		return nil, err
 	}
 	if !endStream {
 		if err := cc.conn.writeData(s, req.Body, true); err != nil {
+			cc.abortStream(s, nil)
 			return nil, err
+		}
+	}
+
+	if header > 0 {
+		t := time.NewTimer(header)
+		select {
+		case <-cs.done:
+			t.Stop()
+		case <-cs.hdr:
+			t.Stop()
+		case <-t.C:
+			err := &TimeoutError{Phase: "headers"}
+			cc.abortStream(s, err)
+			return nil, err
+		}
+	}
+	if stall > 0 {
+		t := time.NewTimer(stall)
+	body:
+		for {
+			select {
+			case <-cs.done:
+				t.Stop()
+				break body
+			case <-cs.progress:
+				// Bytes are flowing; the transfer is alive however slow.
+				if !t.Stop() {
+					<-t.C
+				}
+				t.Reset(stall)
+			case <-t.C:
+				err := &TimeoutError{Phase: "body"}
+				cc.abortStream(s, err)
+				return nil, err
+			}
 		}
 	}
 	<-cs.done
@@ -88,17 +163,53 @@ func (cc *ClientConn) RoundTrip(req *Request) (*Response, error) {
 	return cs.resp, nil
 }
 
+// abortStream cancels a locally initiated stream: the peer sees RST_STREAM
+// CANCEL, the local waiter (if err != nil) completes with err.
+func (cc *ClientConn) abortStream(s *stream, err error) {
+	cc.mu.Lock()
+	cs, ok := cc.pending[s.id]
+	if ok {
+		delete(cc.pending, s.id)
+		cs.err = err
+	}
+	cc.mu.Unlock()
+	if ok && err != nil {
+		close(cs.done)
+	}
+	_ = cc.conn.writeFrame(&Frame{Type: FrameRSTStream, StreamID: s.id, Payload: rstPayload(ErrCancel)})
+	cc.conn.finishStream(s)
+}
+
 func (cc *ClientConn) readLoop() {
 	var err error
 	defer func() {
 		cc.mu.Lock()
+		if cc.goneAway != nil {
+			// The peer announced a graceful shutdown before the read error;
+			// that is the real story for anything still pending.
+			err = *cc.goneAway
+		}
+		ga, gotGoAway := err.(GoAwayError)
 		cc.readErr = err
 		for id, cs := range cc.pending {
 			if cs.err == nil && cs.resp == nil {
-				cs.err = err
+				if gotGoAway && id > ga.LastStreamID {
+					// The peer guarantees it never processed this stream;
+					// replaying it on a fresh connection is always safe.
+					cs.err = StreamError{StreamID: id, Code: ErrRefusedStream,
+						Reason: "unprocessed at GOAWAY"}
+				} else {
+					cs.err = err
+				}
 			}
 			delete(cc.pending, id)
 			close(cs.done)
+		}
+		// Promises whose pushed response never completed are orphans now —
+		// no response can arrive on a dead connection. Dropping them keeps
+		// Promised from parking fetches on pushes that will never land.
+		for id := range cc.promises {
+			delete(cc.promises, id)
 		}
 		cc.mu.Unlock()
 		cc.conn.closeWithError(err)
@@ -152,6 +263,7 @@ func (cc *ClientConn) dispatch(f *Frame) error {
 			return ConnError{Code: ErrProtocol, Reason: "DATA on unknown stream"}
 		}
 		s.body = append(s.body, f.Payload...)
+		cc.noteProgress(f.StreamID)
 		if err := c.consumeData(f.StreamID, len(f.Payload)); err != nil {
 			return err
 		}
@@ -172,16 +284,64 @@ func (cc *ClientConn) dispatch(f *Frame) error {
 	case FrameRSTStream:
 		s := c.stream(f.StreamID)
 		if s != nil {
+			code, err := parseRst(f.Payload)
+			if err != nil {
+				return err
+			}
 			c.mu.Lock()
 			s.rst = true
+			s.rstCode = code
 			c.mu.Unlock()
-			cc.failStream(f.StreamID, StreamError{StreamID: f.StreamID, Code: ErrCancel, Reason: "reset by server"})
+			c.sendCond.Broadcast()
+			cc.failStream(f.StreamID, StreamError{StreamID: f.StreamID, Code: code, Reason: "reset by server"})
 		}
 		return nil
 	case FrameGoAway:
-		return io.EOF
+		last, code, debug, err := parseGoAway(f.Payload)
+		if err != nil {
+			return err
+		}
+		ga := GoAwayError{LastStreamID: last, Code: code, Reason: debug}
+		if code != ErrNone {
+			return ga
+		}
+		// Graceful shutdown: streams above last were never processed — fail
+		// them retryable right away — while streams at or below may still
+		// complete, so keep reading until the peer closes the connection.
+		cc.mu.Lock()
+		if cc.goneAway == nil {
+			cc.goneAway = &ga
+		}
+		var refused []*clientStream
+		for id, cs := range cc.pending {
+			if id > last {
+				delete(cc.pending, id)
+				cs.err = StreamError{StreamID: id, Code: ErrRefusedStream,
+					Reason: "unprocessed at GOAWAY"}
+				refused = append(refused, cs)
+			}
+		}
+		cc.mu.Unlock()
+		for _, cs := range refused {
+			close(cs.done)
+		}
+		return nil
 	default:
 		return nil
+	}
+}
+
+// noteProgress signals body progress to a deadline-bound RoundTrip.
+func (cc *ClientConn) noteProgress(id uint32) {
+	cc.mu.Lock()
+	cs := cc.pending[id]
+	cc.mu.Unlock()
+	if cs == nil || cs.progress == nil {
+		return
+	}
+	select {
+	case cs.progress <- struct{}{}:
+	default:
 	}
 }
 
@@ -196,6 +356,16 @@ func (cc *ClientConn) applyHeaders(streamID uint32, block []byte, endStream bool
 		return ConnError{Code: ErrProtocol, Reason: "HEADERS on unknown stream"}
 	}
 	s.headers = fields
+	cc.mu.Lock()
+	cs := cc.pending[streamID]
+	cc.mu.Unlock()
+	if cs != nil && cs.hdr != nil {
+		select {
+		case <-cs.hdr:
+		default:
+			close(cs.hdr)
+		}
+	}
 	if endStream {
 		cc.completeStream(streamID, s)
 	}

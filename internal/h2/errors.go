@@ -1,6 +1,9 @@
 package h2
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrCode is an HTTP/2 error code (RFC 7540 §7).
 type ErrCode uint32
@@ -66,4 +69,49 @@ type StreamError struct {
 
 func (e StreamError) Error() string {
 	return fmt.Sprintf("h2: stream %d error %s: %s", e.StreamID, e.Code, e.Reason)
+}
+
+// GoAwayError reports that the peer sent GOAWAY: the connection is done.
+// Streams above LastStreamID were never processed and are safe to replay on
+// a fresh connection (RFC 7540 §6.8); the client read loop converts those
+// to retryable REFUSED_STREAM errors and hands this error to the rest.
+type GoAwayError struct {
+	LastStreamID uint32
+	Code         ErrCode
+	Reason       string
+}
+
+func (e GoAwayError) Error() string {
+	return fmt.Sprintf("h2: GOAWAY %s last-stream %d: %s", e.Code, e.LastStreamID, e.Reason)
+}
+
+// TimeoutError reports a client-imposed per-attempt deadline hit. Phase is
+// "headers" (no response headers in time) or "body" (transfer stalled after
+// headers); the h1 client uses "exchange" for its single whole-response
+// deadline.
+type TimeoutError struct {
+	Phase string
+}
+
+func (e *TimeoutError) Error() string { return "h2: attempt timed out awaiting " + e.Phase }
+
+// Timeout implements net.Error's convention.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Retryable classifies whether an idempotent request that failed with err
+// is safe to replay. RST_STREAM(REFUSED_STREAM) and streams orphaned above
+// a GOAWAY's last-stream-id are guaranteed unprocessed; CANCEL resets and
+// whole-connection GOAWAYs are replayable for idempotent methods. Protocol
+// integrity failures (ConnError, protocol-class stream resets) are not: a
+// replay would hit the same bug.
+func Retryable(err error) bool {
+	var se StreamError
+	if errors.As(err, &se) {
+		return se.Code == ErrRefusedStream || se.Code == ErrCancel
+	}
+	var ga GoAwayError
+	if errors.As(err, &ga) {
+		return ga.Code == ErrNone || ga.Code == ErrRefusedStream
+	}
+	return false
 }

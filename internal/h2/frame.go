@@ -209,9 +209,27 @@ func goAwayPayload(lastStream uint32, code ErrCode, debug string) []byte {
 	return append(b, debug...)
 }
 
+// parseGoAway extracts the last-stream-id, error code, and debug data.
+func parseGoAway(p []byte) (lastStream uint32, code ErrCode, debug string, err error) {
+	if len(p) < 8 {
+		return 0, 0, "", ConnError{Code: ErrFrameSize, Reason: "short GOAWAY"}
+	}
+	lastStream = binary.BigEndian.Uint32(p[0:4]) &^ (1 << 31)
+	code = ErrCode(binary.BigEndian.Uint32(p[4:8]))
+	return lastStream, code, string(p[8:]), nil
+}
+
 // rstPayload builds a RST_STREAM payload.
 func rstPayload(code ErrCode) []byte {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], uint32(code))
 	return b[:]
+}
+
+// parseRst extracts the error code from a RST_STREAM payload.
+func parseRst(p []byte) (ErrCode, error) {
+	if len(p) != 4 {
+		return 0, ConnError{Code: ErrFrameSize, Reason: "RST_STREAM payload must be 4 bytes"}
+	}
+	return ErrCode(binary.BigEndian.Uint32(p)), nil
 }

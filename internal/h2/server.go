@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Request is an HTTP/2 request (or the synthetic request of a push
@@ -92,10 +93,55 @@ func (s *Server) Close() {
 	}
 }
 
+// Drain shuts the server down gracefully: every connection gets a GOAWAY
+// (NO_ERROR) advertising the last stream its handler actually started, new
+// streams are refused with RST_STREAM(REFUSED_STREAM) — which clients
+// classify as safely retryable elsewhere — and in-flight handlers get up to
+// timeout to finish before the connections close. The caller closes its
+// listener; Drain marks the server done so Serve returns nil when it does.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	s.done = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.mu.Lock()
+		sc.draining = true
+		last := sc.lastStarted
+		sc.mu.Unlock()
+		_ = sc.conn.writeFrame(&Frame{Type: FrameGoAway,
+			Payload: goAwayPayload(last, ErrNone, "draining")})
+	}
+	deadline := time.Now().Add(timeout)
+	for _, sc := range conns {
+		for {
+			sc.mu.Lock()
+			active := sc.active
+			sc.mu.Unlock()
+			if active == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		sc.conn.closeWithError(fmt.Errorf("h2: server drained"))
+	}
+}
+
 // serverConn handles one accepted connection.
 type serverConn struct {
 	conn *conn
 	srv  *Server
+
+	mu sync.Mutex
+	// active counts running handlers; drain waits for it to reach zero.
+	active int
+	// lastStarted is the highest client stream a handler was started for,
+	// advertised in the drain GOAWAY.
+	lastStarted uint32
+	draining    bool
 }
 
 func (sc *serverConn) serve() {
@@ -201,6 +247,18 @@ func (sc *serverConn) applyHeaders(streamID uint32, block []byte, endStream bool
 }
 
 func (sc *serverConn) startHandler(s *stream) {
+	sc.mu.Lock()
+	if sc.draining {
+		// Past the drain GOAWAY: this stream was never processed, so a
+		// REFUSED_STREAM reset lets the client replay it safely elsewhere.
+		sc.mu.Unlock()
+		_ = sc.conn.writeFrame(&Frame{Type: FrameRSTStream, StreamID: s.id, Payload: rstPayload(ErrRefusedStream)})
+		return
+	}
+	if s.id > sc.lastStarted {
+		sc.lastStarted = s.id
+	}
+	sc.mu.Unlock()
 	req, err := requestFromFields(s.headers)
 	if err != nil {
 		_ = sc.conn.writeFrame(&Frame{Type: FrameRSTStream, StreamID: s.id, Payload: rstPayload(ErrProtocol)})
@@ -209,7 +267,15 @@ func (sc *serverConn) startHandler(s *stream) {
 	req.Body = s.body
 	w := &ResponseWriter{sc: sc, streamID: s.id, header: make(map[string][]string), status: 200}
 	handler := sc.srv.Handler
+	sc.mu.Lock()
+	sc.active++
+	sc.mu.Unlock()
 	go func() {
+		defer func() {
+			sc.mu.Lock()
+			sc.active--
+			sc.mu.Unlock()
+		}()
 		if handler != nil {
 			handler.ServeH2(w, req)
 		}

@@ -1,0 +1,187 @@
+package netem
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"vroom/internal/faults"
+)
+
+// FaultShim injects a seeded faults.Plan into emulated (or real) wire
+// connections, the live-wire counterpart of netsim's fault handling: dials
+// to an origin inside its outage window are refused, browned-out origins
+// delay every connection's first downlink byte, and individual connections'
+// server-to-client byte streams are reset, stalled, or truncated
+// mid-transfer per the plan's seeded per-connection verdicts.
+//
+// All decisions are drawn through the Plan, so two loads with the same seed
+// face byte-identical fault decisions; Decisions() exposes the drawn log
+// for determinism tests. A nil *FaultShim (or one with a nil plan) passes
+// connections through untouched.
+type FaultShim struct {
+	plan  *faults.Plan
+	start time.Time
+
+	mu  sync.Mutex
+	log map[string]bool
+}
+
+// NewFaultShim wraps a fault plan for wire use. Outage windows are measured
+// from the shim's creation, which callers should align with load start.
+func NewFaultShim(plan *faults.Plan) *FaultShim {
+	return &FaultShim{plan: plan, start: time.Now(), log: make(map[string]bool)}
+}
+
+// OutageError reports a dial refused because the origin's outage window is
+// active.
+type OutageError struct{ Origin string }
+
+func (e *OutageError) Error() string {
+	return fmt.Sprintf("netem: %s refused connection (origin outage)", e.Origin)
+}
+
+// ResetError reports a connection torn down mid-transfer by the shim.
+type ResetError struct{ Origin string }
+
+func (e *ResetError) Error() string {
+	return fmt.Sprintf("netem: connection to %s reset by peer", e.Origin)
+}
+
+// Dial opens a connection to origin through dial, applying the plan's
+// wire-level faults. It is safe for concurrent use.
+func (fs *FaultShim) Dial(origin string, dial func() (net.Conn, error)) (net.Conn, error) {
+	if fs == nil || fs.plan == nil {
+		return dial()
+	}
+	if fs.plan.OriginDown(origin, time.Since(fs.start)) {
+		fs.note("outage:" + origin)
+		return nil, &OutageError{Origin: origin}
+	}
+	verdict, cut, idx := fs.plan.WireConnFault(origin)
+	delay := fs.plan.BrownoutDelay(origin)
+	if verdict != faults.FaultNone {
+		fs.note(fmt.Sprintf("%s#%d:%s@%d", origin, idx, verdict, cut))
+	}
+	if delay > 0 {
+		fs.note(fmt.Sprintf("brownout:%s:%s", origin, delay))
+	}
+	nc, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	if verdict == faults.FaultNone && delay == 0 {
+		return nc, nil
+	}
+	return &faultConn{
+		Conn:    nc,
+		origin:  origin,
+		verdict: verdict,
+		cut:     cut,
+		delay:   delay,
+		closed:  make(chan struct{}),
+	}, nil
+}
+
+// note records one drawn fault decision, once.
+func (fs *FaultShim) note(d string) {
+	fs.mu.Lock()
+	fs.log[d] = true
+	fs.mu.Unlock()
+}
+
+// Decisions returns the sorted set of fault decisions drawn so far. Two
+// loads under the same seed that dial the same connections produce
+// identical decision sets regardless of goroutine scheduling.
+func (fs *FaultShim) Decisions() []string {
+	if fs == nil {
+		return nil
+	}
+	fs.mu.Lock()
+	out := make([]string, 0, len(fs.log))
+	for d := range fs.log {
+		out = append(out, d)
+	}
+	fs.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// faultConn applies one connection's fault verdict to its downlink (Read)
+// direction. Reads are single-caller (the h2 read loop / h1 response
+// reader), but Close may race with Read, so shared state is locked.
+type faultConn struct {
+	net.Conn
+	origin  string
+	verdict faults.ResponseFault
+	cut     int
+	delay   time.Duration
+
+	mu        sync.Mutex
+	delivered int
+	delayed   bool
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if !c.delayed {
+		// Brownout: the origin is overloaded; its first byte is late.
+		c.delayed = true
+		d := c.delay
+		c.mu.Unlock()
+		if d > 0 {
+			select {
+			case <-time.After(d):
+			case <-c.closed:
+				return 0, io.EOF
+			}
+		}
+		c.mu.Lock()
+	}
+	rem := len(p)
+	switch c.verdict {
+	case faults.FaultStall, faults.FaultTruncate, faults.FaultReset:
+		rem = c.cut - c.delivered
+		if rem <= 0 {
+			c.mu.Unlock()
+			return 0, c.fire()
+		}
+	}
+	c.mu.Unlock()
+	if rem > len(p) {
+		rem = len(p)
+	}
+	n, err := c.Conn.Read(p[:rem])
+	c.mu.Lock()
+	c.delivered += n
+	c.mu.Unlock()
+	return n, err
+}
+
+// fire delivers the verdict once the byte budget is spent: a stalled
+// connection blocks until closed (only a client timeout rescues it), a
+// truncated one ends cleanly short, a reset one errors and dies.
+func (c *faultConn) fire() error {
+	switch c.verdict {
+	case faults.FaultStall:
+		<-c.closed
+		return io.EOF
+	case faults.FaultTruncate:
+		c.Close()
+		return io.ErrUnexpectedEOF
+	default: // FaultReset
+		c.Close()
+		return &ResetError{Origin: c.origin}
+	}
+}
+
+// Close implements net.Conn, unblocking a stalled Read.
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

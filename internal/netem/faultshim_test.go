@@ -1,0 +1,186 @@
+package netem
+
+import (
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"vroom/internal/faults"
+)
+
+// echoListener serves each accepted conn by writing a fixed payload.
+func echoListener(t *testing.T, payload []byte) *Listener {
+	t.Helper()
+	l := Listen(LinkConfig{})
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				nc.Write(payload)
+			}(nc)
+		}
+	}()
+	return l
+}
+
+func TestFaultShimNilPassthrough(t *testing.T) {
+	l := echoListener(t, []byte("hello"))
+	defer l.Close()
+	var fs *FaultShim
+	nc, err := fs.Dial("https://a.com", l.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(nc, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("passthrough read: %q, %v", buf, err)
+	}
+	if got := fs.Decisions(); got != nil {
+		t.Fatalf("nil shim logged decisions: %v", got)
+	}
+}
+
+func TestFaultShimOutageRefusesDials(t *testing.T) {
+	l := echoListener(t, []byte("x"))
+	defer l.Close()
+	plan := faults.New(5, faults.Config{
+		OriginOutageFrac: 1, OutageMaxStart: 0, OutageDuration: time.Hour,
+	})
+	fs := NewFaultShim(plan)
+	_, err := fs.Dial("https://a.com", l.Dial)
+	var oe *OutageError
+	if !errors.As(err, &oe) || oe.Origin != "https://a.com" {
+		t.Fatalf("dial during outage: %v", err)
+	}
+}
+
+func TestFaultShimTruncatesAtSeededCut(t *testing.T) {
+	payload := make([]byte, 64<<10)
+	l := echoListener(t, payload)
+	defer l.Close()
+	plan := faults.New(5, faults.Config{TruncateRate: 1})
+	fs := NewFaultShim(plan)
+	nc, err := fs.Dial("https://a.com", l.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	got, err := io.ReadAll(nc)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated read error = %v, want unexpected EOF", err)
+	}
+	if len(got) == 0 || len(got) >= len(payload) {
+		t.Fatalf("delivered %d of %d bytes, want a strict mid-transfer cut", len(got), len(payload))
+	}
+}
+
+func TestFaultShimResetErrors(t *testing.T) {
+	payload := make([]byte, 64<<10)
+	l := echoListener(t, payload)
+	defer l.Close()
+	plan := faults.New(5, faults.Config{ErrorRate: 1})
+	fs := NewFaultShim(plan)
+	nc, err := fs.Dial("https://a.com", l.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	_, err = io.ReadAll(nc)
+	var re *ResetError
+	if !errors.As(err, &re) {
+		t.Fatalf("reset conn error = %v, want ResetError", err)
+	}
+}
+
+func TestFaultShimStallBlocksUntilClose(t *testing.T) {
+	l := echoListener(t, []byte("never seen"))
+	defer l.Close()
+	plan := faults.New(5, faults.Config{StallRate: 1})
+	fs := NewFaultShim(plan)
+	nc, err := fs.Dial("https://a.com", l.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := make(chan error, 1)
+	go func() {
+		_, err := nc.Read(make([]byte, 1))
+		read <- err
+	}()
+	select {
+	case err := <-read:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	nc.Close()
+	select {
+	case err := <-read:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("stalled read after close: %v, want EOF", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stalled read did not unblock on close")
+	}
+}
+
+func TestFaultShimBrownoutDelaysFirstByte(t *testing.T) {
+	l := echoListener(t, []byte("slow"))
+	defer l.Close()
+	plan := faults.New(5, faults.Config{BrownoutFrac: 1, BrownoutMaxDelay: 200 * time.Millisecond})
+	fs := NewFaultShim(plan)
+	nc, err := fs.Dial("https://a.com", l.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	start := time.Now()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+	// The seeded delay is in [max/4, max]; first byte must be at least
+	// max/4 late.
+	if got := time.Since(start); got < 50*time.Millisecond {
+		t.Fatalf("browned-out first byte arrived after %v, want >= 50ms", got)
+	}
+}
+
+func TestFaultShimDecisionsDeterministic(t *testing.T) {
+	payload := make([]byte, 8<<10)
+	cfg := faults.Config{
+		ErrorRate: 0.25, TruncateRate: 0.25, StallRate: 0.1,
+		BrownoutFrac: 0.3, BrownoutMaxDelay: time.Millisecond,
+	}
+	run := func(seed int64) []string {
+		l := echoListener(t, payload)
+		defer l.Close()
+		fs := NewFaultShim(faults.New(seed, cfg))
+		for _, origin := range []string{"https://a.com", "https://b.com", "https://c.com"} {
+			for i := 0; i < 4; i++ {
+				nc, err := fs.Dial(origin, l.Dial)
+				if err != nil {
+					continue
+				}
+				nc.Close()
+			}
+		}
+		return fs.Decisions()
+	}
+	a, b := run(17), run(17)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed drew different decisions:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no fault decisions drawn under 60% combined rates")
+	}
+	if c := run(18); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds drew identical decisions: %v", a)
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -12,7 +13,25 @@ import (
 	"vroom/internal/webpage"
 )
 
-// FetchRecord is one completed fetch in a wire page load.
+// ErrKind classifies why a fetch failed, so degraded loads report typed
+// failures instead of opaque error strings.
+type ErrKind string
+
+// Fetch failure kinds.
+const (
+	FetchOK             ErrKind = ""
+	FetchDial           ErrKind = "dial"            // origin unreachable
+	FetchTimeoutHeaders ErrKind = "timeout-headers" // no response headers in time
+	FetchTimeoutStall   ErrKind = "timeout-stall"   // transfer stalled mid-body
+	FetchStream         ErrKind = "stream"          // stream-level reset
+	FetchConn           ErrKind = "conn"            // connection-level failure
+	FetchHTTP           ErrKind = "http"            // 5xx after retries
+	FetchRedirect       ErrKind = "redirect"        // hop cap or bad location
+	FetchBreaker        ErrKind = "breaker"         // origin circuit breaker open
+	FetchDeadline       ErrKind = "deadline"        // overall load deadline hit
+)
+
+// FetchRecord is one fetch (completed or failed) in a wire page load.
 type FetchRecord struct {
 	URL      string
 	Priority hints.Priority
@@ -21,7 +40,19 @@ type FetchRecord struct {
 	Bytes    int
 	Start    time.Time
 	Done     time.Time
+
+	// Failure fields: a degraded load reports every fetch it could not
+	// complete with a typed kind, the retries it spent, and whether a
+	// client-imposed deadline (not the server) ended it.
+	Err       string
+	ErrKind   ErrKind
+	Retries   int
+	TimedOut  bool
+	Redirects int
 }
+
+// Failed reports whether this fetch ended in an error.
+func (f *FetchRecord) Failed() bool { return f.ErrKind != FetchOK }
 
 // Report summarizes a wire page load.
 type Report struct {
@@ -31,6 +62,13 @@ type Report struct {
 	Fetches  []FetchRecord
 	Pushed   int
 	Bytes    int64
+
+	// Failed counts fetches that ended in an error; Retries totals retry
+	// attempts across the load; DeadlineHit marks a load cut short by
+	// LoadDeadline (the report is partial but complete per-URL).
+	Failed      int
+	Retries     int
+	DeadlineHit bool
 }
 
 // Total returns the wall-clock load duration.
@@ -45,8 +83,51 @@ type OriginConn interface {
 	Close() error
 }
 
+// timeoutRoundTripper is the optional deadline-aware transport interface;
+// both h2.ClientConn and h1.Pool implement it.
+type timeoutRoundTripper interface {
+	RoundTripTimeout(*h2.Request, time.Duration, time.Duration) (*h2.Response, error)
+}
+
+// selfHealing marks transports that replace broken connections internally
+// (h1.Pool); the client never evicts those.
+type selfHealing interface{ SelfHealing() bool }
+
+// RetryPolicy bounds replay of failed idempotent fetches with capped
+// exponential backoff.
+type RetryPolicy struct {
+	// MaxAttempts caps tries per URL (first attempt included). Default 3.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry, doubling each retry
+	// up to MaxBackoff. Defaults 250ms and 4s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 4 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d
+}
+
 // Client loads pages over real connections, one transport per origin,
 // using either Vroom's staged scheduling or plain fetch-on-discovery.
+//
+// The load path is built to survive broken worlds: per-attempt dial,
+// header, and body-stall timeouts; budgeted retries for idempotent GETs;
+// eviction of broken connections with one re-dial per origin; a per-origin
+// circuit breaker; and an overall load deadline after which LoadPage
+// returns a partial — but per-URL complete — Report rather than an error.
 type Client struct {
 	// Dial opens a raw transport to an origin ("https://host"), carried
 	// over HTTP/2. With netem, every origin dials the same emulated
@@ -59,9 +140,31 @@ type Client struct {
 	// fetch-ASAP.
 	Staged bool
 
+	// DialTimeout bounds one dial attempt (default 10s). HeaderTimeout
+	// bounds time-to-response-headers and StallTimeout bounds any gap in
+	// body progress (defaults 5s each; h1 uses their sum as one exchange
+	// watchdog). LoadDeadline bounds the whole page load (default 2m).
+	DialTimeout   time.Duration
+	HeaderTimeout time.Duration
+	StallTimeout  time.Duration
+	LoadDeadline  time.Duration
+
+	// Retry governs per-URL replay; RetryBudget caps total retries across
+	// the load (default 16) so a broken world cannot multiply traffic.
+	Retry       RetryPolicy
+	RetryBudget int
+	// BreakerThreshold trips an origin's circuit breaker after that many
+	// consecutive failures: further fetches fail fast instead of burning
+	// timeouts. Default 4; negative disables.
+	BreakerThreshold int
+	// RedirectHops caps how many 3xx hops one fetch follows. Default 5.
+	RedirectHops int
+
 	mu          sync.Mutex
-	conns       map[string]OriginConn
+	origins     map[string]*originState
 	seen        map[string]bool
+	inflight    map[string]*inflightFetch
+	retriesUsed int
 	outstanding int
 	stage       hints.Priority
 	highOut     int
@@ -73,7 +176,27 @@ type Client struct {
 	pushWaiters map[string][]chan *h2.Response
 	report      *Report
 	doneCh      chan struct{}
+	cancel      chan struct{}
 	finished    bool
+}
+
+// originState is one origin's connection lifecycle: the live conn, the
+// in-flight dial (singleflight), the redial budget, and the breaker count.
+type originState struct {
+	conn    OriginConn
+	dialing chan struct{}
+	// everConnected gates the redial budget: initial dial attempts are
+	// bounded by the breaker, re-dials after eviction by redials.
+	everConnected bool
+	redials       int
+	// fails counts consecutive failures; breakerThreshold trips on it.
+	fails int
+}
+
+type inflightFetch struct {
+	prio    hints.Priority
+	start   time.Time
+	retries int
 }
 
 type fetchJob struct {
@@ -81,31 +204,147 @@ type fetchJob struct {
 	prio hints.Priority
 }
 
-// LoadPage fetches the page rooted at root to completion and reports
-// per-resource timings. A Client instance performs one load.
+// fetchOutcome carries a fetch's failure typing back to the recorder.
+type fetchOutcome struct {
+	err       error
+	kind      ErrKind
+	status    int
+	timedOut  bool
+	redirects int
+	finalURL  urlutil.URL
+}
+
+// errLoadOver aborts work that outlived the load (deadline or completion).
+var errLoadOver = errors.New("wire: load finished")
+
+// errRedialBudget fails an origin whose evicted conn was already re-dialed.
+var errRedialBudget = errors.New("wire: origin redial budget exhausted")
+
+// breakerOpenError fails fast on an origin with too many consecutive
+// failures.
+type breakerOpenError struct{ origin string }
+
+func (e breakerOpenError) Error() string {
+	return "wire: circuit breaker open for " + e.origin
+}
+
+// dialError wraps any failure to produce a usable origin connection.
+type dialError struct {
+	origin string
+	err    error
+}
+
+func (e *dialError) Error() string { return fmt.Sprintf("wire: dial %s: %v", e.origin, e.err) }
+func (e *dialError) Unwrap() error { return e.err }
+
+// Defaulted knob accessors.
+func (c *Client) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 10 * time.Second
+}
+func (c *Client) headerTimeout() time.Duration {
+	if c.HeaderTimeout > 0 {
+		return c.HeaderTimeout
+	}
+	return 5 * time.Second
+}
+func (c *Client) stallTimeout() time.Duration {
+	if c.StallTimeout > 0 {
+		return c.StallTimeout
+	}
+	return 5 * time.Second
+}
+func (c *Client) loadDeadline() time.Duration {
+	if c.LoadDeadline > 0 {
+		return c.LoadDeadline
+	}
+	return 2 * time.Minute
+}
+func (c *Client) maxAttempts() int {
+	if c.Retry.MaxAttempts > 0 {
+		return c.Retry.MaxAttempts
+	}
+	return 3
+}
+func (c *Client) retryBudget() int {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 16
+}
+func (c *Client) breakerThreshold() int {
+	if c.BreakerThreshold != 0 {
+		return c.BreakerThreshold
+	}
+	return 4
+}
+func (c *Client) redirectHops() int {
+	if c.RedirectHops > 0 {
+		return c.RedirectHops
+	}
+	return 5
+}
+
+// LoadPage fetches the page rooted at root and reports per-resource
+// timings. A Client instance performs one load. Degraded worlds never
+// produce an opaque error: failed fetches carry typed ErrKind/Retries
+// fields, and if LoadDeadline passes, the partial Report (DeadlineHit set,
+// every started or queued URL accounted for) is returned with a nil error.
+// The only error is misconfiguration (no dialer).
 func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 	if c.Dial == nil && c.DialOrigin == nil {
 		return nil, fmt.Errorf("wire: Client.Dial not set")
 	}
-	c.conns = make(map[string]OriginConn)
+	c.origins = make(map[string]*originState)
 	c.seen = make(map[string]bool)
+	c.inflight = make(map[string]*inflightFetch)
 	c.pushedResp = make(map[string]*h2.Response)
 	c.pushWaiters = make(map[string][]chan *h2.Response)
 	c.stage = hints.High
 	c.report = &Report{Root: root.String(), Started: time.Now()}
 	c.doneCh = make(chan struct{})
+	c.cancel = make(chan struct{})
 
 	c.mu.Lock()
 	c.enqueue(root, hints.High)
 	c.mu.Unlock()
 
+	timer := time.NewTimer(c.loadDeadline())
+	defer timer.Stop()
+	var deadlineHit bool
 	select {
 	case <-c.doneCh:
-	case <-time.After(2 * time.Minute):
-		return nil, fmt.Errorf("wire: page load timed out")
+	case <-timer.C:
+		deadlineHit = true
 	}
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if deadlineHit && !c.finished {
+		c.finished = true
+		c.report.DeadlineHit = true
+		now := time.Now()
+		for key, fl := range c.inflight {
+			c.report.Fetches = append(c.report.Fetches, FetchRecord{
+				URL: key, Priority: fl.prio, Start: fl.start, Done: now,
+				Err: "wire: load deadline exceeded", ErrKind: FetchDeadline,
+				Retries: fl.retries, TimedOut: true,
+			})
+			c.report.Failed++
+			c.report.Retries += fl.retries
+		}
+		c.inflight = make(map[string]*inflightFetch)
+		for _, j := range append(append([]fetchJob{}, c.pendSemi...), c.pendLow...) {
+			c.report.Fetches = append(c.report.Fetches, FetchRecord{
+				URL: j.u.String(), Priority: j.prio, Start: now, Done: now,
+				Err: "wire: load deadline exceeded before fetch started",
+				ErrKind: FetchDeadline, TimedOut: true,
+			})
+			c.report.Failed++
+		}
+		c.pendSemi, c.pendLow = nil, nil
+	}
 	c.report.Finished = time.Now()
 	// Pushes the page never referenced are wasted bandwidth; record them.
 	for key, resp := range c.pushedResp {
@@ -119,10 +358,23 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 		c.report.Bytes += int64(len(resp.Body))
 		c.report.Pushed++
 	}
-	for _, cc := range c.conns {
+	conns := make([]OriginConn, 0, len(c.origins))
+	for _, os := range c.origins {
+		if os.conn != nil {
+			conns = append(conns, os.conn)
+			os.conn = nil
+		}
+	}
+	report := c.report
+	c.mu.Unlock()
+
+	// Unblock backoff sleeps, push waits, and dial waits, then cut every
+	// connection so no fetch goroutine can park on a dead read.
+	close(c.cancel)
+	for _, cc := range conns {
 		cc.Close()
 	}
-	return c.report, nil
+	return report, nil
 }
 
 // enqueue schedules a fetch according to the stage discipline. Caller holds
@@ -154,37 +406,63 @@ func (c *Client) issue(u urlutil.URL, prio hints.Priority) {
 	case hints.Semi:
 		c.semiOut++
 	}
+	// Register before the goroutine exists so a load deadline always finds
+	// (and records) every issued fetch.
+	c.inflight[u.String()] = &inflightFetch{prio: prio, start: time.Now()}
 	go c.fetch(u, prio)
 }
 
 func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
-	start := time.Now()
-	resp, err := c.doFetch(u)
-	done := time.Now()
-
-	var rec FetchRecord
-	if err != nil {
-		rec = FetchRecord{URL: u.String(), Priority: prio, Status: 0, Start: start, Done: done}
-	} else {
-		rec = FetchRecord{
-			URL: u.String(), Priority: prio, Pushed: resp.Pushed,
-			Status: resp.Status, Bytes: len(resp.Body), Start: start, Done: done,
-		}
+	key := u.String()
+	c.mu.Lock()
+	fl := c.inflight[key]
+	c.mu.Unlock()
+	if fl == nil {
+		return // load already over; the deadline path wrote this record
 	}
 
-	// Discover referenced resources and hints before re-locking.
+	resp, out := c.doFetch(u, fl)
+	done := time.Now()
+
+	rec := FetchRecord{
+		URL: key, Priority: prio, Start: fl.start, Done: done,
+		Redirects: out.redirects,
+	}
+	if out.err != nil {
+		rec.Err = out.err.Error()
+		rec.ErrKind = out.kind
+		rec.Status = out.status
+		rec.TimedOut = out.timedOut
+	} else {
+		rec.Pushed = resp.Pushed
+		rec.Status = resp.Status
+		rec.Bytes = len(resp.Body)
+	}
+
+	// Discover referenced resources and hints before re-locking; relative
+	// references resolve against the post-redirect URL.
 	var discovered []fetchJob
-	if err == nil && resp.Status == 200 {
-		discovered = c.analyze(u, resp)
+	if out.err == nil && resp.Status == 200 {
+		discovered = c.analyze(out.finalURL, resp)
 	}
 
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec.Retries = fl.retries
+	delete(c.inflight, key)
+	if c.finished {
+		return // the partial report was already handed to the caller
+	}
 	c.report.Fetches = append(c.report.Fetches, rec)
 	c.report.Bytes += int64(rec.Bytes)
+	c.report.Retries += rec.Retries
+	if rec.Failed() {
+		c.report.Failed++
+	}
 	if rec.Pushed {
 		c.report.Pushed++
 	}
-	if u.String() == c.report.Root {
+	if key == c.report.Root {
 		c.rootDone = true
 	}
 	for _, j := range discovered {
@@ -199,7 +477,6 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 	}
 	c.advance()
 	c.maybeFinish()
-	c.mu.Unlock()
 }
 
 // advance opens later stages as earlier ones drain. Caller holds c.mu.
@@ -258,65 +535,408 @@ func (c *Client) analyze(u urlutil.URL, resp *h2.Response) []fetchJob {
 	return jobs
 }
 
-// doFetch resolves a URL through the push cache or a round trip on the
-// origin's connection.
-func (c *Client) doFetch(u urlutil.URL) (*h2.Response, error) {
+// doFetch fetches one URL, following redirects up to the hop cap.
+func (c *Client) doFetch(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetchOutcome) {
+	cur := u
+	hops := 0
+	for {
+		resp, out := c.fetchOne(cur, fl)
+		out.redirects = hops
+		if out.err != nil {
+			return nil, out
+		}
+		loc := redirectLocation(resp)
+		if loc == "" {
+			out.finalURL = cur
+			return resp, out
+		}
+		if hops >= c.redirectHops() {
+			return nil, fetchOutcome{
+				err:    fmt.Errorf("wire: %s: more than %d redirect hops", u, c.redirectHops()),
+				kind:   FetchRedirect,
+				status: resp.Status, redirects: hops,
+			}
+		}
+		next, ok := urlutil.Resolve(cur, loc)
+		if !ok {
+			return nil, fetchOutcome{
+				err:    fmt.Errorf("wire: %s: unresolvable location %q", cur, loc),
+				kind:   FetchRedirect,
+				status: resp.Status, redirects: hops,
+			}
+		}
+		hops++
+		c.mu.Lock()
+		already := c.seen[next.String()]
+		c.seen[next.String()] = true
+		c.mu.Unlock()
+		if already {
+			// Another fetch owns (or owned) the target; this record just
+			// reports the hop.
+			out.finalURL = cur
+			return resp, out
+		}
+		cur = next
+	}
+}
+
+func redirectLocation(resp *h2.Response) string {
+	switch resp.Status {
+	case 301, 302, 303, 307, 308:
+	default:
+		return ""
+	}
+	if vals := resp.Header["location"]; len(vals) > 0 {
+		return vals[0]
+	}
+	return ""
+}
+
+// fetchOne fetches one URL with budgeted, backed-off retries.
+func (c *Client) fetchOne(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetchOutcome) {
+	var last fetchOutcome
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if !c.takeRetryToken(fl) {
+				last.err = fmt.Errorf("%v (retry budget exhausted)", last.err)
+				return nil, last
+			}
+			if !c.sleepBackoff(c.Retry.backoff(attempt)) {
+				return nil, fetchOutcome{err: errLoadOver, kind: FetchDeadline}
+			}
+		}
+		resp, err := c.attempt(u)
+		if err == nil && resp.Status < 500 {
+			return resp, fetchOutcome{}
+		}
+		if err == nil {
+			// 5xx: transient server verdicts redraw per attempt — replay.
+			last = fetchOutcome{
+				err:    fmt.Errorf("wire: %s answered %d", u.String(), resp.Status),
+				kind:   FetchHTTP,
+				status: resp.Status,
+			}
+		} else {
+			kind, timedOut := classifyErr(err)
+			last = fetchOutcome{err: err, kind: kind, timedOut: timedOut}
+			if !retryableErr(err) {
+				return nil, last
+			}
+		}
+		if attempt+1 >= c.maxAttempts() {
+			return nil, last
+		}
+	}
+}
+
+// takeRetryToken charges one retry against the per-load budget.
+func (c *Client) takeRetryToken(fl *inflightFetch) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished || c.retriesUsed >= c.retryBudget() {
+		return false
+	}
+	c.retriesUsed++
+	fl.retries++
+	return true
+}
+
+// sleepBackoff sleeps d unless the load ends first.
+func (c *Client) sleepBackoff(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.cancel:
+		return false
+	}
+}
+
+// attempt performs one try at a URL: push cache, breaker, promised-push
+// wait, then a deadline-bound round trip.
+func (c *Client) attempt(u urlutil.URL) (*h2.Response, error) {
 	key := u.String()
+	origin := u.Origin()
 	c.mu.Lock()
 	if resp, ok := c.pushedResp[key]; ok {
 		c.mu.Unlock()
 		return resp, nil
 	}
-	cc, err := c.connLocked(u.Origin(), u.Host)
-	if err != nil {
+	if th := c.breakerThreshold(); th > 0 && c.originState(origin).fails >= th {
 		c.mu.Unlock()
+		return nil, breakerOpenError{origin: origin}
+	}
+	c.mu.Unlock()
+
+	cc, err := c.conn(origin, u.Host)
+	if err != nil {
 		return nil, err
 	}
+
 	// If the server promised a push for this path, wait for it instead of
-	// double-fetching.
+	// double-fetching — but only as long as a round trip would be allowed
+	// to take: a promise orphaned by a dying conn must not park the fetch.
 	if _, promised := cc.Promised(u.Path); promised {
 		ch := make(chan *h2.Response, 1)
+		c.mu.Lock()
 		c.pushWaiters[key] = append(c.pushWaiters[key], ch)
 		c.mu.Unlock()
+		wait := time.NewTimer(c.headerTimeout() + c.stallTimeout())
 		select {
 		case resp := <-ch:
+			wait.Stop()
 			return resp, nil
-		case <-time.After(30 * time.Second):
-			return nil, fmt.Errorf("wire: promised push for %s never arrived", key)
+		case <-wait.C:
+			c.dropPushWaiter(key, ch)
+			// Stale promise: fall through to a real round trip.
+		case <-c.cancel:
+			wait.Stop()
+			c.dropPushWaiter(key, ch)
+			return nil, errLoadOver
+		}
+	}
+
+	req := &h2.Request{Method: "GET", Scheme: u.Scheme, Authority: u.Host, Path: u.Path}
+	resp, err := c.roundTrip(cc, req)
+	if err != nil {
+		c.noteConnFailure(origin, cc, err)
+		return nil, err
+	}
+	c.noteSuccess(origin)
+	return resp, nil
+}
+
+// roundTrip uses the transport's deadline-aware entry point when it has
+// one.
+func (c *Client) roundTrip(cc OriginConn, req *h2.Request) (*h2.Response, error) {
+	if tr, ok := cc.(timeoutRoundTripper); ok {
+		return tr.RoundTripTimeout(req, c.headerTimeout(), c.stallTimeout())
+	}
+	return cc.RoundTrip(req)
+}
+
+func (c *Client) dropPushWaiter(key string, ch chan *h2.Response) {
+	c.mu.Lock()
+	ws := c.pushWaiters[key]
+	for i, w := range ws {
+		if w == ch {
+			c.pushWaiters[key] = append(ws[:i], ws[i+1:]...)
+			break
 		}
 	}
 	c.mu.Unlock()
-	return cc.RoundTrip(&h2.Request{Method: "GET", Scheme: u.Scheme, Authority: u.Host, Path: u.Path})
 }
 
-// connLocked returns (dialing if needed) the origin's connection. Caller
-// holds c.mu.
-func (c *Client) connLocked(origin, host string) (OriginConn, error) {
-	if cc, ok := c.conns[origin]; ok {
+// originState returns (creating if needed) an origin's lifecycle state.
+// Caller holds c.mu.
+func (c *Client) originState(origin string) *originState {
+	os, ok := c.origins[origin]
+	if !ok {
+		os = &originState{}
+		c.origins[origin] = os
+	}
+	return os
+}
+
+// conn returns the origin's connection, dialing at most once concurrently
+// (other fetches wait on the in-flight dial rather than racing their own).
+func (c *Client) conn(origin, host string) (OriginConn, error) {
+	for {
+		c.mu.Lock()
+		os := c.originState(origin)
+		if os.conn != nil {
+			cc := os.conn
+			c.mu.Unlock()
+			return cc, nil
+		}
+		if os.dialing != nil {
+			ch := os.dialing
+			c.mu.Unlock()
+			select {
+			case <-ch:
+			case <-c.cancel:
+				return nil, errLoadOver
+			}
+			continue
+		}
+		if os.everConnected {
+			if os.redials >= 1 {
+				c.mu.Unlock()
+				return nil, errRedialBudget
+			}
+			os.redials++
+		}
+		ch := make(chan struct{})
+		os.dialing = ch
+		c.mu.Unlock()
+
+		cc, err := c.dialOrigin(origin, host)
+
+		c.mu.Lock()
+		os.dialing = nil
+		if err != nil {
+			os.fails++
+		} else if c.finished {
+			// The load ended mid-dial; the report is out, so this conn
+			// belongs to nobody.
+			c.mu.Unlock()
+			close(ch)
+			cc.Close()
+			return nil, errLoadOver
+		} else {
+			os.conn = cc
+			os.everConnected = true
+		}
+		c.mu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, &dialError{origin: origin, err: err}
+		}
 		return cc, nil
 	}
+}
+
+// dialOrigin opens one transport with the dial timeout applied.
+func (c *Client) dialOrigin(origin, host string) (OriginConn, error) {
+	type res struct {
+		oc  OriginConn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		oc, err := c.dialRaw(origin, host)
+		ch <- res{oc, err}
+	}()
+	t := time.NewTimer(c.dialTimeout())
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.oc, r.err
+	case <-t.C:
+		// Reap the conn if the straggling dial ever completes.
+		go func() {
+			if r := <-ch; r.err == nil && r.oc != nil {
+				r.oc.Close()
+			}
+		}()
+		return nil, fmt.Errorf("dial timed out after %v", c.dialTimeout())
+	}
+}
+
+func (c *Client) dialRaw(origin, host string) (OriginConn, error) {
 	if c.DialOrigin != nil {
 		oc, err := c.DialOrigin(origin)
 		if err != nil {
-			return nil, fmt.Errorf("wire: dial %s: %w", origin, err)
+			return nil, err
 		}
 		if cc, ok := oc.(*h2.ClientConn); ok {
 			cc.OnPush = func(resp *h2.Response) { c.onPush(host, resp) }
 		}
-		c.conns[origin] = oc
 		return oc, nil
 	}
 	nc, err := c.Dial(origin)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", origin, err)
+		return nil, err
 	}
 	cc, err := h2.NewClientConn(nc)
 	if err != nil {
 		return nil, err
 	}
 	cc.OnPush = func(resp *h2.Response) { c.onPush(host, resp) }
-	c.conns[origin] = cc
 	return cc, nil
+}
+
+// noteSuccess clears the origin's breaker count.
+func (c *Client) noteSuccess(origin string) {
+	c.mu.Lock()
+	c.originState(origin).fails = 0
+	c.mu.Unlock()
+}
+
+// noteConnFailure counts a failure toward the breaker and evicts the conn
+// when the error says the whole connection — not just one stream — is
+// broken, so the (budgeted) re-dial starts fresh.
+func (c *Client) noteConnFailure(origin string, cc OriginConn, err error) {
+	evict := false
+	c.mu.Lock()
+	os := c.originState(origin)
+	os.fails++
+	var se h2.StreamError
+	if sh, ok := cc.(selfHealing); (!ok || !sh.SelfHealing()) && !errors.As(err, &se) {
+		if os.conn == cc {
+			os.conn = nil
+			evict = true
+		}
+	}
+	c.mu.Unlock()
+	if evict {
+		cc.Close()
+	}
+}
+
+// classifyErr maps a fetch error to its typed kind and whether it was a
+// client-imposed timeout.
+func classifyErr(err error) (ErrKind, bool) {
+	var te *h2.TimeoutError
+	if errors.As(err, &te) {
+		if te.Phase == "headers" {
+			return FetchTimeoutHeaders, true
+		}
+		return FetchTimeoutStall, true
+	}
+	var be breakerOpenError
+	if errors.As(err, &be) {
+		return FetchBreaker, false
+	}
+	if errors.Is(err, errLoadOver) {
+		return FetchDeadline, false
+	}
+	var de *dialError
+	if errors.As(err, &de) {
+		return FetchDial, false
+	}
+	var se h2.StreamError
+	if errors.As(err, &se) {
+		return FetchStream, false
+	}
+	return FetchConn, false
+}
+
+// retryableErr reports whether replaying the (idempotent GET) fetch could
+// help.
+func retryableErr(err error) bool {
+	if errors.Is(err, errLoadOver) || errors.Is(err, errRedialBudget) {
+		return false
+	}
+	var be breakerOpenError
+	if errors.As(err, &be) {
+		return false
+	}
+	var te *h2.TimeoutError
+	if errors.As(err, &te) {
+		return true
+	}
+	if h2.Retryable(err) {
+		return true // REFUSED_STREAM, CANCEL, graceful GOAWAY
+	}
+	var se h2.StreamError
+	if errors.As(err, &se) {
+		return false // protocol-class stream reset: a replay hits the same bug
+	}
+	var ce h2.ConnError
+	if errors.As(err, &ce) {
+		return false // protocol integrity failure
+	}
+	var ga h2.GoAwayError
+	if errors.As(err, &ga) {
+		return false // errored GOAWAY
+	}
+	// Dial failures, broken pipes, evicted conns: replayable for GETs.
+	return true
 }
 
 // onPush stores pushed responses in the push cache and satisfies waiters.

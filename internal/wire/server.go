@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vroom/internal/core"
+	"vroom/internal/faults"
 	"vroom/internal/h2"
 	"vroom/internal/hints"
 	"vroom/internal/replay"
@@ -39,10 +40,20 @@ type Server struct {
 	Device   webpage.DeviceClass
 	Cfg      ServerConfig
 
+	// Faults, when set, injects seeded server-side failures into replayed
+	// responses: stale hints (404s and redirects to the moved content) and
+	// transient 503s. Wire-level faults — outages, brownouts, resets,
+	// stalls, truncation — belong to netem.FaultShim on the client's dials;
+	// both sides can share one Plan (its methods serialize internally).
+	Faults *faults.Plan
+
 	h2srv *h2.Server
 
 	mu     sync.Mutex
 	pushed map[string]bool
+	// redirects remembers mangled stale-hint URLs -> fresh URLs so the
+	// server can answer the client's fetch of a stale hint with a 301.
+	redirects map[string]string
 	// Stats.
 	Requests int
 	Pushes   int
@@ -51,13 +62,19 @@ type Server struct {
 // NewServer builds a replay server. resolver may be nil when hints are
 // disabled.
 func NewServer(a *replay.Archive, resolver *core.Resolver, device webpage.DeviceClass, cfg ServerConfig) *Server {
-	s := &Server{Archive: a, Resolver: resolver, Device: device, Cfg: cfg, pushed: make(map[string]bool)}
+	s := &Server{Archive: a, Resolver: resolver, Device: device, Cfg: cfg,
+		pushed: make(map[string]bool), redirects: make(map[string]string)}
 	s.h2srv = &h2.Server{Handler: s}
 	return s
 }
 
 // H2 exposes the underlying HTTP/2 server for Serve/Close.
 func (s *Server) H2() *h2.Server { return s.h2srv }
+
+// Drain gracefully shuts the HTTP/2 side down: GOAWAY on every connection,
+// in-flight streams get up to timeout to finish, new streams are refused
+// retryably. The caller closes its listener.
+func (s *Server) Drain(timeout time.Duration) { s.h2srv.Drain(timeout) }
 
 // ServeH1 implements h1.Handler: the same replay content over HTTP/1.1.
 // Dependency hints still work (Link headers predate HTTP/2) but there is
@@ -70,15 +87,25 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 	s.Requests++
 	s.mu.Unlock()
 
-	rec, ok := s.Archive.Lookup("https://" + r.Authority + r.Path)
+	key := "https://" + r.Authority + r.Path
+	if fresh := s.redirectFor(key); fresh != "" {
+		return &h2.Response{Status: 301,
+			Header: map[string][]string{"content-type": {"text/plain"}, "location": {fresh}},
+			Body:   []byte("moved: " + fresh)}
+	}
+	rec, ok := s.Archive.Lookup(key)
 	if !ok {
 		return &h2.Response{Status: 404, Header: map[string][]string{"content-type": {"text/plain"}},
 			Body: []byte("not in archive")}
 	}
+	if s.faulted(rec) {
+		return &h2.Response{Status: 503, Header: map[string][]string{"content-type": {"text/plain"}},
+			Body: []byte("injected transient error")}
+	}
 	resp := &h2.Response{Status: 200, Header: map[string][]string{"content-type": {contentType(rec)}}, Body: s.body(rec)}
 	if rec.ResourceType() == webpage.HTML && s.Resolver != nil && s.Cfg.SendHints {
 		if u, err := rec.ParsedURL(); err == nil {
-			for name, vals := range hints.Format(s.Resolver.HintsFor(u, rec.Body, s.Device)) {
+			for name, vals := range hints.Format(s.staleify(s.Resolver.HintsFor(u, rec.Body, s.Device))) {
 				resp.Header[name] = vals
 			}
 		}
@@ -96,6 +123,13 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 	s.mu.Unlock()
 
 	key := "https://" + r.Authority + r.Path
+	if fresh := s.redirectFor(key); fresh != "" {
+		w.Header()["content-type"] = []string{"text/plain"}
+		w.Header()["location"] = []string{fresh}
+		w.WriteHeader(301)
+		w.Write([]byte("moved: " + fresh))
+		return
+	}
 	rec, ok := s.Archive.Lookup(key)
 	if !ok {
 		// Tolerate scheme differences in lookups.
@@ -107,12 +141,18 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 		w.Write([]byte("not in archive: " + key))
 		return
 	}
+	if s.faulted(rec) {
+		w.Header()["content-type"] = []string{"text/plain"}
+		w.WriteHeader(503)
+		w.Write([]byte("injected transient error"))
+		return
+	}
 
 	w.Header()["content-type"] = []string{contentType(rec)}
 	var hs []hints.Hint
 	if rec.ResourceType() == webpage.HTML && s.Resolver != nil && (s.Cfg.SendHints || s.Cfg.Push) {
 		if u, err := rec.ParsedURL(); err == nil {
-			hs = s.Resolver.HintsFor(u, rec.Body, s.Device)
+			hs = s.staleify(s.Resolver.HintsFor(u, rec.Body, s.Device))
 		}
 	}
 	if s.Cfg.SendHints && len(hs) > 0 {
@@ -157,6 +197,56 @@ func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint) {
 			pw.Close()
 		}(rec)
 	}
+}
+
+// staleify passes served hints through the fault plan: a stale hint's URL
+// is mangled to what an outdated resolver view would carry, and redirecting
+// ones are remembered so the lookup path can answer them with a 301. Mangled
+// URLs stay same-origin, so they never land on a push stream (not in the
+// archive) and the client's fetch reaches this server.
+func (s *Server) staleify(hs []hints.Hint) []hints.Hint {
+	if s.Faults == nil || len(hs) == 0 {
+		return hs
+	}
+	out := make([]hints.Hint, len(hs))
+	for i, h := range hs {
+		m, fate := s.Faults.StaleHint(h.URL)
+		switch fate {
+		case faults.HintRedirect:
+			s.mu.Lock()
+			s.redirects[m.String()] = h.URL.String()
+			s.mu.Unlock()
+			h.URL = m
+		case faults.HintGone:
+			h.URL = m
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// redirectFor returns the fresh URL a stale-hint redirect points at, or "".
+func (s *Server) redirectFor(key string) string {
+	if s.Faults == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.redirects[key]
+}
+
+// faulted reports whether the plan injects a transient server error (503)
+// for this record's URL. Wire-level verdicts (truncate/stall/reset) are
+// drawn separately by the netem shim; only FaultError is a server concern.
+func (s *Server) faulted(rec *replay.Record) bool {
+	if s.Faults == nil {
+		return false
+	}
+	u, err := rec.ParsedURL()
+	if err != nil {
+		return false
+	}
+	return s.Faults.ResponseVerdict(u) == faults.FaultError
 }
 
 // body returns the record's bytes: real content for text resources,
