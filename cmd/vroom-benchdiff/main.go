@@ -1,0 +1,59 @@
+// vroom-benchdiff compares two vroom-bench JSON artifacts and fails on
+// performance regressions, so CI can gate on the committed baseline.
+//
+// Usage:
+//
+//	vroom-benchdiff [-threshold 0.10] [-all] baseline.json candidate.json
+//
+// Every series median in the baseline is matched by figure id and label in
+// the candidate and compared relative to the figure's better-direction
+// (recorded in the artifact at write time). Medians that move past the
+// threshold in the worse direction — and figures or series the candidate
+// lost entirely — are regressions: they are listed and the exit status is 1.
+// Exit 0 means no regression; 2 means bad usage or unreadable artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vroom/internal/benchfmt"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative median drift tolerated before a series counts as regressed")
+		all       = flag.Bool("all", false, "print every compared series, not just regressions")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vroom-benchdiff [-threshold 0.10] [-all] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := benchfmt.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cand, err := benchfmt.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	deltas, err := benchfmt.Compare(base, cand, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *all {
+		fmt.Print(benchfmt.Report(deltas))
+	}
+	regs := benchfmt.Regressions(deltas)
+	if len(regs) > 0 {
+		fmt.Printf("%d of %d series regressed past %.0f%%:\n", len(regs), len(deltas), *threshold*100)
+		fmt.Print(benchfmt.Report(regs))
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions across %d series (threshold %.0f%%)\n", len(deltas), *threshold*100)
+}

@@ -12,6 +12,17 @@
 // resets/stalls/truncation. The load still completes: failed fetches are
 // reported with a typed error kind and retry count instead of aborting the
 // page.
+//
+// Observability:
+//
+//	vroom-client -root ... -trace load.json       # Perfetto trace of the load
+//	vroom-client -root ... -metrics-out m.json    # metrics registry dump
+//
+// -trace records wall-clock spans for every phase of the load (dials,
+// retries, backoff waits, header/body transfer, pushes, injected faults)
+// into a Chrome trace-event file that chrome://tracing or ui.perfetto.dev
+// opens directly. -metrics-out dumps the client's metric registry
+// (counters, gauges, latency histograms) as JSON after the load.
 package main
 
 import (
@@ -26,24 +37,28 @@ import (
 	"vroom/internal/h1"
 	"vroom/internal/hints"
 	"vroom/internal/netem"
+	"vroom/internal/obs"
+	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 	"vroom/internal/wire"
 )
 
 func main() {
 	var (
-		server    = flag.String("server", "127.0.0.1:8443", "vroom-server address")
-		rootRaw   = flag.String("root", "", "root page URL (as recorded in the archive)")
-		staged    = flag.Bool("staged", true, "use Vroom's staged scheduler")
-		proto     = flag.String("proto", "h2", "wire protocol: h2 or h1")
-		verbose   = flag.Bool("v", false, "print every fetch")
-		faultsRaw = flag.String("faults", "none", "wire fault regime injected on dials: none, mild, or severe")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan (same seed => same injected faults)")
-		dialTO    = flag.Duration("dial-timeout", 10*time.Second, "per-connection dial timeout")
-		headerTO  = flag.Duration("header-timeout", 5*time.Second, "per-request response-header timeout")
-		stallTO   = flag.Duration("stall-timeout", 5*time.Second, "per-request body-progress stall timeout")
-		deadline  = flag.Duration("deadline", 2*time.Minute, "whole-load deadline; a partial report is returned on expiry")
-		retries   = flag.Int("retries", 3, "max attempts per fetch (1 disables retries)")
+		server     = flag.String("server", "127.0.0.1:8443", "vroom-server address")
+		rootRaw    = flag.String("root", "", "root page URL (as recorded in the archive)")
+		staged     = flag.Bool("staged", true, "use Vroom's staged scheduler")
+		proto      = flag.String("proto", "h2", "wire protocol: h2 or h1")
+		verbose    = flag.Bool("v", false, "print every fetch")
+		faultsRaw  = flag.String("faults", "none", "wire fault regime injected on dials: none, mild, or severe")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault plan (same seed => same injected faults)")
+		dialTO     = flag.Duration("dial-timeout", 10*time.Second, "per-connection dial timeout")
+		headerTO   = flag.Duration("header-timeout", 5*time.Second, "per-request response-header timeout")
+		stallTO    = flag.Duration("stall-timeout", 5*time.Second, "per-request body-progress stall timeout")
+		deadline   = flag.Duration("deadline", 2*time.Minute, "whole-load deadline; a partial report is returned on expiry")
+		retries    = flag.Int("retries", 3, "max attempts per fetch (1 disables retries)")
+		traceOut   = flag.String("trace", "", "write a Perfetto (Chrome trace-event) trace of the load to this path")
+		metricsOut = flag.String("metrics-out", "", "write the client metric registry as JSON to this path after the load")
 	)
 	flag.Parse()
 	if *rootRaw == "" {
@@ -61,12 +76,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	var (
+		tr  *obs.Tracer
+		rec *obs.LiveRecording
+		reg *telemetry.Registry
+	)
+	if *traceOut != "" {
+		rec = &obs.LiveRecording{Start: time.Now()}
+		tr = obs.NewWall(rec)
+	}
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+
 	dial := func() (net.Conn, error) { return net.Dial("tcp", *server) }
 	originDial := func(origin string) (net.Conn, error) { return dial() }
 	if regime != faults.RegimeNone {
 		plan := faults.New(*faultSeed, faults.RegimeConfig(regime))
 		plan.ExemptURL(root)
 		shim := netem.NewFaultShim(plan)
+		shim.Trace = tr
 		originDial = func(origin string) (net.Conn, error) { return shim.Dial(origin, dial) }
 	}
 
@@ -77,6 +106,8 @@ func main() {
 		StallTimeout:  *stallTO,
 		LoadDeadline:  *deadline,
 		Retry:         wire.RetryPolicy{MaxAttempts: *retries},
+		Trace:         tr,
+		Metrics:       reg,
 	}
 	if *proto == "h1" {
 		c.DialOrigin = func(origin string) (wire.OriginConn, error) {
@@ -84,7 +115,8 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			return &h1.Pool{Authority: u.Host, Dial: func() (net.Conn, error) { return originDial(origin) }}, nil
+			return &h1.Pool{Authority: u.Host, Trace: tr, Metrics: reg,
+				Dial: func() (net.Conn, error) { return originDial(origin) }}, nil
 		}
 	} else {
 		c.Dial = originDial
@@ -93,6 +125,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (%d events)\n", *traceOut, rec.Len())
+	}
+	if reg != nil {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %s\n", *metricsOut)
 	}
 
 	sort.Slice(rep.Fetches, func(i, j int) bool { return rep.Fetches[i].Done.Before(rep.Fetches[j].Done) })
@@ -120,6 +167,41 @@ func main() {
 	if rep.DeadlineHit {
 		fmt.Printf("load deadline %v hit: report is partial\n", *deadline)
 	}
+}
+
+// writeTrace exports the recorded load as a Perfetto file, validating the
+// JSON before it lands so a broken trace never reaches chrome://tracing.
+func writeTrace(path string, rec *obs.LiveRecording) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	snap := rec.Snapshot()
+	if err := obs.WritePerfetto(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return obs.CheckPerfetto(data)
+}
+
+// writeMetrics dumps the registry as JSON.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func prioName(p hints.Priority) string {

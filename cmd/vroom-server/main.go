@@ -11,12 +11,20 @@
 // On SIGTERM/SIGINT the server drains gracefully: the listener closes, every
 // HTTP/2 connection gets a GOAWAY, and in-flight streams have -drain to
 // finish before connections are cut.
+//
+// With -telemetry-addr the server also runs a plain net/http sidecar
+// exposing /metrics (Prometheus text: request/push/fault counters,
+// connection/stream/drain gauges) and the standard /debug/pprof/ endpoints
+// for live profiling. The sidecar is observability-only — replay traffic
+// never touches it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +34,7 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/h1"
 	"vroom/internal/replay"
+	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
 	"vroom/internal/wire"
@@ -44,6 +53,7 @@ func main() {
 		faultsRaw   = flag.String("faults", "none", "server-side fault regime: none, mild, or severe")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault plan (same seed => same injected faults)")
 		drain       = flag.Duration("drain", 3*time.Second, "graceful-drain budget for in-flight streams on SIGTERM")
+		telAddr     = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -91,6 +101,24 @@ func main() {
 		}
 		srv.Faults = plan
 	}
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		srv.Instrument(nil, reg)
+		// net/http/pprof registers its handlers on the default mux; put
+		// /metrics there too so one listener serves the whole plane.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		tl, err := net.Listen("tcp", *telAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: http://%s/metrics and /debug/pprof/\n", tl.Addr())
+		go http.Serve(tl, nil)
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,116 @@
+package benchfmt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Delta is one compared series median. Rel is (new-old)/old; Regression
+// marks a move past the threshold in the figure's worse direction.
+type Delta struct {
+	FigureID   string
+	Label      string
+	Old, New   float64
+	Rel        float64
+	Regression bool
+}
+
+func (d Delta) String() string {
+	mark := " "
+	if d.Regression {
+		mark = "!"
+	}
+	return fmt.Sprintf("%s %-8s %-34s p50 %10.4f -> %10.4f  (%+.1f%%)",
+		mark, d.FigureID, d.Label, d.Old, d.New, d.Rel*100)
+}
+
+// Compare diffs two benchmark artifacts series-by-series on the median.
+// Regressions are moves past threshold (relative, e.g. 0.10 = 10%) in the
+// figure's worse direction, plus figures or series the new run lost
+// entirely (coverage loss is always a regression). Comparison requires
+// matching corpus configuration — diffing a quick run against a full run
+// measures the corpus, not the code.
+func Compare(old, new *File, threshold float64) ([]Delta, error) {
+	if old.Scale != new.Scale || old.Seed != new.Seed || old.Faults != new.Faults {
+		return nil, fmt.Errorf("benchfmt: artifacts disagree on corpus: scale %s/%s seed %d/%d faults %s/%s",
+			old.Scale, new.Scale, old.Seed, new.Seed, old.Faults, new.Faults)
+	}
+	newFigs := make(map[string]*Figure, len(new.Figures))
+	for i := range new.Figures {
+		newFigs[new.Figures[i].ID] = &new.Figures[i]
+	}
+	var deltas []Delta
+	for i := range old.Figures {
+		of := &old.Figures[i]
+		nf, ok := newFigs[of.ID]
+		if !ok {
+			deltas = append(deltas, Delta{FigureID: of.ID, Label: "(figure missing)", Regression: true})
+			continue
+		}
+		newSeries := make(map[string]*Series, len(nf.Series))
+		for j := range nf.Series {
+			newSeries[nf.Series[j].Label] = &nf.Series[j]
+		}
+		for j := range of.Series {
+			os := &of.Series[j]
+			ns, ok := newSeries[os.Label]
+			if !ok {
+				deltas = append(deltas, Delta{FigureID: of.ID, Label: os.Label + " (series missing)", Regression: true})
+				continue
+			}
+			d := Delta{FigureID: of.ID, Label: os.Label, Old: os.P50, New: ns.P50}
+			d.Rel = relChange(os.P50, ns.P50)
+			d.Regression = worse(of.Direction, d.Rel, threshold)
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas, nil
+}
+
+// relChange returns (new-old)/|old|, with a floor on the denominator so a
+// series that moves off zero still registers.
+func relChange(old, new float64) float64 {
+	den := math.Abs(old)
+	if den < 1e-9 {
+		if math.Abs(new) < 1e-9 {
+			return 0
+		}
+		den = 1e-9
+	}
+	return (new - old) / den
+}
+
+// worse reports whether a relative median move is a regression for the
+// given direction.
+func worse(direction string, rel, threshold float64) bool {
+	switch direction {
+	case "lower":
+		return rel > threshold
+	case "higher":
+		return rel < -threshold
+	default: // "both" or unknown
+		return math.Abs(rel) > threshold
+	}
+}
+
+// Regressions filters deltas down to the regressions.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Report renders the full delta list, regressions marked with '!'.
+func Report(deltas []Delta) string {
+	var b strings.Builder
+	for _, d := range deltas {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Worker-pool accounting for the benchmark pipeline: forEachSite charges
+// every site invocation's wall time to busy and each sweep's workers ×
+// elapsed to capacity, so utilization = busy/capacity says how much of the
+// pool actually worked. The counters are package-level and figures run one
+// at a time in cmd/vroom-bench, which resets them around each figure;
+// concurrent figure runs would blend their numbers.
+var pool struct {
+	busyNs, capacityNs atomic.Int64
+	sites              atomic.Int64
+}
+
+// PoolStats is a snapshot of the worker-pool accounting.
+type PoolStats struct {
+	// Busy is the summed wall time of site invocations; Capacity is the
+	// summed workers × sweep-elapsed across forEachSite calls.
+	Busy, Capacity time.Duration
+	// Sites counts site invocations.
+	Sites int
+}
+
+// Utilization returns Busy/Capacity in [0,1], or 0 before any sweep ran.
+func (s PoolStats) Utilization() float64 {
+	if s.Capacity <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / float64(s.Capacity)
+	if u > 1 {
+		u = 1 // rounding at very short sweeps
+	}
+	return u
+}
+
+// ResetPoolStats zeroes the pool accounting; call before running a figure.
+func ResetPoolStats() {
+	pool.busyNs.Store(0)
+	pool.capacityNs.Store(0)
+	pool.sites.Store(0)
+}
+
+// ReadPoolStats returns the accounting accumulated since the last reset.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		Busy:     time.Duration(pool.busyNs.Load()),
+		Capacity: time.Duration(pool.capacityNs.Load()),
+		Sites:    int(pool.sites.Load()),
+	}
+}

@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vroom/internal/h2"
+	"vroom/internal/obs"
+	"vroom/internal/telemetry"
 )
 
 // MaxConnsPerOrigin is the classic browser HTTP/1.1 connection limit.
@@ -21,12 +24,46 @@ type Pool struct {
 	Authority string
 	Dial      func() (net.Conn, error)
 
+	// Trace, when non-nil, records exchange spans on Track (defaults to
+	// obs.TrackNet). Metrics, when non-nil, feeds exchange latency into
+	// the shared fetch-phase histogram and a per-origin connection gauge.
+	// Set both before the first round trip.
+	Trace   *obs.Tracer
+	Track   string
+	Metrics *telemetry.Registry
+
 	mu      sync.Mutex
 	idle    []*poolConn
 	all     map[*poolConn]struct{}
 	total   int
 	waiters []chan *poolConn
 	closed  bool
+
+	exchMs  *telemetry.Histogram
+	gConns  *telemetry.Gauge
+	instrOK bool
+}
+
+// instruments resolves telemetry handles once. Caller holds p.mu.
+func (p *Pool) instruments() {
+	if p.instrOK {
+		return
+	}
+	p.instrOK = true
+	if p.Metrics == nil {
+		return
+	}
+	p.exchMs = p.Metrics.Histogram("vroom_wire_fetch_phase_ms", telemetry.L("phase", "exchange"))
+	p.gConns = p.Metrics.Gauge("vroom_wire_active_conns",
+		telemetry.L("origin", "https://"+p.Authority), telemetry.L("proto", "h1"))
+}
+
+// traceTrack returns the tracer track exchanges are recorded on.
+func (p *Pool) traceTrack() string {
+	if p.Track != "" {
+		return p.Track
+	}
+	return obs.TrackNet
 }
 
 type poolConn struct {
@@ -50,6 +87,15 @@ func (p *Pool) RoundTripTimeout(req *h2.Request, header, stall time.Duration) (*
 	if err != nil {
 		return nil, err
 	}
+	traced := p.Trace.Enabled() || p.exchMs != nil
+	var start time.Time
+	var sp obs.Span
+	if traced {
+		start = time.Now()
+		if p.Trace.Enabled() {
+			sp = p.Trace.Begin(p.traceTrack(), "exchange", obs.Arg{Key: "path", Val: req.Path})
+		}
+	}
 	var timedOut atomic.Bool
 	if total := header + stall; total > 0 {
 		watchdog := time.AfterFunc(total, func() {
@@ -60,7 +106,20 @@ func (p *Pool) RoundTripTimeout(req *h2.Request, header, stall time.Duration) (*
 	}
 	resp, err := p.exchange(pc, req)
 	if err != nil && timedOut.Load() {
+		sp.End(obs.Arg{Key: "error", Val: "timeout"})
 		return nil, &h2.TimeoutError{Phase: "exchange"}
+	}
+	if traced {
+		if err == nil {
+			p.exchMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		}
+		if sp.Active() {
+			if err != nil {
+				sp.End(obs.Arg{Key: "error", Val: err.Error()})
+			} else {
+				sp.End(obs.Arg{Key: "status", Val: strconv.Itoa(resp.Status)})
+			}
+		}
 	}
 	return resp, err
 }
@@ -116,12 +175,14 @@ func (p *Pool) Close() error {
 		close(ch)
 	}
 	p.waiters = nil
+	p.gConns.Set(0)
 	p.mu.Unlock()
 	return nil
 }
 
 func (p *Pool) acquire() (*poolConn, error) {
 	p.mu.Lock()
+	p.instruments()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("h1: pool closed")
@@ -134,11 +195,13 @@ func (p *Pool) acquire() (*poolConn, error) {
 	}
 	if p.total < MaxConnsPerOrigin {
 		p.total++
+		p.gConns.Set(int64(p.total))
 		p.mu.Unlock()
 		nc, err := p.Dial()
 		if err != nil {
 			p.mu.Lock()
 			p.total--
+			p.gConns.Set(int64(p.total))
 			p.mu.Unlock()
 			return nil, err
 		}
@@ -187,13 +250,18 @@ func (p *Pool) discard(pc *poolConn) {
 		p.waiters = p.waiters[1:]
 		p.total++
 	}
+	p.gConns.Set(int64(p.total))
 	p.mu.Unlock()
+	if p.Trace.Enabled() {
+		p.Trace.Instant(p.traceTrack(), "conn-discarded", obs.Arg{Key: "origin", Val: p.Authority})
+	}
 	if next != nil {
 		// Open a replacement for the waiter.
 		nc, err := p.Dial()
 		if err != nil {
 			p.mu.Lock()
 			p.total--
+			p.gConns.Set(int64(p.total))
 			p.mu.Unlock()
 			close(next)
 			return

@@ -6,6 +6,18 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"vroom/internal/obs"
+	"vroom/internal/telemetry"
+)
+
+// Metric families this package feeds. The phase histogram shares its family
+// with the wire client (dial) and h1 pool (exchange), so one scrape shows
+// every fetch phase side by side.
+const (
+	metricPhaseMs     = "vroom_wire_fetch_phase_ms"
+	metricPushPromise = "vroom_h2_push_promises_total"
+	metricGoAway      = "vroom_h2_goaway_total"
 )
 
 // ClientConn is the client end of an HTTP/2 connection.
@@ -17,6 +29,7 @@ type ClientConn struct {
 	OnPush func(*Response)
 
 	mu      sync.Mutex
+	instr   ccInstruments
 	pending map[uint32]*clientStream
 	// promises maps pushed stream IDs to their synthetic requests.
 	promises map[uint32]*Request
@@ -39,7 +52,51 @@ type clientStream struct {
 	// progress receives a token per DATA frame; body-stall deadlines reset
 	// on it.
 	progress chan struct{}
+	// traced asks the read loop to stamp hdrAt when headers land. hdrAt is
+	// written before hdr closes and read only after done closes, so the
+	// channel edges order the accesses.
+	traced bool
+	hdrAt  time.Time
 }
+
+// ccInstruments is the connection's tracing and metrics attachment. The
+// zero value is the disabled fast path.
+type ccInstruments struct {
+	trace *obs.Tracer
+	track string
+
+	hdrMs, bodyMs                           *telemetry.Histogram
+	pushPromised, pushDelivered, pushOrphan *telemetry.Counter
+	goaways                                 *telemetry.Counter
+}
+
+// Instrument attaches tracing and metrics to the connection: round-trip
+// header/body phase spans and latency observations, push promise lifecycle
+// (promised, delivered, orphaned), and GOAWAY receipt. Call it before the
+// first round trip; like OnPush, the read loop reads the attachment under
+// the connection mutex. A nil tracer and nil registry cost nothing.
+func (cc *ClientConn) Instrument(tr *obs.Tracer, track string, reg *telemetry.Registry) {
+	if track == "" {
+		track = obs.TrackNet
+	}
+	in := ccInstruments{trace: tr, track: track}
+	if reg != nil {
+		in.hdrMs = reg.Histogram(metricPhaseMs, telemetry.L("phase", "headers"))
+		in.bodyMs = reg.Histogram(metricPhaseMs, telemetry.L("phase", "body"))
+		in.pushPromised = reg.Counter(metricPushPromise, telemetry.L("state", "promised"))
+		in.pushDelivered = reg.Counter(metricPushPromise, telemetry.L("state", "delivered"))
+		in.pushOrphan = reg.Counter(metricPushPromise, telemetry.L("state", "orphaned"))
+		in.goaways = reg.Counter(metricGoAway)
+		reg.Describe(metricPushPromise, "Push promises by fate: promised, delivered, orphaned on a dead connection.")
+		reg.Describe(metricGoAway, "GOAWAY frames received from servers.")
+	}
+	cc.mu.Lock()
+	cc.instr = in
+	cc.mu.Unlock()
+}
+
+// active reports whether any instrumentation is attached.
+func (in *ccInstruments) active() bool { return in.trace.Enabled() || in.hdrMs != nil }
 
 // NewClientConn performs the client preface on nc and starts the read
 // loop.
@@ -90,13 +147,20 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 		cc.mu.Unlock()
 		return nil, *ga
 	}
+	in := cc.instr
 	cc.mu.Unlock()
+	traced := in.active()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
 	s := cc.conn.newStream()
 	cs := &clientStream{
 		s:        s,
 		done:     make(chan struct{}),
 		hdr:      make(chan struct{}),
 		progress: make(chan struct{}, 1),
+		traced:   traced,
 	}
 	cc.mu.Lock()
 	cc.pending[s.id] = cs
@@ -131,6 +195,10 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 		case <-t.C:
 			err := &TimeoutError{Phase: "headers"}
 			cc.abortStream(s, err)
+			if in.trace.Enabled() {
+				in.trace.Instant(in.track, "rt-timeout",
+					obs.Arg{Key: "phase", Val: "headers"}, obs.Arg{Key: "path", Val: req.Path})
+			}
 			return nil, err
 		}
 	}
@@ -151,6 +219,10 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 			case <-t.C:
 				err := &TimeoutError{Phase: "body"}
 				cc.abortStream(s, err)
+				if in.trace.Enabled() {
+					in.trace.Instant(in.track, "rt-timeout",
+						obs.Arg{Key: "phase", Val: "body"}, obs.Arg{Key: "path", Val: req.Path})
+				}
 				return nil, err
 			}
 		}
@@ -158,6 +230,25 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 	<-cs.done
 	if cs.err != nil {
 		return nil, cs.err
+	}
+	if traced {
+		end := time.Now()
+		hdrAt := cs.hdrAt
+		if hdrAt.IsZero() {
+			hdrAt = end
+		}
+		if in.hdrMs != nil {
+			in.hdrMs.Observe(float64(hdrAt.Sub(start)) / float64(time.Millisecond))
+			in.bodyMs.Observe(float64(end.Sub(hdrAt)) / float64(time.Millisecond))
+		}
+		if in.trace.Enabled() {
+			rt := in.trace.BeginAt(start, in.track, "rt", obs.Arg{Key: "path", Val: req.Path})
+			hs := in.trace.BeginAt(start, in.track, "headers")
+			hs.EndAt(hdrAt)
+			bs := in.trace.BeginAt(hdrAt, in.track, "body")
+			bs.EndAt(end)
+			rt.EndAt(end, obs.Arg{Key: "status", Val: strconv.Itoa(cs.resp.Status)})
+		}
 	}
 	cs.resp.Request = req
 	return cs.resp, nil
@@ -208,10 +299,18 @@ func (cc *ClientConn) readLoop() {
 		// Promises whose pushed response never completed are orphans now —
 		// no response can arrive on a dead connection. Dropping them keeps
 		// Promised from parking fetches on pushes that will never land.
-		for id := range cc.promises {
+		in := cc.instr
+		for id, req := range cc.promises {
 			delete(cc.promises, id)
+			in.pushOrphan.Inc()
+			if in.trace.Enabled() {
+				in.trace.Instant(in.track, "push-orphaned", obs.Arg{Key: "path", Val: req.Path})
+			}
 		}
 		cc.mu.Unlock()
+		if in.trace.Enabled() && err != nil {
+			in.trace.Instant(in.track, "conn-close", obs.Arg{Key: "reason", Val: err.Error()})
+		}
 		cc.conn.closeWithError(err)
 		close(cc.readDone)
 	}()
@@ -302,6 +401,15 @@ func (cc *ClientConn) dispatch(f *Frame) error {
 			return err
 		}
 		ga := GoAwayError{LastStreamID: last, Code: code, Reason: debug}
+		cc.mu.Lock()
+		in := cc.instr
+		cc.mu.Unlock()
+		in.goaways.Inc()
+		if in.trace.Enabled() {
+			in.trace.Instant(in.track, "goaway",
+				obs.Arg{Key: "code", Val: code.String()},
+				obs.Arg{Key: "last", Val: strconv.FormatUint(uint64(last), 10)})
+		}
 		if code != ErrNone {
 			return ga
 		}
@@ -363,6 +471,9 @@ func (cc *ClientConn) applyHeaders(streamID uint32, block []byte, endStream bool
 		select {
 		case <-cs.hdr:
 		default:
+			if cs.traced && cs.hdrAt.IsZero() {
+				cs.hdrAt = time.Now()
+			}
 			close(cs.hdr)
 		}
 	}
@@ -385,7 +496,12 @@ func (cc *ClientConn) applyPushPromise(promisedID uint32, block []byte) error {
 	cc.conn.remoteStream(promisedID)
 	cc.mu.Lock()
 	cc.promises[promisedID] = req
+	in := cc.instr
 	cc.mu.Unlock()
+	in.pushPromised.Inc()
+	if in.trace.Enabled() {
+		in.trace.Instant(in.track, "push-promise", obs.Arg{Key: "path", Val: req.Path})
+	}
 	return nil
 }
 
@@ -411,10 +527,15 @@ func (cc *ClientConn) completeStream(id uint32, s *stream) {
 	req, promised := cc.promises[id]
 	delete(cc.promises, id)
 	onPush := cc.OnPush
+	in := cc.instr
 	cc.mu.Unlock()
 	if promised {
 		resp.Pushed = true
 		resp.Request = req
+		in.pushDelivered.Inc()
+		if in.trace.Enabled() {
+			in.trace.Instant(in.track, "push-delivered", obs.Arg{Key: "path", Val: req.Path})
+		}
 		if onPush != nil {
 			onPush(resp)
 		}

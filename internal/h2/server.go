@@ -8,6 +8,17 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"vroom/internal/obs"
+	"vroom/internal/telemetry"
+)
+
+// Server-side metric families.
+const (
+	metricServerConns   = "vroom_h2_server_conns"
+	metricServerStreams = "vroom_h2_server_streams"
+	metricServerDrain   = "vroom_h2_server_draining"
+	metricServerRefused = "vroom_h2_server_refused_total"
 )
 
 // Request is an HTTP/2 request (or the synthetic request of a push
@@ -50,9 +61,43 @@ func (f HandlerFunc) ServeH2(w *ResponseWriter, r *Request) { f(w, r) }
 type Server struct {
 	Handler Handler
 
+	// Trace, when non-nil, records the connection and drain lifecycle on
+	// obs.TrackServer (accepts, refused streams, GOAWAY emission). Use
+	// obs.NewWall; connections emit concurrently. Set before Serve.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, exposes live gauges (open connections, active
+	// handler streams, draining) and a refused-stream counter. Set before
+	// Serve.
+	Metrics *telemetry.Registry
+
 	mu    sync.Mutex
 	conns map[*serverConn]struct{}
 	done  bool
+
+	gConns   *telemetry.Gauge
+	gStreams *telemetry.Gauge
+	gDrain   *telemetry.Gauge
+	cRefused *telemetry.Counter
+	instrOK  bool
+}
+
+// instruments resolves the server's telemetry handles once, under s.mu.
+func (s *Server) instruments() {
+	if s.instrOK {
+		return
+	}
+	s.instrOK = true
+	if s.Metrics == nil {
+		return
+	}
+	s.Metrics.Describe(metricServerConns, "Open HTTP/2 server connections.")
+	s.Metrics.Describe(metricServerStreams, "HTTP/2 handler streams currently running.")
+	s.Metrics.Describe(metricServerDrain, "Whether the server is draining (GOAWAY sent).")
+	s.Metrics.Describe(metricServerRefused, "Streams refused with REFUSED_STREAM during drain.")
+	s.gConns = s.Metrics.Gauge(metricServerConns)
+	s.gStreams = s.Metrics.Gauge(metricServerStreams)
+	s.gDrain = s.Metrics.Gauge(metricServerDrain)
+	s.cRefused = s.Metrics.Counter(metricServerRefused)
 }
 
 // Serve accepts connections until the listener closes.
@@ -70,11 +115,17 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		sc := &serverConn{conn: newConn(nc, roleServer), srv: s}
 		s.mu.Lock()
+		s.instruments()
 		if s.conns == nil {
 			s.conns = make(map[*serverConn]struct{})
 		}
 		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
+		s.gConns.Inc()
+		if s.Trace.Enabled() {
+			sc.span = s.Trace.Begin(obs.TrackServer, "conn",
+				obs.Arg{Key: "remote", Val: nc.RemoteAddr().String()})
+		}
 		go sc.serve()
 	}
 }
@@ -102,11 +153,19 @@ func (s *Server) Close() {
 func (s *Server) Drain(timeout time.Duration) {
 	s.mu.Lock()
 	s.done = true
+	s.instruments()
 	conns := make([]*serverConn, 0, len(s.conns))
 	for sc := range s.conns {
 		conns = append(conns, sc)
 	}
 	s.mu.Unlock()
+	s.gDrain.Set(1)
+	var span obs.Span
+	if s.Trace.Enabled() {
+		span = s.Trace.Begin(obs.TrackServer, "drain",
+			obs.Arg{Key: "conns", Val: strconv.Itoa(len(conns))})
+	}
+	defer span.End()
 	for _, sc := range conns {
 		sc.mu.Lock()
 		sc.draining = true
@@ -142,6 +201,8 @@ type serverConn struct {
 	// advertised in the drain GOAWAY.
 	lastStarted uint32
 	draining    bool
+	// span covers accept to connection close when tracing is on.
+	span obs.Span
 }
 
 func (sc *serverConn) serve() {
@@ -150,6 +211,8 @@ func (sc *serverConn) serve() {
 		sc.srv.mu.Lock()
 		delete(sc.srv.conns, sc)
 		sc.srv.mu.Unlock()
+		sc.srv.gConns.Dec()
+		sc.span.End()
 	}()
 	// Connection preface: client magic, then SETTINGS both ways.
 	buf := make([]byte, len(ClientPreface))
@@ -252,6 +315,11 @@ func (sc *serverConn) startHandler(s *stream) {
 		// Past the drain GOAWAY: this stream was never processed, so a
 		// REFUSED_STREAM reset lets the client replay it safely elsewhere.
 		sc.mu.Unlock()
+		sc.srv.cRefused.Inc()
+		if sc.srv.Trace.Enabled() {
+			sc.srv.Trace.Instant(obs.TrackServer, "stream-refused",
+				obs.Arg{Key: "stream", Val: strconv.FormatUint(uint64(s.id), 10)})
+		}
 		_ = sc.conn.writeFrame(&Frame{Type: FrameRSTStream, StreamID: s.id, Payload: rstPayload(ErrRefusedStream)})
 		return
 	}
@@ -270,11 +338,13 @@ func (sc *serverConn) startHandler(s *stream) {
 	sc.mu.Lock()
 	sc.active++
 	sc.mu.Unlock()
+	sc.srv.gStreams.Inc()
 	go func() {
 		defer func() {
 			sc.mu.Lock()
 			sc.active--
 			sc.mu.Unlock()
+			sc.srv.gStreams.Dec()
 		}()
 		if handler != nil {
 			handler.ServeH2(w, req)

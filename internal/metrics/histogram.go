@@ -100,6 +100,12 @@ func (h *Histogram) Quantile(p float64) float64 {
 	if p >= 100 {
 		return h.max
 	}
+	if h.count == 1 {
+		// One sample: every quantile is that sample. Deriving it through the
+		// bucket walk risks returning a bucket bound instead when the sample
+		// sits exactly on a bucket boundary and the log-index rounds up.
+		return h.max
+	}
 	target := p / 100 * float64(h.count)
 	cum := float64(h.zero)
 	if target <= cum {
@@ -115,11 +121,21 @@ func (h *Histogram) Quantile(p float64) float64 {
 		if target <= next {
 			lo := histMin * math.Pow(histGrowth, float64(i))
 			hi := lo * histGrowth
+			// Clamp both bounds into the observed range from both sides: on
+			// an exact bucket boundary the computed bound can drift past the
+			// observed extreme (float log/pow round-off), and an unclamped
+			// bound would report a value no sample ever took.
 			if lo < h.min {
 				lo = h.min
 			}
+			if lo > h.max {
+				lo = h.max
+			}
 			if hi > h.max {
 				hi = h.max
+			}
+			if hi < h.min {
+				hi = h.min
 			}
 			if hi < lo {
 				hi = lo
@@ -129,6 +145,43 @@ func (h *Histogram) Quantile(p float64) float64 {
 		cum = next
 	}
 	return h.max
+}
+
+// Snapshot is an exporter-facing copy of a histogram's state, taken under
+// one lock acquisition so exposition sees a consistent count/sum/bucket set.
+type Snapshot struct {
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+	// Cumulative holds, per requested bound, how many samples fell at or
+	// below it. Membership is decided by bucket upper edge, so boundary
+	// error stays within one log bucket's ~9% relative width.
+	Cumulative []uint64
+}
+
+// Snapshot exports the histogram against the given ascending upper bounds
+// (the caller's exposition buckets; samples above the last bound are only in
+// the implicit +Inf bucket, i.e. Count).
+func (h *Histogram) Snapshot(bounds []float64) Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Cumulative: make([]uint64, len(bounds))}
+	for bi, b := range bounds {
+		if b < 0 {
+			continue
+		}
+		c := h.zero
+		for i, n := range h.buckets {
+			if histMin*math.Pow(histGrowth, float64(i+1)) > b {
+				break
+			}
+			c += n
+		}
+		s.Cumulative[bi] = c
+	}
+	return s
 }
 
 // Summary formats the distribution's headline quantiles.

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileTinyHistograms pins the bucket-boundary contract for the
+// smallest sample counts: an empty histogram has no quantiles, a one-sample
+// histogram's every quantile is that sample (never a bucket bound), and a
+// two-sample histogram's quantiles stay inside the observed range with the
+// extremes exact.
+func TestQuantileTinyHistograms(t *testing.T) {
+	ps := []float64{0.1, 1, 25, 50, 75, 90, 99, 99.9}
+
+	t.Run("0-sample", func(t *testing.T) {
+		h := NewHistogram()
+		for _, p := range ps {
+			if got := h.Quantile(p); !math.IsNaN(got) {
+				t.Errorf("empty histogram: p%v = %v, want NaN", p, got)
+			}
+		}
+	})
+
+	t.Run("1-sample", func(t *testing.T) {
+		samples := []float64{0, 0.004, histMin, 0.7, 1, 42.5, 1e4}
+		// Exact bucket boundaries, where a drifting log-index could land the
+		// sample one bucket off and an unclamped walk would answer with the
+		// bucket's upper bound instead of the sample.
+		for k := 0; k <= 160; k += 8 {
+			samples = append(samples, histMin*math.Pow(histGrowth, float64(k)))
+		}
+		for _, v := range samples {
+			h := NewHistogram()
+			h.Observe(v)
+			for _, p := range ps {
+				if got := h.Quantile(p); got != v {
+					t.Errorf("single sample %v: p%v = %v, want the sample", v, p, got)
+				}
+			}
+		}
+	})
+
+	t.Run("2-sample", func(t *testing.T) {
+		cases := []struct{ a, b float64 }{
+			{1, 1},                          // identical
+			{1, 1.05},                       // same bucket
+			{1, 100},                        // far-apart buckets
+			{0, 5},                          // zero bucket + regular bucket
+			{histMin, histMin * histGrowth}, // adjacent boundary values
+		}
+		for _, c := range cases {
+			h := NewHistogram()
+			h.Observe(c.a)
+			h.Observe(c.b)
+			lo, hi := math.Min(c.a, c.b), math.Max(c.a, c.b)
+			if got := h.Quantile(0); got != lo {
+				t.Errorf("{%v,%v}: p0 = %v, want min %v", c.a, c.b, got, lo)
+			}
+			if got := h.Quantile(100); got != hi {
+				t.Errorf("{%v,%v}: p100 = %v, want max %v", c.a, c.b, got, hi)
+			}
+			prev := math.Inf(-1)
+			for _, p := range ps {
+				got := h.Quantile(p)
+				if got < lo || got > hi {
+					t.Errorf("{%v,%v}: p%v = %v outside [%v,%v]", c.a, c.b, p, got, lo, hi)
+				}
+				if got < prev {
+					t.Errorf("{%v,%v}: p%v = %v < previous quantile %v (not monotone)", c.a, c.b, p, got, prev)
+				}
+				prev = got
+			}
+		}
+	})
+}
+
+// TestSnapshotCumulative checks the exporter snapshot: consistent count/sum
+// and non-decreasing cumulative buckets that cover every sample at +Inf.
+func TestSnapshotCumulative(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{0.5, 2, 2, 40, 900, 0.001} {
+		h.Observe(v)
+	}
+	bounds := []float64{1, 5, 100, 1000}
+	s := h.Snapshot(bounds)
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count)
+	}
+	if want := 0.5 + 2 + 2 + 40 + 900 + 0.001; math.Abs(s.Sum-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", s.Sum, want)
+	}
+	prev := uint64(0)
+	for i, c := range s.Cumulative {
+		if c < prev {
+			t.Errorf("bucket le=%v count %d below previous %d", bounds[i], c, prev)
+		}
+		prev = c
+	}
+	if s.Cumulative[len(bounds)-1] != s.Count {
+		t.Errorf("last bucket (le=%v) holds %d of %d samples", bounds[len(bounds)-1],
+			s.Cumulative[len(bounds)-1], s.Count)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"vroom/internal/faults"
+	"vroom/internal/obs"
 )
 
 // FaultShim injects a seeded faults.Plan into emulated (or real) wire
@@ -25,6 +27,12 @@ import (
 type FaultShim struct {
 	plan  *faults.Plan
 	start time.Time
+
+	// Trace, when non-nil, records every drawn fault decision as an
+	// instant on obs.TrackNet (outage refusals, wire verdicts with their
+	// byte budgets, brownout delays), so a load trace shows injected
+	// faults next to the dials they hit. Set before the first Dial.
+	Trace *obs.Tracer
 
 	mu  sync.Mutex
 	log map[string]bool
@@ -59,15 +67,29 @@ func (fs *FaultShim) Dial(origin string, dial func() (net.Conn, error)) (net.Con
 	}
 	if fs.plan.OriginDown(origin, time.Since(fs.start)) {
 		fs.note("outage:" + origin)
+		if fs.Trace.Enabled() {
+			fs.Trace.Instant(obs.TrackNet, "fault-outage", obs.Arg{Key: "origin", Val: origin})
+		}
 		return nil, &OutageError{Origin: origin}
 	}
 	verdict, cut, idx := fs.plan.WireConnFault(origin)
 	delay := fs.plan.BrownoutDelay(origin)
 	if verdict != faults.FaultNone {
 		fs.note(fmt.Sprintf("%s#%d:%s@%d", origin, idx, verdict, cut))
+		if fs.Trace.Enabled() {
+			fs.Trace.Instant(obs.TrackNet, "fault-wire",
+				obs.Arg{Key: "origin", Val: origin},
+				obs.Arg{Key: "verdict", Val: verdict.String()},
+				obs.Arg{Key: "cut", Val: strconv.Itoa(cut)})
+		}
 	}
 	if delay > 0 {
 		fs.note(fmt.Sprintf("brownout:%s:%s", origin, delay))
+		if fs.Trace.Enabled() {
+			fs.Trace.Instant(obs.TrackNet, "fault-brownout",
+				obs.Arg{Key: "origin", Val: origin},
+				obs.Arg{Key: "delay", Val: delay.String()})
+		}
 	}
 	nc, err := dial()
 	if err != nil {

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CheckPerfetto validates rendered Chrome trace-event JSON against the
+// invariants a trace viewer depends on: the file parses, at least one event
+// exists, timestamps are non-negative and non-decreasing, every B has a
+// matching E on the same tid (proper nesting), and async b/e events pair up
+// per id. Tests and the CI telemetry job run it over both simulated and
+// live-wire traces.
+func CheckPerfetto(data []byte) error {
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+			ID   string  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+
+	// Timestamps non-decreasing (metadata events carry ts 0 and sort first,
+	// which is fine).
+	lastTs := -1.0
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("obs: event %d %q has negative ts %v", i, ev.Name, ev.Ts)
+		}
+		if ev.Ts < lastTs {
+			return fmt.Errorf("obs: event %d %q ts %v decreases below %v", i, ev.Name, ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+	}
+
+	// Duration events nest per tid; async events pair per id.
+	stacks := map[int][]string{}
+	async := map[string]int{}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+		case "E":
+			st := stacks[ev.Tid]
+			if len(st) == 0 {
+				return fmt.Errorf("obs: event %d: E %q on tid %d with empty stack", i, ev.Name, ev.Tid)
+			}
+			stacks[ev.Tid] = st[:len(st)-1]
+		case "b":
+			async[ev.ID]++
+		case "e":
+			async[ev.ID]--
+			if async[ev.ID] < 0 {
+				return fmt.Errorf("obs: event %d: async end %q id %s before its begin", i, ev.Name, ev.ID)
+			}
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			return fmt.Errorf("obs: tid %d: %d unclosed B events (%v)", tid, len(st), st)
+		}
+	}
+	for id, n := range async {
+		if n != 0 {
+			return fmt.Errorf("obs: async id %s: %d unmatched begins", id, n)
+		}
+	}
+	return nil
+}

@@ -14,7 +14,11 @@
 // perfetto.go), and ad-hoc tests that assert on load structure.
 package obs
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Kind distinguishes the three event shapes.
 type Kind uint8
@@ -106,19 +110,83 @@ func (r *Recording) Emit(ev Event) { r.Events = append(r.Events, ev) }
 // Len returns the number of recorded events.
 func (r *Recording) Len() int { return len(r.Events) }
 
-// Tracer emits spans and instants against a clock. A nil *Tracer is the
-// disabled fast path: every method no-ops. Tracers are single-goroutine,
-// like the simulation that drives them.
+// LiveRecording is the Sink for wall-clock tracers whose consumer reads
+// while emitters may still be running: a live wire load's transport
+// goroutines (read loops, server handlers) drain asynchronously after the
+// load returns, so a plain Recording read at that point races with their
+// final events. Emit and Snapshot serialize on one lock; Snapshot returns a
+// point-in-time copy, like a metrics scrape — events emitted after it are
+// simply not in that snapshot.
+type LiveRecording struct {
+	// Start anchors event offsets, as in Recording. Set before tracing.
+	Start time.Time
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (r *LiveRecording) Emit(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Len returns the number of events emitted so far.
+func (r *LiveRecording) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Snapshot returns a race-free copy of everything emitted so far, ready for
+// WritePerfetto.
+func (r *LiveRecording) Snapshot() *Recording {
+	r.mu.Lock()
+	events := make([]Event, len(r.events))
+	copy(events, r.events)
+	r.mu.Unlock()
+	return &Recording{Start: r.Start, Events: events}
+}
+
+// Tracer emits spans and instants against a clock source. A nil *Tracer is
+// the disabled fast path: every method no-ops.
+//
+// Two clock sources exist. New takes a virtual clock (the event engine's
+// Now) and assumes a single emitting goroutine, like the simulation that
+// drives it. NewWall uses the monotonic wall clock and is safe for
+// concurrent use — the live wire stack emits from fetch goroutines, read
+// loops, and handler goroutines at once.
 type Tracer struct {
 	now    func() time.Time
 	sink   Sink
-	nextID uint64
+	nextID atomic.Uint64
 }
 
-// New builds a tracer over a clock source and a sink. now is typically the
-// event engine's Now.
+// New builds a tracer over a virtual clock source and a sink. now is
+// typically the event engine's Now; emission is single-goroutine.
 func New(now func() time.Time, sink Sink) *Tracer {
 	return &Tracer{now: now, sink: sink}
+}
+
+// NewWall builds a tracer over the monotonic wall clock for live wire
+// loads. It is safe for concurrent use: span IDs are allocated atomically
+// and the sink is serialized behind a lock, so a plain Recording can
+// collect events from many goroutines.
+func NewWall(sink Sink) *Tracer {
+	return &Tracer{now: time.Now, sink: &lockedSink{sink: sink}}
+}
+
+// lockedSink serializes Emit for tracers shared across goroutines.
+type lockedSink struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+func (s *lockedSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.sink.Emit(ev)
+	s.mu.Unlock()
 }
 
 // Enabled reports whether the tracer records anything. Call sites use it to
@@ -141,8 +209,7 @@ func (t *Tracer) BeginAt(at time.Time, track, name string, args ...Arg) Span {
 	if t == nil {
 		return Span{}
 	}
-	t.nextID++
-	id := t.nextID
+	id := t.nextID.Add(1)
 	t.sink.Emit(Event{Kind: KindBegin, Track: track, Name: name, At: at, ID: id, Args: args})
 	return Span{t: t, id: id, track: track, name: name}
 }

@@ -2,7 +2,6 @@ package obs_test
 
 import (
 	"bytes"
-	"encoding/json"
 	"testing"
 	"time"
 
@@ -76,8 +75,9 @@ func TestCriticalPathRooted(t *testing.T) {
 }
 
 // TestPerfettoValid renders a real trace and checks the Chrome trace-event
-// invariants a viewer depends on: valid JSON, non-decreasing timestamps,
-// and every B matched by an E on the same tid (and b/e per async id).
+// invariants a viewer depends on — valid JSON, non-decreasing timestamps,
+// every B matched by an E on the same tid (and b/e per async id) — via the
+// exported checker the live-wire tests and CI reuse.
 func TestPerfettoValid(t *testing.T) {
 	for _, pol := range []runner.Policy{runner.Vroom, runner.H2, runner.HTTP1} {
 		pol := pol
@@ -87,72 +87,8 @@ func TestPerfettoValid(t *testing.T) {
 			if err := obs.WritePerfetto(&buf, rec); err != nil {
 				t.Fatal(err)
 			}
-			if !json.Valid(buf.Bytes()) {
-				t.Fatal("emitted trace is not valid JSON")
-			}
-			var tf struct {
-				TraceEvents []struct {
-					Name string  `json:"name"`
-					Ph   string  `json:"ph"`
-					Ts   float64 `json:"ts"`
-					Tid  int     `json:"tid"`
-					ID   string  `json:"id"`
-				} `json:"traceEvents"`
-			}
-			if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+			if err := obs.CheckPerfetto(buf.Bytes()); err != nil {
 				t.Fatal(err)
-			}
-			if len(tf.TraceEvents) == 0 {
-				t.Fatal("no trace events emitted")
-			}
-
-			// Timestamps non-decreasing (metadata events carry ts 0 and
-			// sort first, which is fine).
-			lastTs := -1.0
-			for i, ev := range tf.TraceEvents {
-				if ev.Ph == "M" {
-					continue
-				}
-				if ev.Ts < 0 {
-					t.Fatalf("event %d %q has negative ts %v", i, ev.Name, ev.Ts)
-				}
-				if ev.Ts < lastTs {
-					t.Fatalf("event %d %q ts %v decreases below %v", i, ev.Name, ev.Ts, lastTs)
-				}
-				lastTs = ev.Ts
-			}
-
-			// Duration events nest per tid; async events pair per id.
-			stacks := map[int][]string{}
-			async := map[string]int{}
-			for i, ev := range tf.TraceEvents {
-				switch ev.Ph {
-				case "B":
-					stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
-				case "E":
-					st := stacks[ev.Tid]
-					if len(st) == 0 {
-						t.Fatalf("event %d: E %q on tid %d with empty stack", i, ev.Name, ev.Tid)
-					}
-					stacks[ev.Tid] = st[:len(st)-1]
-				case "b":
-					async[ev.ID]++
-				case "e":
-					async[ev.ID]--
-					if async[ev.ID] < 0 {
-						t.Fatalf("event %d: async end %q id %s before its begin", i, ev.Name, ev.ID)
-					}
-				}
-			}
-			for tid, st := range stacks {
-				if len(st) != 0 {
-					t.Errorf("tid %d: %d unclosed B events (%v)", tid, len(st), st)
-				}
-			}
-			for id, n := range async {
-				if n != 0 {
-					t.Errorf("async id %s: %d unmatched begins", id, n)
-				}
 			}
 		})
 	}

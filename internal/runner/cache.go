@@ -7,6 +7,7 @@ package runner
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vroom/internal/core"
@@ -27,7 +28,10 @@ type memoEntry[V any] struct {
 	v    V
 }
 
-func (c *memo[K, V]) get(k K, build func() V) V {
+// get returns the memoized value for k, building it on first use. The
+// second result reports whether the entry already existed (an in-flight
+// build still counts: the work is deduplicated either way).
+func (c *memo[K, V]) get(k K, build func() V) (V, bool) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[K]*memoEntry[V])
@@ -39,7 +43,7 @@ func (c *memo[K, V]) get(k K, build func() V) V {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.v = build() })
-	return e.v
+	return e.v, ok
 }
 
 // trainKey identifies one offline training pass: the resolver's stable sets
@@ -74,6 +78,30 @@ type Caches struct {
 	training memo[trainKey, *core.Resolver]
 	polaris  memo[polarisKey, *polaris.Graph]
 	snaps    *webpage.SnapshotCache
+
+	trainHits, trainMisses atomic.Int64
+	polHits, polMisses     atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness, one
+// hit/miss pair per cached artifact kind. cmd/vroom-bench records it into
+// the benchmark JSON so CI can watch redundant-recomputation creep.
+type CacheStats struct {
+	TrainingHits, TrainingMisses int64
+	PolarisHits, PolarisMisses   int64
+	SnapshotHits, SnapshotMisses int64
+}
+
+// Stats returns the cache's hit/miss counts so far.
+func (c *Caches) Stats() CacheStats {
+	s := CacheStats{
+		TrainingHits:   c.trainHits.Load(),
+		TrainingMisses: c.trainMisses.Load(),
+		PolarisHits:    c.polHits.Load(),
+		PolarisMisses:  c.polMisses.Load(),
+	}
+	s.SnapshotHits, s.SnapshotMisses = c.snaps.Stats()
+	return s
 }
 
 // NewCaches returns an empty cache set.
@@ -86,20 +114,32 @@ func NewCaches() *Caches {
 // The returned resolver is shared: callers that set per-load state (Trace)
 // must Clone it first.
 func (c *Caches) TrainedResolver(site *webpage.Site, at time.Time, device webpage.DeviceClass, cfg core.ResolverConfig) *core.Resolver {
-	return c.training.get(trainKey{site: site, at: at.UnixNano(), device: device, cfg: cfg}, func() *core.Resolver {
+	r, hit := c.training.get(trainKey{site: site, at: at.UnixNano(), device: device, cfg: cfg}, func() *core.Resolver {
 		r := core.NewResolver(cfg)
 		r.Train(site, at, device)
 		return r
 	})
+	if hit {
+		c.trainHits.Add(1)
+	} else {
+		c.trainMisses.Add(1)
+	}
+	return r
 }
 
 // PolarisGraph returns the memoized Polaris dependency graph for a site.
 // The graph is read-only during loads (the scheduler keeps its own issued
 // set), so one graph backs any number of concurrent loads.
 func (c *Caches) PolarisGraph(site *webpage.Site, at time.Time, p webpage.Profile, interval time.Duration) *polaris.Graph {
-	return c.polaris.get(polarisKey{site: site, at: at.UnixNano(), profile: p, interval: interval}, func() *polaris.Graph {
+	g, hit := c.polaris.get(polarisKey{site: site, at: at.UnixNano(), profile: p, interval: interval}, func() *polaris.Graph {
 		return polaris.TrainGraph(site, at, p, interval)
 	})
+	if hit {
+		c.polHits.Add(1)
+	} else {
+		c.polMisses.Add(1)
+	}
+	return g
 }
 
 // Snapshot returns the memoized site materialization for the key, shared

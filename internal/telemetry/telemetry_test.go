@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// populate builds a deterministic registry exercising every series kind,
+// label escaping, and the histogram exposition path.
+func populate() *Registry {
+	r := NewRegistry()
+	r.Describe("vroom_wire_requests_total", "Requests issued per origin.")
+	r.Describe("vroom_wire_fetch_phase_ms", "Fetch phase latency in milliseconds.")
+	r.Counter("vroom_wire_requests_total", L("origin", "https://www.dailynews00.com")).Add(7)
+	r.Counter("vroom_wire_requests_total", L("origin", "https://img.dailynews00.com")).Add(3)
+	r.Counter("vroom_wire_retries_total", L("origin", "https://img.dailynews00.com")).Add(2)
+	r.Counter("vroom_wire_push_promises_total", L("state", "accepted")).Add(4)
+	r.Counter("vroom_wire_push_promises_total", L("state", "orphaned")).Inc()
+	r.Gauge("vroom_wire_active_conns").Set(2)
+	r.Gauge("vroom_server_draining").Set(0)
+	r.Counter("vroom_escapes_total", L("path", `a"b\c`)).Inc()
+	h := r.Histogram("vroom_wire_fetch_phase_ms", L("phase", "headers"))
+	for _, ms := range []float64{0.4, 3, 3, 12, 48, 230, 1800} {
+		h.Observe(ms)
+	}
+	r.Histogram("vroom_wire_fetch_phase_ms", L("phase", "dial")).ObserveDuration(42 * time.Millisecond)
+	return r
+}
+
+// TestPrometheusGolden pins the full text exposition of a populated
+// registry: family ordering, HELP/TYPE lines, label escaping, cumulative
+// le buckets with _sum/_count.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populate().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "scrape.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusFormatShape sanity-checks invariants independent of the
+// golden bytes, so a legitimate -update cannot smuggle in a malformed
+// exposition.
+func TestPrometheusFormatShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populate().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var lastFamily string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if parts[2] < lastFamily {
+				t.Errorf("family %q out of order after %q", parts[2], lastFamily)
+			}
+			lastFamily = parts[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "" {
+			t.Error("blank line in exposition")
+			continue
+		}
+		// Every sample line is "name[{labels}] value".
+		if idx := strings.LastIndexByte(line, ' '); idx < 0 {
+			t.Errorf("sample line %q has no value", line)
+		}
+	}
+	for _, want := range []string{
+		`vroom_wire_fetch_phase_ms_bucket{phase="headers",le="+Inf"} 7`,
+		`vroom_wire_fetch_phase_ms_count{phase="headers"} 7`,
+		`vroom_escapes_total{path="a\"b\\c"} 1`,
+		"# HELP vroom_wire_requests_total Requests issued per origin.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScrapeUnderFire hammers one registry from 8 goroutines — counters,
+// gauges, histograms, and new-series creation — while scrapes run, and
+// checks the final totals. Run with -race, this is the scrape-safety proof.
+func TestScrapeUnderFire(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	var scrapes int
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			var js bytes.Buffer
+			if err := r.WriteJSON(&js); err != nil {
+				t.Error(err)
+				return
+			}
+			if !json.Valid(js.Bytes()) {
+				t.Error("mid-fire JSON dump is invalid")
+				return
+			}
+			scrapes++
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			origin := "https://origin" + string(rune('a'+w)) + ".example"
+			ctr := r.Counter("fire_requests_total", L("origin", origin))
+			hist := r.Histogram("fire_latency_ms", L("origin", origin))
+			gauge := r.Gauge("fire_active")
+			for i := 0; i < perW; i++ {
+				ctr.Inc()
+				hist.Observe(float64(i % 100))
+				gauge.Inc()
+				gauge.Dec()
+				// Series churn: resolve an existing series again.
+				r.Counter("fire_requests_total", L("origin", origin)).Add(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+	if scrapes == 0 {
+		t.Error("scraper never completed a pass while writers were running")
+	}
+
+	total := int64(0)
+	for w := 0; w < workers; w++ {
+		origin := "https://origin" + string(rune('a'+w)) + ".example"
+		total += r.Counter("fire_requests_total", L("origin", origin)).Value()
+	}
+	if total != workers*perW {
+		t.Errorf("counters lost updates: total %d, want %d", total, workers*perW)
+	}
+	if g := r.Gauge("fire_active").Value(); g != 0 {
+		t.Errorf("gauge ended at %d, want 0", g)
+	}
+}
+
+// TestNilRegistryAndHandles pins the nil contract: a nil registry resolves
+// nil handles and every handle method no-ops.
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(5)
+	r.Histogram("x").Observe(1)
+	r.Describe("x", "help")
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("nil-registry JSON dump invalid")
+	}
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value %d", v)
+	}
+}
+
+// TestKindConflict pins that reusing a name with a different kind yields a
+// working unregistered series instead of corrupting the family.
+func TestKindConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total").Add(3)
+	g := r.Gauge("conflict_total")
+	g.Set(9) // must not panic, must not appear in exposition
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "conflict_total 3") {
+		t.Errorf("counter lost: %s", out)
+	}
+	if strings.Contains(out, "conflict_total 9") {
+		t.Errorf("conflicting gauge leaked into exposition: %s", out)
+	}
+}

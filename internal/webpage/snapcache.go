@@ -18,8 +18,9 @@ import (
 // cache's lifetime should not exceed its corpus's (dropping the cache frees
 // the snapshots).
 type SnapshotCache struct {
-	mu sync.Mutex
-	m  map[snapKey]*snapEntry
+	mu           sync.Mutex
+	m            map[snapKey]*snapEntry
+	hits, misses int64
 }
 
 type snapKey struct {
@@ -48,6 +49,10 @@ func (c *SnapshotCache) Snapshot(site *Site, at time.Time, p Profile, nonce uint
 	if !ok {
 		e = &snapEntry{}
 		c.m[key] = e
+		c.misses++
+	} else {
+		// In-flight dedup counts as a hit: the work is done once either way.
+		c.hits++
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.sn = site.Snapshot(at, p, nonce) })
@@ -59,4 +64,12 @@ func (c *SnapshotCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns how many Snapshot calls were served from the cache (hits)
+// versus materialized fresh (misses).
+func (c *SnapshotCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }

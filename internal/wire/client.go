@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"vroom/internal/h2"
 	"vroom/internal/hints"
+	"vroom/internal/obs"
+	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
 )
@@ -49,6 +52,9 @@ type FetchRecord struct {
 	Retries   int
 	TimedOut  bool
 	Redirects int
+	// FinalURL is the post-redirect URL the response was actually served
+	// from (equal to URL when no redirect was followed; empty on failure).
+	FinalURL string
 }
 
 // Failed reports whether this fetch ended in an error.
@@ -160,6 +166,17 @@ type Client struct {
 	// RedirectHops caps how many 3xx hops one fetch follows. Default 5.
 	RedirectHops int
 
+	// Trace, when non-nil, records the load lifecycle on the wall clock:
+	// per-fetch spans with outcome args, dial spans, backoff waits, retry
+	// and redirect instants, breaker trips, push deliveries. Use
+	// obs.NewWall — fetches emit concurrently. Nil costs nothing.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, feeds the live metrics plane: per-origin
+	// request/retry/failure/redirect counters, fetch-phase latency
+	// histograms, push utilization, breaker and connection gauges. Nil
+	// costs nothing.
+	Metrics *telemetry.Registry
+
 	mu          sync.Mutex
 	origins     map[string]*originState
 	seen        map[string]bool
@@ -178,6 +195,7 @@ type Client struct {
 	doneCh      chan struct{}
 	cancel      chan struct{}
 	finished    bool
+	lt          loadTelemetry
 }
 
 // originState is one origin's connection lifecycle: the live conn, the
@@ -191,6 +209,12 @@ type originState struct {
 	redials       int
 	// fails counts consecutive failures; breakerThreshold trips on it.
 	fails int
+
+	// Telemetry handles, resolved once per origin (nil when metrics are
+	// off; nil handles no-op).
+	mReqs    *telemetry.Counter
+	mBreaker *telemetry.Gauge
+	mConns   *telemetry.Gauge
 }
 
 type inflightFetch struct {
@@ -306,6 +330,12 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 	c.report = &Report{Root: root.String(), Started: time.Now()}
 	c.doneCh = make(chan struct{})
 	c.cancel = make(chan struct{})
+	c.lt = newLoadTelemetry(c.Metrics)
+	c.lt.loads.Inc()
+	var loadSpan obs.Span
+	if c.Trace.Enabled() {
+		loadSpan = c.Trace.Begin(obs.TrackLoad, "load", obs.Arg{Key: "root", Val: root.String()})
+	}
 
 	c.mu.Lock()
 	c.enqueue(root, hints.High)
@@ -324,6 +354,8 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 	if deadlineHit && !c.finished {
 		c.finished = true
 		c.report.DeadlineHit = true
+		c.lt.deadlines.Inc()
+		c.Trace.Instant(obs.TrackLoad, "load-deadline")
 		now := time.Now()
 		for key, fl := range c.inflight {
 			c.report.Fetches = append(c.report.Fetches, FetchRecord{
@@ -338,7 +370,7 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 		for _, j := range append(append([]fetchJob{}, c.pendSemi...), c.pendLow...) {
 			c.report.Fetches = append(c.report.Fetches, FetchRecord{
 				URL: j.u.String(), Priority: j.prio, Start: now, Done: now,
-				Err: "wire: load deadline exceeded before fetch started",
+				Err:     "wire: load deadline exceeded before fetch started",
 				ErrKind: FetchDeadline, TimedOut: true,
 			})
 			c.report.Failed++
@@ -357,6 +389,7 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 		})
 		c.report.Bytes += int64(len(resp.Body))
 		c.report.Pushed++
+		c.lt.pushUnclaimed.Inc()
 	}
 	conns := make([]OriginConn, 0, len(c.origins))
 	for _, os := range c.origins {
@@ -364,6 +397,7 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 			conns = append(conns, os.conn)
 			os.conn = nil
 		}
+		os.mConns.Set(0)
 	}
 	report := c.report
 	c.mu.Unlock()
@@ -373,6 +407,10 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 	close(c.cancel)
 	for _, cc := range conns {
 		cc.Close()
+	}
+	if loadSpan.Active() {
+		loadSpan.End(obs.Arg{Key: "fetches", Val: strconv.Itoa(len(report.Fetches))},
+			obs.Arg{Key: "failed", Val: strconv.Itoa(report.Failed)})
 	}
 	return report, nil
 }
@@ -421,6 +459,7 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 		return // load already over; the deadline path wrote this record
 	}
 
+	sp := c.beginFetchSpan(key, prio.String())
 	resp, out := c.doFetch(u, fl)
 	done := time.Now()
 
@@ -437,6 +476,21 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 		rec.Pushed = resp.Pushed
 		rec.Status = resp.Status
 		rec.Bytes = len(resp.Body)
+		rec.FinalURL = out.finalURL.String()
+	}
+	c.endFetchSpan(sp, &rec)
+	if c.Metrics != nil {
+		ms := float64(done.Sub(fl.start)) / float64(time.Millisecond)
+		if rec.Failed() {
+			c.lt.fetchErrMs.Observe(ms)
+			c.Metrics.Counter(mFailures, telemetry.L("origin", u.Origin()),
+				telemetry.L("kind", string(rec.ErrKind))).Inc()
+		} else {
+			c.lt.fetchOkMs.Observe(ms)
+		}
+		if rec.Redirects > 0 {
+			c.Metrics.Counter(mRedirects, telemetry.L("origin", u.Origin())).Add(int64(rec.Redirects))
+		}
 	}
 
 	// Discover referenced resources and hints before re-locking; relative
@@ -601,7 +655,18 @@ func (c *Client) fetchOne(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetch
 				last.err = fmt.Errorf("%v (retry budget exhausted)", last.err)
 				return nil, last
 			}
-			if !c.sleepBackoff(c.Retry.backoff(attempt)) {
+			if c.Metrics != nil {
+				c.Metrics.Counter(mRetries, telemetry.L("origin", u.Origin())).Inc()
+			}
+			var bs obs.Span
+			if c.Trace.Enabled() {
+				bs = c.Trace.Begin(obs.TrackLoad, "backoff",
+					obs.Arg{Key: "url", Val: u.String()},
+					obs.Arg{Key: "attempt", Val: strconv.Itoa(attempt)})
+			}
+			ok := c.sleepBackoff(c.Retry.backoff(attempt))
+			bs.End()
+			if !ok {
 				return nil, fetchOutcome{err: errLoadOver, kind: FetchDeadline}
 			}
 		}
@@ -664,9 +729,11 @@ func (c *Client) attempt(u urlutil.URL) (*h2.Response, error) {
 	c.mu.Lock()
 	if resp, ok := c.pushedResp[key]; ok {
 		c.mu.Unlock()
+		c.lt.pushClaimed.Inc()
 		return resp, nil
 	}
-	if th := c.breakerThreshold(); th > 0 && c.originState(origin).fails >= th {
+	os := c.originState(origin)
+	if th := c.breakerThreshold(); th > 0 && os.fails >= th {
 		c.mu.Unlock()
 		return nil, breakerOpenError{origin: origin}
 	}
@@ -689,6 +756,7 @@ func (c *Client) attempt(u urlutil.URL) (*h2.Response, error) {
 		select {
 		case resp := <-ch:
 			wait.Stop()
+			c.lt.pushClaimed.Inc()
 			return resp, nil
 		case <-wait.C:
 			c.dropPushWaiter(key, ch)
@@ -701,6 +769,7 @@ func (c *Client) attempt(u urlutil.URL) (*h2.Response, error) {
 	}
 
 	req := &h2.Request{Method: "GET", Scheme: u.Scheme, Authority: u.Host, Path: u.Path}
+	os.mReqs.Inc()
 	resp, err := c.roundTrip(cc, req)
 	if err != nil {
 		c.noteConnFailure(origin, cc, err)
@@ -737,6 +806,12 @@ func (c *Client) originState(origin string) *originState {
 	os, ok := c.origins[origin]
 	if !ok {
 		os = &originState{}
+		if c.Metrics != nil {
+			os.mReqs = c.Metrics.Counter(mRequests, telemetry.L("origin", origin))
+			os.mBreaker = c.Metrics.Gauge(mBreakOpen, telemetry.L("origin", origin))
+			os.mConns = c.Metrics.Gauge(mActiveConn,
+				telemetry.L("origin", origin), telemetry.L("proto", "h2"))
+		}
 		c.origins[origin] = os
 	}
 	return os
@@ -774,7 +849,25 @@ func (c *Client) conn(origin, host string) (OriginConn, error) {
 		os.dialing = ch
 		c.mu.Unlock()
 
+		var ds obs.Span
+		if c.Trace.Enabled() {
+			ds = c.Trace.Begin(obs.TrackNet, "dial", obs.Arg{Key: "origin", Val: origin})
+		}
+		var dialStart time.Time
+		if c.Metrics != nil {
+			dialStart = time.Now()
+		}
 		cc, err := c.dialOrigin(origin, host)
+		if c.Metrics != nil {
+			c.lt.dialMs.Observe(float64(time.Since(dialStart)) / float64(time.Millisecond))
+		}
+		if ds.Active() {
+			if err != nil {
+				ds.End(obs.Arg{Key: "error", Val: err.Error()})
+			} else {
+				ds.End()
+			}
+		}
 
 		c.mu.Lock()
 		os.dialing = nil
@@ -790,6 +883,7 @@ func (c *Client) conn(origin, host string) (OriginConn, error) {
 		} else {
 			os.conn = cc
 			os.everConnected = true
+			os.mConns.Set(1)
 		}
 		c.mu.Unlock()
 		close(ch)
@@ -835,6 +929,7 @@ func (c *Client) dialRaw(origin, host string) (OriginConn, error) {
 		}
 		if cc, ok := oc.(*h2.ClientConn); ok {
 			cc.OnPush = func(resp *h2.Response) { c.onPush(host, resp) }
+			cc.Instrument(c.Trace, "conn:"+origin, c.Metrics)
 		}
 		return oc, nil
 	}
@@ -847,13 +942,16 @@ func (c *Client) dialRaw(origin, host string) (OriginConn, error) {
 		return nil, err
 	}
 	cc.OnPush = func(resp *h2.Response) { c.onPush(host, resp) }
+	cc.Instrument(c.Trace, "conn:"+origin, c.Metrics)
 	return cc, nil
 }
 
 // noteSuccess clears the origin's breaker count.
 func (c *Client) noteSuccess(origin string) {
 	c.mu.Lock()
-	c.originState(origin).fails = 0
+	os := c.originState(origin)
+	os.fails = 0
+	os.mBreaker.Set(0)
 	c.mu.Unlock()
 }
 
@@ -862,18 +960,35 @@ func (c *Client) noteSuccess(origin string) {
 // broken, so the (budgeted) re-dial starts fresh.
 func (c *Client) noteConnFailure(origin string, cc OriginConn, err error) {
 	evict := false
+	tripped := false
 	c.mu.Lock()
 	os := c.originState(origin)
 	os.fails++
+	if th := c.breakerThreshold(); th > 0 && os.fails == th {
+		tripped = true
+		os.mBreaker.Set(1)
+	}
 	var se h2.StreamError
 	if sh, ok := cc.(selfHealing); (!ok || !sh.SelfHealing()) && !errors.As(err, &se) {
 		if os.conn == cc {
 			os.conn = nil
+			os.mConns.Set(0)
 			evict = true
 		}
 	}
 	c.mu.Unlock()
+	if tripped {
+		if c.Metrics != nil {
+			c.Metrics.Counter(mBreakTrips, telemetry.L("origin", origin)).Inc()
+		}
+		if c.Trace.Enabled() {
+			c.Trace.Instant(obs.TrackNet, "breaker-open", obs.Arg{Key: "origin", Val: origin})
+		}
+	}
 	if evict {
+		if c.Trace.Enabled() {
+			c.Trace.Instant(obs.TrackNet, "conn-evicted", obs.Arg{Key: "origin", Val: origin})
+		}
 		cc.Close()
 	}
 }
@@ -948,6 +1063,10 @@ func (c *Client) onPush(host string, resp *h2.Response) {
 	}
 	u := urlutil.URL{Scheme: "https", Host: resp.Request.Authority, Path: resp.Request.Path}
 	key := u.String()
+	c.lt.pushReceived.Inc()
+	if c.Trace.Enabled() {
+		c.Trace.Instant(obs.TrackLoad, "push-received", obs.Arg{Key: "url", Val: key})
+	}
 	c.mu.Lock()
 	c.pushedResp[key] = resp
 	waiters := c.pushWaiters[key]

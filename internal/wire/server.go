@@ -15,7 +15,9 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/h2"
 	"vroom/internal/hints"
+	"vroom/internal/obs"
 	"vroom/internal/replay"
+	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
 )
@@ -57,6 +59,11 @@ type Server struct {
 	// Stats.
 	Requests int
 	Pushes   int
+
+	trace *obs.Tracer
+	reg   *telemetry.Registry
+	mReqs map[string]*telemetry.Counter // by proto
+	mPush *telemetry.Counter
 }
 
 // NewServer builds a replay server. resolver may be nil when hints are
@@ -71,6 +78,47 @@ func NewServer(a *replay.Archive, resolver *core.Resolver, device webpage.Device
 // H2 exposes the underlying HTTP/2 server for Serve/Close.
 func (s *Server) H2() *h2.Server { return s.h2srv }
 
+// Instrument attaches tracing and metrics to the server and its HTTP/2
+// core: request/push/injected-fault counters here, connection and drain
+// gauges below. Call before Serve; nil arguments cost nothing.
+func (s *Server) Instrument(tr *obs.Tracer, reg *telemetry.Registry) {
+	s.trace = tr
+	s.h2srv.Trace = tr
+	s.h2srv.Metrics = reg
+	s.reg = reg
+	if reg == nil {
+		return
+	}
+	reg.Describe("vroom_server_requests_total", "Requests served, by protocol.")
+	reg.Describe("vroom_server_pushes_total", "Resources pushed to clients.")
+	reg.Describe("vroom_server_injected_faults_total", "Seeded server-side faults served, by kind.")
+	s.mReqs = map[string]*telemetry.Counter{
+		"h1": reg.Counter("vroom_server_requests_total", telemetry.L("proto", "h1")),
+		"h2": reg.Counter("vroom_server_requests_total", telemetry.L("proto", "h2")),
+	}
+	s.mPush = reg.Counter("vroom_server_pushes_total")
+}
+
+// noteRequest counts one served request.
+func (s *Server) noteRequest(proto string) {
+	s.mu.Lock()
+	s.Requests++
+	ctr := s.mReqs[proto]
+	s.mu.Unlock()
+	ctr.Inc()
+}
+
+// noteFault counts one injected fault served to a client.
+func (s *Server) noteFault(kind, url string) {
+	if s.reg != nil {
+		s.reg.Counter("vroom_server_injected_faults_total", telemetry.L("kind", kind)).Inc()
+	}
+	if s.trace.Enabled() {
+		s.trace.Instant(obs.TrackServer, "injected-fault",
+			obs.Arg{Key: "kind", Val: kind}, obs.Arg{Key: "url", Val: url})
+	}
+}
+
 // Drain gracefully shuts the HTTP/2 side down: GOAWAY on every connection,
 // in-flight streams get up to timeout to finish, new streams are refused
 // retryably. The caller closes its listener.
@@ -83,12 +131,11 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 	if s.Cfg.ThinkTime > 0 {
 		time.Sleep(s.Cfg.ThinkTime)
 	}
-	s.mu.Lock()
-	s.Requests++
-	s.mu.Unlock()
+	s.noteRequest("h1")
 
 	key := "https://" + r.Authority + r.Path
 	if fresh := s.redirectFor(key); fresh != "" {
+		s.noteFault("stale-redirect", key)
 		return &h2.Response{Status: 301,
 			Header: map[string][]string{"content-type": {"text/plain"}, "location": {fresh}},
 			Body:   []byte("moved: " + fresh)}
@@ -99,6 +146,7 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 			Body: []byte("not in archive")}
 	}
 	if s.faulted(rec) {
+		s.noteFault("transient-503", key)
 		return &h2.Response{Status: 503, Header: map[string][]string{"content-type": {"text/plain"}},
 			Body: []byte("injected transient error")}
 	}
@@ -118,12 +166,11 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 	if s.Cfg.ThinkTime > 0 {
 		time.Sleep(s.Cfg.ThinkTime)
 	}
-	s.mu.Lock()
-	s.Requests++
-	s.mu.Unlock()
+	s.noteRequest("h2")
 
 	key := "https://" + r.Authority + r.Path
 	if fresh := s.redirectFor(key); fresh != "" {
+		s.noteFault("stale-redirect", key)
 		w.Header()["content-type"] = []string{"text/plain"}
 		w.Header()["location"] = []string{fresh}
 		w.WriteHeader(301)
@@ -142,6 +189,7 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 		return
 	}
 	if s.faulted(rec) {
+		s.noteFault("transient-503", key)
 		w.Header()["content-type"] = []string{"text/plain"}
 		w.WriteHeader(503)
 		w.Write([]byte("injected transient error"))
@@ -191,6 +239,10 @@ func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint) {
 		s.mu.Lock()
 		s.Pushes++
 		s.mu.Unlock()
+		s.mPush.Inc()
+		if s.trace.Enabled() {
+			s.trace.Instant(obs.TrackServer, "push", obs.Arg{Key: "url", Val: key})
+		}
 		go func(rec *replay.Record) {
 			pw.Header()["content-type"] = []string{contentType(rec)}
 			pw.Write(s.body(rec))
