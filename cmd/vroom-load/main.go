@@ -1,0 +1,262 @@
+// vroom-load storms a vroom-server with many concurrent simulated clients
+// and asserts the robustness invariants the overload plane promises: no load
+// ever hangs, shed responses stay retryable, and degradation is always
+// tagged. It is the acceptance harness for the resolver-as-a-service work —
+// CI runs it against a faulted server and fails on a hung load or on a
+// missing shed/stale signal.
+//
+// Usage:
+//
+//	vroom-load -server 127.0.0.1:8443 -root https://www.dailynews00.com/ \
+//	    -loads 500 -concurrency 64 -faults severe -fault-seed 7 \
+//	    -scrape http://127.0.0.1:9090/metrics -json-out load.json
+//
+// With -faults, every client dial passes through a seeded netem fault shim,
+// so the storm exercises the server's recovery paths, not just its happy
+// path. -scrape reads the server's /metrics after the storm and folds
+// serving-side figures (QPS, hint-lookup p50/p99, shed rate) into the
+// vroom-bench/v1 artifact written by -json-out, which vroom-benchdiff can
+// then gate against a committed baseline.
+//
+// Exit status: 0 on success; 1 when a load hung, when -require-degraded
+// tokens were not all observed, or when the scrape was unreachable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vroom/internal/benchfmt"
+	"vroom/internal/faults"
+	"vroom/internal/loadgen"
+	"vroom/internal/netem"
+	"vroom/internal/telemetry"
+	"vroom/internal/urlutil"
+)
+
+func main() {
+	var (
+		server      = flag.String("server", "127.0.0.1:8443", "vroom-server address")
+		rootRaw     = flag.String("root", "", "root page URL (as recorded in the archive)")
+		loads       = flag.Int("loads", 200, "total page loads")
+		concurrency = flag.Int("concurrency", 32, "loads in flight at once")
+		seed        = flag.Int64("seed", 1, "seed for the client-class draw")
+		faultsRaw   = flag.String("faults", "none", "wire fault regime injected on client dials: none, mild, or severe")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault plan")
+		grace       = flag.Duration("grace", 30*time.Second, "hang-watchdog grace beyond each class's load deadline")
+		jsonOut     = flag.String("json-out", "", "write a vroom-bench/v1 artifact to this path")
+		scrapeURL   = flag.String("scrape", "", "server /metrics URL to scrape after the storm")
+		requireRaw  = flag.String("require-degraded", "", "comma-separated degradation tokens that must be observed (e.g. stale-hints,shed-push)")
+	)
+	flag.Parse()
+	if *rootRaw == "" {
+		fmt.Fprintln(os.Stderr, "need -root")
+		os.Exit(2)
+	}
+	root, err := urlutil.Parse(*rootRaw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	regime, err := faults.ParseRegime(*faultsRaw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	dial := func(origin string) (net.Conn, error) { return net.Dial("tcp", *server) }
+	if regime != faults.RegimeNone {
+		plan := faults.New(*faultSeed, faults.RegimeConfig(regime))
+		plan.ExemptURL(root)
+		shim := netem.NewFaultShim(plan)
+		raw := dial
+		dial = func(origin string) (net.Conn, error) {
+			return shim.Dial(origin, func() (net.Conn, error) { return raw(origin) })
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	res := loadgen.Run(loadgen.Config{
+		Root:        root,
+		Loads:       *loads,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Dial:        dial,
+		Metrics:     reg,
+		HangGrace:   *grace,
+	})
+
+	printSummary(res)
+
+	failed := false
+	if res.Hung > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d load(s) hung past deadline+grace\n", res.Hung)
+		failed = true
+	}
+	for _, tok := range splitTokens(*requireRaw) {
+		if res.DegradedModes[tok] == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: required degradation mode %q never observed\n", tok)
+			failed = true
+		}
+	}
+
+	var srvStats *benchfmt.ServerStats
+	if *scrapeURL != "" {
+		srvStats, err = scrapeServer(*scrapeURL, res.Elapsed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: scrape: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("server: %d requests (%.1f qps), %d shed (%.1f%%), hint lookup p50=%.2fms p99=%.2fms, degraded %.1f%%\n",
+				srvStats.Requests, srvStats.QPS, srvStats.Shed, 100*srvStats.ShedRate,
+				srvStats.HintLookupP50, srvStats.HintLookupP99, 100*srvStats.DegradedRate)
+		}
+	}
+
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, res, srvStats, regime, *seed, *concurrency); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed = true
+		} else {
+			fmt.Printf("artifact: %s\n", *jsonOut)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printSummary(res *loadgen.Result) {
+	fmt.Printf("storm: %d loads in %.1fs (%d hung, %d deadline-hit)\n",
+		res.Loads, res.Elapsed.Seconds(), res.Hung, res.DeadlineHit)
+	fmt.Printf("fetches: %d (%d failed, %d retries), %d pushed, %d degraded responses\n",
+		res.Fetches, res.FailedFetches, res.Retries, res.Pushed, res.DegradedResps)
+	if len(res.DegradedModes) > 0 {
+		modes := make([]string, 0, len(res.DegradedModes))
+		for m := range res.DegradedModes {
+			modes = append(modes, m)
+		}
+		sort.Strings(modes)
+		parts := make([]string, 0, len(modes))
+		for _, m := range modes {
+			parts = append(parts, fmt.Sprintf("%s=%d", m, res.DegradedModes[m]))
+		}
+		fmt.Printf("degradation: %s\n", strings.Join(parts, " "))
+	}
+	classes := make([]string, 0, len(res.ByClass))
+	for cl := range res.ByClass {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	for _, cl := range classes {
+		ms := res.ByClass[cl]
+		fmt.Printf("  %-20s n=%-4d p50=%7.1fms p95=%7.1fms\n",
+			cl, len(ms), percentile(ms, 50), percentile(ms, 95))
+	}
+}
+
+// scrapeServer reads the server's /metrics and distills the serving-side
+// figures for the artifact. elapsed is the storm's wall time, used for QPS.
+func scrapeServer(url string, elapsed time.Duration) (*benchfmt.ServerStats, error) {
+	sc, err := loadgen.ScrapeURL(url)
+	if err != nil {
+		return nil, err
+	}
+	reqs := sc.Sum("vroom_server_requests_total", nil)
+	shed := sc.Sum("vroom_server_shed_total", nil)
+	degraded := sc.Sum("vroom_server_degraded_total", nil)
+	st := &benchfmt.ServerStats{
+		Requests:      int64(reqs),
+		Shed:          int64(shed),
+		HintLookupP50: sc.HistogramQuantile("vroom_store_hint_lookup_ms", 50),
+		HintLookupP99: sc.HistogramQuantile("vroom_store_hint_lookup_ms", 99),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		st.QPS = reqs / secs
+	}
+	if reqs+shed > 0 {
+		st.ShedRate = shed / (reqs + shed)
+	}
+	if reqs > 0 {
+		st.DegradedRate = degraded / reqs
+	}
+	return st, nil
+}
+
+// writeArtifact distills the storm into a vroom-bench/v1 file: one figure of
+// per-class load times plus the serving-side block when a scrape succeeded.
+func writeArtifact(path string, res *loadgen.Result, srv *benchfmt.ServerStats,
+	regime faults.Regime, seed int64, workers int) error {
+	fig := benchfmt.Figure{
+		ID:        "load-storm-plt",
+		Title:     "Storm PLT by client class (s)",
+		ElapsedMs: float64(res.Elapsed) / float64(time.Millisecond),
+		Server:    srv,
+		Notes: []string{
+			fmt.Sprintf("%d loads, %d hung, %d deadline-hit, %d fetch retries",
+				res.Loads, res.Hung, res.DeadlineHit, res.Retries),
+		},
+	}
+	fig.Direction = benchfmt.DirectionFor(fig.Title)
+	classes := make([]string, 0, len(res.ByClass))
+	for cl := range res.ByClass {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	for _, cl := range classes {
+		ms := res.ByClass[cl]
+		fig.Series = append(fig.Series, benchfmt.Series{
+			Label: cl,
+			N:     len(ms),
+			Mean:  mean(ms),
+			P25:   percentile(ms, 25),
+			P50:   percentile(ms, 50),
+			P75:   percentile(ms, 75),
+			P95:   percentile(ms, 95),
+		})
+	}
+	return benchfmt.Save(path, &benchfmt.File{
+		Scale:     "load",
+		Seed:      seed,
+		Faults:    regime.String(),
+		Workers:   workers,
+		ElapsedMs: float64(res.Elapsed) / float64(time.Millisecond),
+		Figures:   []benchfmt.Figure{fig},
+	})
+}
+
+func splitTokens(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

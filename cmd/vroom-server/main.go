@@ -1,4 +1,4 @@
-// vroom-server replays a recorded page over real HTTP/2 with Vroom's
+// vroom-server replays recorded pages over real HTTP/2 with Vroom's
 // dependency hints and server push, Mahimahi-style: a single listener
 // serves every authority in the archive.
 //
@@ -6,17 +6,31 @@
 //
 //	vroom-server -archive page.json -listen :8443 [-hints=false] [-push=false]
 //	vroom-server -site dailynews00 -listen :8443   # generate + serve
+//	vroom-server -sites dailynews00,socialites01 -listen :8443   # multi-tenant
 //	vroom-server -site dailynews00 -faults severe -fault-seed 7   # broken world
 //
-// On SIGTERM/SIGINT the server drains gracefully: the listener closes, every
-// HTTP/2 connection gets a GOAWAY, and in-flight streams have -drain to
-// finish before connections are cut.
+// Hints are served by a multi-tenant hint store: one shard per origin, each
+// holding an immutable, atomically-swapped hint table that background
+// workers retrain as it ages (-hint-ttl, the paper's hourly churn). Stale
+// tables serve tagged stale-while-revalidate; only far past the TTL
+// (-max-stale) are hints shed — never the response itself.
+//
+// The serving path runs behind admission control (-max-concurrent,
+// -max-queue, -max-wait): requests beyond capacity queue LIFO and shed with
+// a retryable 503, and an admitting-but-loaded gate degrades push first,
+// hints second. Degraded responses carry a vroom-degraded header naming
+// every mode applied.
+//
+// On SIGTERM/SIGINT the server drains gracefully: admission stops, the
+// listener closes, every HTTP/2 connection gets a GOAWAY, in-flight streams
+// have -drain to finish, background retraining is cancelled, and each hint
+// shard's final table version is checkpointed to the log.
 //
 // With -telemetry-addr the server also runs a plain net/http sidecar
-// exposing /metrics (Prometheus text: request/push/fault counters,
-// connection/stream/drain gauges) and the standard /debug/pprof/ endpoints
-// for live profiling. The sidecar is observability-only — replay traffic
-// never touches it.
+// exposing /metrics (Prometheus text), /healthz (liveness), /readyz
+// (readiness: every tenant trained and not draining), and the standard
+// /debug/pprof/ endpoints. The sidecar is observability-only — replay
+// traffic never touches it.
 package main
 
 import (
@@ -27,12 +41,15 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"vroom/internal/core"
 	"vroom/internal/faults"
 	"vroom/internal/h1"
+	"vroom/internal/hintstore"
+	"vroom/internal/overload"
 	"vroom/internal/replay"
 	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
@@ -40,11 +57,20 @@ import (
 	"vroom/internal/wire"
 )
 
+// tenant is one origin to be registered in the hint store.
+type tenant struct {
+	origin  string
+	root    urlutil.URL
+	body    string
+	trainer hintstore.Trainer
+}
+
 func main() {
 	var (
 		archivePath = flag.String("archive", "", "replay archive (JSON) to serve")
 		siteName    = flag.String("site", "", "generate and serve this site instead (e.g. dailynews00)")
-		seed        = flag.Int64("seed", 2017, "generator seed when using -site")
+		sitesRaw    = flag.String("sites", "", "comma-separated site names to generate and serve multi-tenant")
+		seed        = flag.Int64("seed", 2017, "generator seed when using -site/-sites")
 		listen      = flag.String("listen", "127.0.0.1:8443", "listen address (h2c)")
 		sendHints   = flag.Bool("hints", true, "attach dependency-hint headers")
 		push        = flag.Bool("push", true, "push high-priority same-origin dependencies (h2 only)")
@@ -53,45 +79,64 @@ func main() {
 		faultsRaw   = flag.String("faults", "none", "server-side fault regime: none, mild, or severe")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault plan (same seed => same injected faults)")
 		drain       = flag.Duration("drain", 3*time.Second, "graceful-drain budget for in-flight streams on SIGTERM")
-		telAddr     = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /readyz, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+
+		hintTTL  = flag.Duration("hint-ttl", time.Hour, "hint-table freshness window before a background retrain")
+		maxStale = flag.Duration("max-stale", 0, "age past which hints are shed instead of served stale (default 4x -hint-ttl)")
+		workers  = flag.Int("train-workers", 2, "background training workers")
+
+		maxConc  = flag.Int("max-concurrent", 64, "requests admitted at once (0 disables admission control)")
+		maxQueue = flag.Int("max-queue", 0, "admission queue depth (default 2x -max-concurrent)")
+		maxWait  = flag.Duration("max-wait", time.Second, "longest a request waits for admission before shedding")
 	)
 	flag.Parse()
 
 	at := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
 	device := webpage.PhoneSmall
-	var (
-		archive  *replay.Archive
-		resolver *core.Resolver
-		err      error
-	)
-	switch {
-	case *archivePath != "":
-		archive, err = replay.LoadFile(*archivePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		// Without the generating site we cannot train offline; online
-		// analysis of the archived bodies still provides hints.
-		resolver = core.NewResolver(core.ResolverConfig{UseOnline: true})
-	case *siteName != "":
-		site := webpage.NewSite(*siteName, webpage.News, *seed)
-		archive = replay.FromSnapshot(site.Snapshot(at, webpage.Profile{Device: device, UserID: 11}, 1))
-		resolver = wire.TrainResolver(site, at, device)
-	default:
-		fmt.Fprintln(os.Stderr, "need -archive or -site")
+
+	archive, tenants, fallback, err := buildWorld(*archivePath, *siteName, *sitesRaw, *seed, at, device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
 	regime, err := faults.ParseRegime(*faultsRaw)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	srv := wire.NewServer(archive, resolver, device, wire.ServerConfig{
+	// Train every tenant synchronously before accepting traffic, logging the
+	// warmup cost: readiness (the /readyz endpoint) is exactly "every shard
+	// has a published table".
+	store := hintstore.New(hintstore.Config{
+		TTL: *hintTTL, MaxStale: *maxStale, Workers: *workers,
+	})
+	trainStart := time.Now()
+	for _, tn := range tenants {
+		t0 := time.Now()
+		if err := store.Register(tn.origin, device, tn.trainer); err != nil {
+			fmt.Fprintf(os.Stderr, "train %s: %v\n", tn.origin, err)
+			os.Exit(1)
+		}
+		hs, res := store.Lookup(tn.root, tn.body)
+		fmt.Printf("trained %s: %d hints for root, version %d, %.0f ms\n",
+			tn.origin, len(hs), res.Version, time.Since(t0).Seconds()*1000)
+	}
+	fmt.Printf("hint store ready: %d tenant(s) trained in %.0f ms (ttl=%v workers=%d)\n",
+		store.Tenants(), time.Since(trainStart).Seconds()*1000, *hintTTL, *workers)
+
+	var gate *overload.Gate
+	if *maxConc > 0 {
+		gate = overload.NewGate(overload.Config{
+			MaxConcurrent: *maxConc, MaxQueue: *maxQueue, MaxWait: *maxWait,
+		})
+	}
+
+	srv := wire.NewServer(archive, fallback, device, wire.ServerConfig{
 		SendHints: *sendHints, Push: *push, ThinkTime: *think,
 	})
+	srv.Store = store
+	srv.Gate = gate
 	if regime != faults.RegimeNone {
 		plan := faults.New(*faultSeed, faults.RegimeConfig(regime))
 		// The root document must stay loadable or every run is a trivial
@@ -101,21 +146,34 @@ func main() {
 		}
 		srv.Faults = plan
 	}
+
+	var draining atomic.Bool
 	if *telAddr != "" {
 		reg := telemetry.NewRegistry()
 		srv.Instrument(nil, reg)
 		// net/http/pprof registers its handlers on the default mux; put
-		// /metrics there too so one listener serves the whole plane.
+		// /metrics and the health endpoints there too so one listener serves
+		// the whole plane.
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			reg.WritePrometheus(w)
+		})
+		http.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		http.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+			if draining.Load() || !store.Ready() {
+				http.Error(w, "not ready", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ready")
 		})
 		tl, err := net.Listen("tcp", *telAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry: http://%s/metrics and /debug/pprof/\n", tl.Addr())
+		fmt.Printf("telemetry: http://%s/metrics /healthz /readyz /debug/pprof/\n", tl.Addr())
 		go http.Serve(tl, nil)
 	}
 
@@ -124,10 +182,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d resources (root %s) on %s  proto=%s hints=%v push=%v faults=%s\n",
-		archive.Len(), archive.RootURL, l.Addr(), *proto, *sendHints, *push, regime)
+	fmt.Printf("serving %d resources (root %s) on %s  proto=%s hints=%v push=%v faults=%s gate=%d\n",
+		archive.Len(), archive.RootURL, l.Addr(), *proto, *sendHints, *push, regime, *maxConc)
 
-	h1srv := &h1.Server{Handler: srv}
+	h1srv := &h1.Server{Handler: srv, Overloaded: func() bool { return gate.Saturated() }}
 	serveErr := make(chan error, 1)
 	go func() {
 		if *proto == "h1" {
@@ -147,12 +205,93 @@ func main() {
 		}
 	case s := <-sig:
 		fmt.Printf("%s: draining (up to %v for in-flight streams)\n", s, *drain)
+		draining.Store(true)
 		l.Close()
+		var cps []hintstore.Checkpoint
 		if *proto == "h1" {
+			gate.Drain()
 			h1srv.Drain(*drain)
+			cps = store.Drain(*drain)
 		} else {
-			srv.Drain(*drain)
+			cps = srv.Drain(*drain)
+		}
+		for _, cp := range cps {
+			fmt.Printf("checkpoint %s: version %d (trained %s), %d lookups\n",
+				cp.Origin, cp.Version, cp.TrainedAt.Format(time.RFC3339), cp.Lookups)
 		}
 		fmt.Println("drained")
 	}
+}
+
+// buildWorld assembles the archive to replay, the hint-store tenants, and
+// the fallback resolver for origins outside the store.
+func buildWorld(archivePath, siteName, sitesRaw string, seed int64,
+	at time.Time, device webpage.DeviceClass) (*replay.Archive, []tenant, *core.Resolver, error) {
+	names := splitNames(sitesRaw)
+	if siteName != "" {
+		names = append([]string{siteName}, names...)
+	}
+	switch {
+	case archivePath != "":
+		archive, err := replay.LoadFile(archivePath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Without the generating site we cannot train offline; online
+		// analysis of the archived bodies still provides hints. The archive's
+		// origin gets a static store tenant so the serving path is uniform.
+		resolver := core.NewResolver(core.ResolverConfig{UseOnline: true})
+		root, err := urlutil.Parse(archive.RootURL)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		body := ""
+		if rec, ok := archive.Lookup(archive.RootURL); ok {
+			body = rec.Body
+		}
+		tn := tenant{origin: root.Host, root: root, body: body,
+			trainer: hintstore.StaticTrainer(resolver)}
+		return archive, []tenant{tn}, resolver, nil
+
+	case len(names) > 0:
+		var (
+			archives []*replay.Archive
+			tenants  []tenant
+		)
+		for i, name := range names {
+			site := webpage.NewSite(name, webpage.News, seed+int64(i))
+			a := replay.FromSnapshot(site.Snapshot(at, webpage.Profile{Device: device, UserID: 11}, 1))
+			root, err := urlutil.Parse(a.RootURL)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			body := ""
+			if rec, ok := a.Lookup(a.RootURL); ok {
+				body = rec.Body
+			}
+			archives = append(archives, a)
+			tenants = append(tenants, tenant{
+				origin: root.Host, root: root, body: body,
+				trainer: hintstore.SiteTrainer(site, at, device, core.DefaultResolverConfig()),
+			})
+		}
+		return replay.Merge(archives...), tenants, nil, nil
+
+	default:
+		return nil, nil, nil, fmt.Errorf("need -archive, -site, or -sites")
+	}
+}
+
+func splitNames(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if name := s[start:i]; name != "" {
+				out = append(out, name)
+			}
+			start = i + 1
+		}
+	}
+	return out
 }

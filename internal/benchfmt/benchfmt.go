@@ -57,6 +57,27 @@ type Figure struct {
 	// shared-training-cache effectiveness for this figure's run.
 	Pool  *PoolStats  `json:"pool,omitempty"`
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Server carries the serving side of a load-generator run
+	// (vroom-load -json-out): offered rate, hint-lookup latency, shed and
+	// degradation rates. Absent on simulation figures, so old and new
+	// artifacts stay merge-compatible.
+	Server *ServerStats `json:"server,omitempty"`
+}
+
+// ServerStats is the server-side series block a load run records.
+type ServerStats struct {
+	// QPS is requests served per wall-clock second over the run.
+	QPS float64 `json:"qps"`
+	// HintLookupP50/P99 are hint-store lookup latencies in milliseconds.
+	HintLookupP50 float64 `json:"hint_lookup_p50_ms"`
+	HintLookupP99 float64 `json:"hint_lookup_p99_ms"`
+	// ShedRate is shed requests / (served + shed).
+	ShedRate float64 `json:"shed_rate"`
+	// DegradedRate is degraded responses / served.
+	DegradedRate float64 `json:"degraded_rate"`
+	// Requests and Shed are the raw counters behind the rates.
+	Requests int64 `json:"requests"`
+	Shed     int64 `json:"shed"`
 }
 
 // Series is one labelled distribution, distilled to the quartiles the

@@ -35,6 +35,12 @@ func (f HandlerFunc) ServeH1(r *h2.Request) *h2.Response { return f(r) }
 type Server struct {
 	Handler Handler
 
+	// Overloaded, when set, is consulted per exchange before the handler
+	// runs; returning true answers 503 immediately (with retry-after) so a
+	// saturated server sheds the request without doing its work. Set
+	// before Serve.
+	Overloaded func() bool
+
 	mu       sync.Mutex
 	closed   bool
 	draining bool
@@ -125,7 +131,11 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.active++
 		s.mu.Unlock()
 		var resp *h2.Response
-		if s.Handler != nil {
+		if s.Overloaded != nil && s.Overloaded() {
+			resp = &h2.Response{Status: 503,
+				Header: map[string][]string{"retry-after": {"1"}},
+				Body:   []byte("server overloaded")}
+		} else if s.Handler != nil {
 			resp = s.Handler.ServeH1(req)
 		}
 		if resp == nil {

@@ -61,6 +61,13 @@ func (f HandlerFunc) ServeH2(w *ResponseWriter, r *Request) { f(w, r) }
 type Server struct {
 	Handler Handler
 
+	// Overloaded, when set, is consulted before a handler goroutine is
+	// started for a new stream; returning true refuses the stream with
+	// RST_STREAM(REFUSED_STREAM) — the same retryable refusal draining
+	// uses — so a saturated server sheds load before spending a goroutine
+	// on it. Set before Serve.
+	Overloaded func() bool
+
 	// Trace, when non-nil, records the connection and drain lifecycle on
 	// obs.TrackServer (accepts, refused streams, GOAWAY emission). Use
 	// obs.NewWall; connections emit concurrently. Set before Serve.
@@ -311,9 +318,10 @@ func (sc *serverConn) applyHeaders(streamID uint32, block []byte, endStream bool
 
 func (sc *serverConn) startHandler(s *stream) {
 	sc.mu.Lock()
-	if sc.draining {
-		// Past the drain GOAWAY: this stream was never processed, so a
-		// REFUSED_STREAM reset lets the client replay it safely elsewhere.
+	if sc.draining || (sc.srv.Overloaded != nil && sc.srv.Overloaded()) {
+		// Past the drain GOAWAY or over the admission ceiling: this stream
+		// was never processed, so a REFUSED_STREAM reset lets the client
+		// replay it safely elsewhere (or later).
 		sc.mu.Unlock()
 		sc.srv.cRefused.Inc()
 		if sc.srv.Trace.Enabled() {

@@ -1,0 +1,500 @@
+// Package hintstore promotes Vroom's dependency resolver from a
+// train-once-at-startup object to a long-running, multi-tenant service
+// component (§4): a sharded, versioned hint store whose per-origin shards
+// each hold an immutable, atomically-swapped hint table, refreshed off the
+// request path by a bounded background training pool as pages churn (the
+// paper retrains hourly).
+//
+// Concurrency model (RCU): a shard's current table lives behind an
+// atomic.Pointer. Lookups load the pointer once and read only that
+// immutable table — they never block on retraining and can never observe a
+// torn (half-swapped) table. Retraining builds a complete replacement table
+// aside and publishes it with one atomic store; the old table stays valid
+// for readers that already hold it.
+//
+// Staleness model (stale-while-revalidate): a lookup whose table has aged
+// past the TTL is served from the old version, tagged Stale, and schedules
+// a background retrain; only past MaxStale does the store stop serving
+// hints (Shed) — an outdated hint is advisory and cheap, a blocked lookup
+// stalls a response. Tenants beyond the LRU capacity are evicted coldest
+// first, mirroring a hint cache in front of per-site crawlers.
+package hintstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vroom/internal/core"
+	"vroom/internal/hints"
+	"vroom/internal/telemetry"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// Store metric families.
+const (
+	metricLookups   = "vroom_store_lookups_total"
+	metricLookupMs  = "vroom_store_hint_lookup_ms"
+	metricRetrains  = "vroom_store_retrains_total"
+	metricSwaps     = "vroom_store_swaps_total"
+	metricTenants   = "vroom_store_tenants"
+	metricEvictions = "vroom_store_evictions_total"
+	metricQueueFull = "vroom_store_retrain_queue_full_total"
+)
+
+// Trainer builds one tenant's resolver. It runs on a background worker, off
+// the request path; version is the table version the result will publish
+// as. Implementations should return promptly after cancel closes — the
+// result is discarded during drain either way.
+type Trainer func(version uint64, cancel <-chan struct{}) (*core.Resolver, error)
+
+// Source classifies where a lookup's hints came from.
+type Source int
+
+// Lookup sources.
+const (
+	// Fresh: the serving table is within its TTL.
+	Fresh Source = iota
+	// Stale: the table aged past the TTL; the previous version was served
+	// and a background retrain is (or was already) scheduled.
+	Stale
+	// Shed: the table aged past MaxStale; no hints were served.
+	Shed
+	// Miss: no tenant is registered for the origin.
+	Miss
+)
+
+func (s Source) String() string {
+	switch s {
+	case Fresh:
+		return "fresh"
+	case Stale:
+		return "stale"
+	case Shed:
+		return "shed"
+	}
+	return "miss"
+}
+
+// Result describes one lookup: its source, the table version that answered
+// it, and the table's age at lookup time.
+type Result struct {
+	Source  Source
+	Version uint64
+	Age     time.Duration
+}
+
+// Config sizes a Store. Zero fields select defaults.
+type Config struct {
+	// TTL is how long one trained table serves fresh before a background
+	// retrain is scheduled (default one hour — the paper's churn period).
+	TTL time.Duration
+	// MaxStale is the age past which hints are shed instead of served
+	// stale (default 4*TTL). Stale serving between TTL and MaxStale is the
+	// stale-while-revalidate window.
+	MaxStale time.Duration
+	// MaxTenants caps resident origins; registering past it evicts the
+	// least-recently-looked-up tenant (default 256).
+	MaxTenants int
+	// Workers bounds concurrent background retrains (default 2).
+	Workers int
+	// QueueDepth bounds retrain jobs waiting for a worker (default
+	// 4*Workers). A full queue drops the retrain request — the next stale
+	// lookup re-requests it.
+	QueueDepth int
+	// Clock supplies time for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) ttl() time.Duration {
+	if c.TTL > 0 {
+		return c.TTL
+	}
+	return time.Hour
+}
+
+func (c Config) maxStale() time.Duration {
+	if c.MaxStale > 0 {
+		return c.MaxStale
+	}
+	return 4 * c.ttl()
+}
+
+func (c Config) maxTenants() int {
+	if c.MaxTenants > 0 {
+		return c.MaxTenants
+	}
+	return 256
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 2
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 4 * c.workers()
+}
+
+// table is one immutable published hint table. Readers hold it only via
+// shard.cur.Load(); nothing in it is mutated after publication.
+type table struct {
+	version   uint64
+	trainedAt time.Time
+	resolver  *core.Resolver
+	device    webpage.DeviceClass
+}
+
+// shard is one tenant's serving state.
+type shard struct {
+	origin  string
+	trainer Trainer
+	device  webpage.DeviceClass
+
+	// cur is the RCU-published current table.
+	cur atomic.Pointer[table]
+	// version is the last version number handed to a trainer.
+	version atomic.Uint64
+	// retraining is the per-shard singleflight guard: one queued or
+	// running retrain at a time.
+	retraining atomic.Bool
+	// lastUsed is the UnixNano of the newest lookup, for LRU eviction.
+	lastUsed atomic.Int64
+	// lookups counts lookups served by this shard (checkpoint reporting).
+	lookups atomic.Int64
+}
+
+// Checkpoint is one shard's state at drain time.
+type Checkpoint struct {
+	Origin    string
+	Version   uint64
+	TrainedAt time.Time
+	Lookups   int64
+}
+
+// Store is the multi-tenant hint store. Create with New; a Store must be
+// Drained (or Closed) to stop its background workers.
+type Store struct {
+	cfg   Config
+	clock func() time.Time
+
+	mu      sync.RWMutex
+	tenants map[string]*shard
+	closed  bool
+
+	trainq chan *shard
+	cancel chan struct{}
+	wg     sync.WaitGroup
+
+	// Telemetry handles; nil-safe when Instrument was never called.
+	mLookups  map[Source]*telemetry.Counter
+	mLookupMs *telemetry.Histogram
+	mRetrains *telemetry.Counter
+	mSwaps    *telemetry.Counter
+	mTenants  *telemetry.Gauge
+	mEvict    *telemetry.Counter
+	mQFull    *telemetry.Counter
+}
+
+// New returns a running store: its background training workers are started
+// and idle.
+func New(cfg Config) *Store {
+	st := &Store{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		tenants: make(map[string]*shard),
+		trainq:  make(chan *shard, cfg.queueDepth()),
+		cancel:  make(chan struct{}),
+	}
+	if st.clock == nil {
+		st.clock = time.Now
+	}
+	for i := 0; i < cfg.workers(); i++ {
+		st.wg.Add(1)
+		go st.worker()
+	}
+	return st
+}
+
+// Instrument attaches the store's metric families to reg. Call before
+// serving; nil costs nothing.
+func (st *Store) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Describe(metricLookups, "Hint lookups by source (fresh, stale, shed, miss).")
+	reg.Describe(metricLookupMs, "Hint lookup latency in milliseconds.")
+	reg.Describe(metricRetrains, "Background retrains completed.")
+	reg.Describe(metricSwaps, "RCU table swaps published.")
+	reg.Describe(metricTenants, "Resident hint-store tenants.")
+	reg.Describe(metricEvictions, "Tenants evicted by the LRU cap.")
+	reg.Describe(metricQueueFull, "Retrain requests dropped on a full queue.")
+	st.mLookups = map[Source]*telemetry.Counter{
+		Fresh: reg.Counter(metricLookups, telemetry.L("source", "fresh")),
+		Stale: reg.Counter(metricLookups, telemetry.L("source", "stale")),
+		Shed:  reg.Counter(metricLookups, telemetry.L("source", "shed")),
+		Miss:  reg.Counter(metricLookups, telemetry.L("source", "miss")),
+	}
+	st.mLookupMs = reg.Histogram(metricLookupMs)
+	st.mRetrains = reg.Counter(metricRetrains)
+	st.mSwaps = reg.Counter(metricSwaps)
+	st.mTenants = reg.Gauge(metricTenants)
+	st.mEvict = reg.Counter(metricEvictions)
+	st.mQFull = reg.Counter(metricQueueFull)
+}
+
+// ErrClosed reports registration on a drained store.
+var ErrClosed = errors.New("hintstore: store drained")
+
+// Register installs a tenant for origin and trains its first table
+// synchronously (startup warmup — the caller decides whether to serve
+// before this returns). Registering past MaxTenants evicts the coldest
+// tenant. Re-registering an origin replaces its trainer and retrains.
+func (st *Store) Register(origin string, device webpage.DeviceClass, tr Trainer) error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	sh, ok := st.tenants[origin]
+	if !ok {
+		sh = &shard{origin: origin, trainer: tr, device: device}
+		sh.lastUsed.Store(st.clock().UnixNano())
+		st.evictColdestLocked()
+		st.tenants[origin] = sh
+		st.mTenants.Set(int64(len(st.tenants)))
+	} else {
+		sh.trainer = tr
+		sh.device = device
+	}
+	st.mu.Unlock()
+
+	version := sh.version.Add(1)
+	r, err := tr(version, st.cancel)
+	if err != nil {
+		return err
+	}
+	sh.cur.Store(&table{version: version, trainedAt: st.clock(), resolver: r, device: device})
+	st.mSwaps.Inc()
+	return nil
+}
+
+// evictColdestLocked makes room for one tenant. Caller holds st.mu.
+func (st *Store) evictColdestLocked() {
+	for len(st.tenants) >= st.cfg.maxTenants() {
+		var coldest *shard
+		for _, sh := range st.tenants {
+			if coldest == nil || sh.lastUsed.Load() < coldest.lastUsed.Load() {
+				coldest = sh
+			}
+		}
+		if coldest == nil {
+			return
+		}
+		delete(st.tenants, coldest.origin)
+		st.mEvict.Inc()
+	}
+}
+
+// Lookup returns the dependency hints for serving doc with the given body.
+// It never blocks on training: the answer comes from whatever table the
+// doc's origin shard currently publishes, tagged by freshness. A lookup on
+// a stale table schedules a background retrain (at most one in flight per
+// shard) and still returns immediately.
+func (st *Store) Lookup(doc urlutil.URL, body string) ([]hints.Hint, Result) {
+	start := st.clock()
+	hs, res := st.lookup(doc, body, start)
+	st.mLookups[res.Source].Inc()
+	st.mLookupMs.Observe(float64(st.clock().Sub(start)) / float64(time.Millisecond))
+	return hs, res
+}
+
+func (st *Store) lookup(doc urlutil.URL, body string, now time.Time) ([]hints.Hint, Result) {
+	st.mu.RLock()
+	sh := st.tenants[doc.Host]
+	st.mu.RUnlock()
+	if sh == nil {
+		return nil, Result{Source: Miss}
+	}
+	sh.lastUsed.Store(now.UnixNano())
+	sh.lookups.Add(1)
+	tbl := sh.cur.Load()
+	if tbl == nil {
+		// Registered but first training has not published yet.
+		return nil, Result{Source: Miss}
+	}
+	age := now.Sub(tbl.trainedAt)
+	res := Result{Source: Fresh, Version: tbl.version, Age: age}
+	if age > st.cfg.ttl() {
+		st.requestRetrain(sh)
+		if age > st.cfg.maxStale() {
+			res.Source = Shed
+			return nil, res
+		}
+		res.Source = Stale
+	}
+	return tbl.resolver.HintsFor(doc, body, tbl.device), res
+}
+
+// requestRetrain schedules a background retrain for sh unless one is
+// already queued or running. A full queue drops the request: the next
+// stale lookup retries.
+func (st *Store) requestRetrain(sh *shard) {
+	if !sh.retraining.CompareAndSwap(false, true) {
+		return
+	}
+	select {
+	case st.trainq <- sh:
+	case <-st.cancel:
+		sh.retraining.Store(false)
+	default:
+		sh.retraining.Store(false)
+		st.mQFull.Inc()
+	}
+}
+
+// worker drains the retrain queue until the store cancels.
+func (st *Store) worker() {
+	defer st.wg.Done()
+	for {
+		select {
+		case <-st.cancel:
+			return
+		case sh := <-st.trainq:
+			st.retrain(sh)
+		}
+	}
+}
+
+// retrain builds a replacement table aside and publishes it with one
+// atomic swap. Lookups racing the swap serve either the old or the new
+// table — both are complete and internally consistent.
+func (st *Store) retrain(sh *shard) {
+	defer sh.retraining.Store(false)
+	select {
+	case <-st.cancel:
+		return // drained while queued
+	default:
+	}
+	version := sh.version.Add(1)
+	r, err := sh.trainer(version, st.cancel)
+	if err != nil {
+		return // the old table keeps serving; the next stale lookup retries
+	}
+	select {
+	case <-st.cancel:
+		return // drained mid-build: discard, checkpoint the old table
+	default:
+	}
+	sh.cur.Store(&table{version: version, trainedAt: st.clock(), resolver: r, device: sh.device})
+	st.mRetrains.Inc()
+	st.mSwaps.Inc()
+}
+
+// Ready reports whether every registered tenant has a published table and
+// the store is accepting lookups — the readiness-endpoint predicate.
+func (st *Store) Ready() bool {
+	if st == nil {
+		return false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed || len(st.tenants) == 0 {
+		return false
+	}
+	for _, sh := range st.tenants {
+		if sh.cur.Load() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Tenants returns the number of resident tenants.
+func (st *Store) Tenants() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.tenants)
+}
+
+// Drain stops the store: queued and in-flight retrains are cancelled (their
+// results discarded), workers exit, and every shard's published table is
+// checkpointed. Lookups after Drain still serve (read-only) from the last
+// published tables, so a draining server can answer its in-flight requests.
+// Drain returns once the workers have stopped or timeout passed; the
+// checkpoints reflect the tables at that instant, sorted by origin.
+func (st *Store) Drain(timeout time.Duration) []Checkpoint {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		close(st.cancel)
+	}
+	st.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		st.wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
+
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	cps := make([]Checkpoint, 0, len(st.tenants))
+	for _, sh := range st.tenants {
+		cp := Checkpoint{Origin: sh.origin, Lookups: sh.lookups.Load()}
+		if tbl := sh.cur.Load(); tbl != nil {
+			cp.Version = tbl.version
+			cp.TrainedAt = tbl.trainedAt
+		}
+		cps = append(cps, cp)
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].Origin < cps[j].Origin })
+	return cps
+}
+
+// SiteTrainer returns a Trainer that retrains a generated site's resolver
+// the way a Vroom deployment's periodic crawler would: each retrain
+// advances the training instant by the elapsed wall time since the store
+// came up, so hints track the site's hourly content churn.
+func SiteTrainer(site *webpage.Site, baseAt time.Time, device webpage.DeviceClass, cfg core.ResolverConfig) Trainer {
+	start := time.Now()
+	return func(version uint64, cancel <-chan struct{}) (*core.Resolver, error) {
+		select {
+		case <-cancel:
+			return nil, ErrClosed
+		default:
+		}
+		r := core.NewResolver(cfg)
+		r.Train(site, baseAt.Add(time.Since(start)), device)
+		return r, nil
+	}
+}
+
+// StaticTrainer returns a Trainer that always serves the given pre-built
+// resolver — for archive-only tenants whose hints come from online analysis
+// of the served bytes.
+func StaticTrainer(r *core.Resolver) Trainer {
+	return func(version uint64, cancel <-chan struct{}) (*core.Resolver, error) {
+		return r, nil
+	}
+}

@@ -1,0 +1,319 @@
+// Package loadgen drives a vroom replay server with many concurrent
+// simulated clients — the storm the overload plane exists for. A run fans
+// cfg.Loads page loads over a bounded worker pool; each load is one
+// wire.Client drawn deterministically (by seed) from a weighted set of
+// heterogeneous client classes: device class, staged vs greedy scheduling,
+// protocol, and patience (timeouts) all vary, the way a real mobile
+// population's do.
+//
+// The generator's job is to measure robustness, not just throughput, so
+// every load runs under a hang watchdog: a LoadPage call that fails to
+// return within its own deadline plus a grace period is counted as hung —
+// the invariant the acceptance test pins to zero — rather than blocking the
+// run.
+package loadgen
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"vroom/internal/h1"
+	"vroom/internal/telemetry"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+	"vroom/internal/wire"
+)
+
+// ClientClass is one stratum of the simulated client population.
+type ClientClass struct {
+	Name   string
+	Device webpage.DeviceClass
+	// Weight is the class's relative share of loads.
+	Weight int
+	// Staged selects Vroom's staged scheduler; false is greedy baseline.
+	Staged bool
+	// Proto is "h2" or "h1".
+	Proto string
+	// Patience: per-request header/stall budgets and the whole-load
+	// deadline. Small phones on bad networks give up sooner.
+	HeaderTimeout time.Duration
+	StallTimeout  time.Duration
+	LoadDeadline  time.Duration
+}
+
+// DefaultClasses is a mobile-web-shaped population: mostly small phones on
+// h2 with staged scheduling, a slice of larger devices, a greedy cohort,
+// and an h1 long tail.
+func DefaultClasses() []ClientClass {
+	return []ClientClass{
+		{Name: "phone-small-staged", Device: webpage.PhoneSmall, Weight: 5, Staged: true, Proto: "h2",
+			HeaderTimeout: 500 * time.Millisecond, StallTimeout: 500 * time.Millisecond, LoadDeadline: 20 * time.Second},
+		{Name: "phone-large-staged", Device: webpage.PhoneLarge, Weight: 3, Staged: true, Proto: "h2",
+			HeaderTimeout: time.Second, StallTimeout: time.Second, LoadDeadline: 30 * time.Second},
+		{Name: "phone-small-greedy", Device: webpage.PhoneSmall, Weight: 2, Staged: false, Proto: "h2",
+			HeaderTimeout: 500 * time.Millisecond, StallTimeout: 500 * time.Millisecond, LoadDeadline: 20 * time.Second},
+		{Name: "tablet-h1", Device: webpage.Tablet, Weight: 1, Staged: false, Proto: "h1",
+			HeaderTimeout: time.Second, StallTimeout: time.Second, LoadDeadline: 30 * time.Second},
+	}
+}
+
+// Config shapes one storm.
+type Config struct {
+	// Root is the page every client loads.
+	Root urlutil.URL
+	// Roots, when non-empty, overrides Root: each load draws one of these
+	// pages (uniformly, by seed) — a multi-tenant population.
+	Roots []urlutil.URL
+	// Loads is the total number of page loads (default 100).
+	Loads int
+	// Concurrency bounds loads in flight at once (default 32).
+	Concurrency int
+	// Seed makes the class draw (and nothing else — the server and wire
+	// own their fates) deterministic.
+	Seed int64
+	// Classes is the population (default DefaultClasses).
+	Classes []ClientClass
+	// Dial opens a transport to an origin; every client shares it.
+	Dial func(origin string) (net.Conn, error)
+	// Metrics, when set, aggregates client-side wire metrics across all
+	// loads.
+	Metrics *telemetry.Registry
+	// HangGrace pads each class's LoadDeadline for the hang watchdog
+	// (default 30s). LoadPage guarantees return by its deadline; the grace
+	// absorbs scheduler noise, so any firing is a real hang.
+	HangGrace time.Duration
+	// Retry tunes per-fetch retries (default: 3 attempts, fast backoff).
+	Retry wire.RetryPolicy
+}
+
+func (c Config) loads() int {
+	if c.Loads > 0 {
+		return c.Loads
+	}
+	return 100
+}
+
+func (c Config) concurrency() int {
+	if c.Concurrency > 0 {
+		return c.Concurrency
+	}
+	return 32
+}
+
+func (c Config) classes() []ClientClass {
+	if len(c.Classes) > 0 {
+		return c.Classes
+	}
+	return DefaultClasses()
+}
+
+func (c Config) hangGrace() time.Duration {
+	if c.HangGrace > 0 {
+		return c.HangGrace
+	}
+	return 30 * time.Second
+}
+
+func (c Config) retry() wire.RetryPolicy {
+	if c.Retry.MaxAttempts > 0 {
+		return c.Retry
+	}
+	return wire.RetryPolicy{MaxAttempts: 3, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+// Sample is one completed (or hung) load.
+type Sample struct {
+	Class       string
+	Ms          float64
+	Fetches     int
+	Failed      int
+	Degraded    int
+	Pushed      int
+	DeadlineHit bool
+	Hung        bool
+
+	// modes and retries ride unexported so Run can fold them into the
+	// aggregate without a second report walk.
+	modes   map[string]int
+	retries int
+}
+
+// Result aggregates a storm.
+type Result struct {
+	Loads int
+	// Hung counts loads that failed to return by deadline+grace — the
+	// zero-invariant.
+	Hung int
+	// DeadlineHit counts loads that returned partial reports at their own
+	// deadline (a degraded outcome, not a hang).
+	DeadlineHit   int
+	Fetches       int
+	FailedFetches int
+	Retries       int
+	Pushed        int
+	DegradedResps int
+	// DegradedModes counts server degradation tokens seen across all
+	// responses (stale-hints, shed-hints, shed-push, shed-request).
+	DegradedModes map[string]int
+	// ByClass holds per-class load wall times in milliseconds.
+	ByClass map[string][]float64
+	Samples []Sample
+	Elapsed time.Duration
+}
+
+// Run executes the storm and blocks until every load returns or trips the
+// hang watchdog.
+func Run(cfg Config) *Result {
+	classes := cfg.classes()
+	totalWeight := 0
+	for _, cl := range classes {
+		totalWeight += cl.Weight
+	}
+	if totalWeight == 0 {
+		totalWeight = 1
+	}
+	roots := cfg.Roots
+	if len(roots) == 0 {
+		roots = []urlutil.URL{cfg.Root}
+	}
+	pick := func(i int) (ClientClass, urlutil.URL) {
+		r := rand.New(rand.NewSource(cfg.Seed ^ int64(i)*0x5851f42d4c957f2d))
+		root := roots[r.Intn(len(roots))]
+		n := r.Intn(totalWeight)
+		for _, cl := range classes {
+			if n < cl.Weight {
+				return cl, root
+			}
+			n -= cl.Weight
+		}
+		return classes[0], root
+	}
+
+	res := &Result{
+		Loads:         cfg.loads(),
+		DegradedModes: make(map[string]int),
+		ByClass:       make(map[string][]float64),
+		Samples:       make([]Sample, cfg.loads()),
+	}
+	start := time.Now()
+	jobs := make(chan int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cl, root := pick(i)
+				s := runOne(cfg, cl, root)
+				mu.Lock()
+				res.Samples[i] = s
+				if s.Hung {
+					res.Hung++
+				} else {
+					res.ByClass[s.Class] = append(res.ByClass[s.Class], s.Ms)
+				}
+				if s.DeadlineHit {
+					res.DeadlineHit++
+				}
+				res.Fetches += s.Fetches
+				res.FailedFetches += s.Failed
+				res.Pushed += s.Pushed
+				res.DegradedResps += s.Degraded
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.loads(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Fold per-load mode counts after the fact (runOne stashes them on the
+	// sample via the report walk below to keep the hot path lock-free).
+	mu.Lock()
+	for i := range res.Samples {
+		for mode, n := range res.Samples[i].modes {
+			res.DegradedModes[mode] += n
+		}
+		res.Retries += res.Samples[i].retries
+	}
+	res.Elapsed = time.Since(start)
+	mu.Unlock()
+	return res
+}
+
+// runOne performs a single page load for one class under the hang watchdog.
+func runOne(cfg Config, cl ClientClass, root urlutil.URL) Sample {
+	c := &wire.Client{
+		Staged:        cl.Staged,
+		DialTimeout:   2 * time.Second,
+		HeaderTimeout: cl.HeaderTimeout,
+		StallTimeout:  cl.StallTimeout,
+		LoadDeadline:  cl.LoadDeadline,
+		Retry:         cfg.retry(),
+		Metrics:       cfg.Metrics,
+	}
+	if cl.Proto == "h1" {
+		c.DialOrigin = func(origin string) (wire.OriginConn, error) {
+			u, err := urlutil.Parse(origin + "/")
+			if err != nil {
+				return nil, err
+			}
+			return &h1.Pool{Authority: u.Host, Metrics: cfg.Metrics,
+				Dial: func() (net.Conn, error) { return cfg.Dial(origin) }}, nil
+		}
+	} else {
+		c.Dial = cfg.Dial
+	}
+
+	type outcome struct{ rep *wire.Report }
+	done := make(chan outcome, 1)
+	started := time.Now()
+	go func() {
+		rep, err := c.LoadPage(root)
+		if err != nil {
+			rep = &wire.Report{Started: started, Finished: time.Now()}
+		}
+		done <- outcome{rep}
+	}()
+
+	watchdog := time.NewTimer(cl.LoadDeadline + cfg.hangGrace())
+	defer watchdog.Stop()
+	select {
+	case o := <-done:
+		s := Sample{
+			Class:       cl.Name,
+			Ms:          float64(o.rep.Total()) / float64(time.Millisecond),
+			Fetches:     len(o.rep.Fetches),
+			Failed:      o.rep.Failed,
+			Degraded:    o.rep.Degraded,
+			Pushed:      o.rep.Pushed,
+			DeadlineHit: o.rep.DeadlineHit,
+		}
+		s.modes = make(map[string]int)
+		for _, f := range o.rep.Fetches {
+			if f.Degraded != "" {
+				for _, mode := range strings.Split(f.Degraded, ",") {
+					s.modes[strings.TrimSpace(mode)]++
+				}
+			}
+			// Admission 503s surface as failed/retried fetches; tag them so
+			// shed-request pressure is visible even when retries recover.
+			if f.Status == 503 && f.Failed() {
+				s.modes[wire.DegradedShedRequest]++
+			}
+		}
+		s.retries = o.rep.Retries
+		return s
+	case <-watchdog.C:
+		// The load goroutine leaked past its own deadline: the exact bug
+		// this generator exists to catch. Leave it behind and report.
+		return Sample{Class: cl.Name, Hung: true,
+			Ms: float64(time.Since(started)) / float64(time.Millisecond)}
+	}
+}

@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vroom/internal/telemetry"
+)
+
+const exampleScrape = `# HELP vroom_server_requests_total Requests served, by protocol.
+# TYPE vroom_server_requests_total counter
+vroom_server_requests_total{proto="h1"} 10
+vroom_server_requests_total{proto="h2"} 90
+vroom_server_shed_total 7
+vroom_store_hint_lookup_ms_bucket{le="1"} 50
+vroom_store_hint_lookup_ms_bucket{le="2.5"} 80
+vroom_store_hint_lookup_ms_bucket{le="5"} 99
+vroom_store_hint_lookup_ms_bucket{le="+Inf"} 100
+vroom_store_hint_lookup_ms_sum 190
+vroom_store_hint_lookup_ms_count 100
+`
+
+func TestParsePromSumAndFilter(t *testing.T) {
+	sc, err := ParseProm(strings.NewReader(exampleScrape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Sum("vroom_server_requests_total", nil); got != 100 {
+		t.Errorf("total requests = %v, want 100", got)
+	}
+	if got := sc.Sum("vroom_server_requests_total", map[string]string{"proto": "h2"}); got != 90 {
+		t.Errorf("h2 requests = %v, want 90", got)
+	}
+	if got := sc.Sum("vroom_server_shed_total", nil); got != 7 {
+		t.Errorf("shed = %v, want 7", got)
+	}
+	if !sc.Has("vroom_server_shed_total") || sc.Has("nope") {
+		t.Error("Has misreported families")
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	sc, err := ParseProm(strings.NewReader(exampleScrape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p50: target 50 of 100 lands exactly on the le=1 bucket boundary.
+	if got := sc.HistogramQuantile("vroom_store_hint_lookup_ms", 50); got != 1 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	// p80: target 80 lands on le=2.5.
+	if got := sc.HistogramQuantile("vroom_store_hint_lookup_ms", 80); got != 2.5 {
+		t.Errorf("p80 = %v, want 2.5", got)
+	}
+	// p90: target 90 interpolates between 2.5 (cum 80) and 5 (cum 99):
+	// 2.5 + 2.5*(90-80)/(99-80).
+	want := 2.5 + 2.5*10/19
+	if got := sc.HistogramQuantile("vroom_store_hint_lookup_ms", 90); math.Abs(got-want) > 1e-9 {
+		t.Errorf("p90 = %v, want %v", got, want)
+	}
+	if got := sc.HistogramQuantile("missing_family", 50); got != 0 {
+		t.Errorf("missing family quantile = %v, want 0", got)
+	}
+}
+
+// TestScrapeRoundTrip feeds a real telemetry registry exposition through the
+// parser, pinning the scraper to the format the server actually emits.
+func TestScrapeRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("vroom_server_shed_total").Add(3)
+	reg.Counter("vroom_server_degraded_total", telemetry.L("mode", "stale-hints")).Add(5)
+	reg.Counter("vroom_server_degraded_total", telemetry.L("mode", "shed-push")).Add(2)
+	h := reg.Histogram("vroom_store_hint_lookup_ms")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%10) + 0.5)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Sum("vroom_server_shed_total", nil); got != 3 {
+		t.Errorf("shed = %v, want 3", got)
+	}
+	if got := sc.Sum("vroom_server_degraded_total", nil); got != 7 {
+		t.Errorf("degraded all modes = %v, want 7", got)
+	}
+	if got := sc.Sum("vroom_server_degraded_total", map[string]string{"mode": "stale-hints"}); got != 5 {
+		t.Errorf("degraded stale-hints = %v, want 5", got)
+	}
+	p99 := sc.HistogramQuantile("vroom_store_hint_lookup_ms", 99)
+	if p99 <= 0 || p99 > 25 {
+		t.Errorf("p99 = %v, want within (0, 25]", p99)
+	}
+}

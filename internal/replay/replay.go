@@ -63,6 +63,34 @@ func FromSnapshot(sn *webpage.Snapshot) *Archive {
 	return a
 }
 
+// Merge combines archives into one multi-origin archive — how one replay
+// server serves several tenant sites at once (clients still open one
+// connection per origin; every origin resolves to the same listener). The
+// first archive provides the root page and site name; on duplicate URLs the
+// first record wins.
+func Merge(archives ...*Archive) *Archive {
+	if len(archives) == 0 {
+		return &Archive{}
+	}
+	m := &Archive{
+		RootURL:    archives[0].RootURL,
+		Site:       archives[0].Site,
+		RecordedAt: archives[0].RecordedAt,
+	}
+	seen := make(map[string]bool)
+	for _, a := range archives {
+		for _, r := range a.Records {
+			if seen[r.URL] {
+				continue
+			}
+			seen[r.URL] = true
+			m.Records = append(m.Records, r)
+		}
+	}
+	m.buildIndex()
+	return m
+}
+
 func (a *Archive) buildIndex() {
 	a.index = make(map[string]*Record, len(a.Records))
 	for i := range a.Records {

@@ -119,6 +119,31 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.h.ObserveDuration(d)
 }
 
+// Quantile estimates the p-th percentile (0 < p <= 100) of the observed
+// samples (0 on nil or when nothing was observed).
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.Quantile(p)
+}
+
+// N returns the number of samples observed (0 on nil).
+func (h *Histogram) N() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.N()
+}
+
+// Mean returns the mean of the observed samples (0 on nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.Mean()
+}
+
 // Snapshot exposes the underlying histogram snapshot (zero value on nil).
 func (h *Histogram) Snapshot(bounds []float64) metrics.Snapshot {
 	if h == nil {

@@ -55,6 +55,10 @@ type FetchRecord struct {
 	// FinalURL is the post-redirect URL the response was actually served
 	// from (equal to URL when no redirect was followed; empty on failure).
 	FinalURL string
+	// Degraded carries the server's degradation tag for this response
+	// (comma-separated mode tokens from the vroom-degraded header), empty
+	// when the server served full service.
+	Degraded string
 }
 
 // Failed reports whether this fetch ended in an error.
@@ -75,6 +79,9 @@ type Report struct {
 	Failed      int
 	Retries     int
 	DeadlineHit bool
+	// Degraded counts completed fetches the server tagged as degraded
+	// (stale or shed hints, shed push).
+	Degraded int
 }
 
 // Total returns the wall-clock load duration.
@@ -477,6 +484,9 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 		rec.Status = resp.Status
 		rec.Bytes = len(resp.Body)
 		rec.FinalURL = out.finalURL.String()
+		if vals := resp.Header[HeaderDegraded]; len(vals) > 0 {
+			rec.Degraded = vals[0]
+		}
 	}
 	c.endFetchSpan(sp, &rec)
 	if c.Metrics != nil {
@@ -515,6 +525,9 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 	}
 	if rec.Pushed {
 		c.report.Pushed++
+	}
+	if rec.Degraded != "" {
+		c.report.Degraded++
 	}
 	if key == c.report.Root {
 		c.rootDone = true
@@ -768,7 +781,13 @@ func (c *Client) attempt(u urlutil.URL) (*h2.Response, error) {
 		}
 	}
 
-	req := &h2.Request{Method: "GET", Scheme: u.Scheme, Authority: u.Host, Path: u.Path}
+	// Propagate the per-attempt budget: the server's admission queue and
+	// push decisions see how long this client will actually wait for
+	// headers, so it never holds or feeds a request its client has
+	// abandoned.
+	deadlineMS := strconv.FormatInt(int64(c.headerTimeout()/time.Millisecond), 10)
+	req := &h2.Request{Method: "GET", Scheme: u.Scheme, Authority: u.Host, Path: u.Path,
+		Header: map[string][]string{HeaderDeadline: {deadlineMS}}}
 	os.mReqs.Inc()
 	resp, err := c.roundTrip(cc, req)
 	if err != nil {

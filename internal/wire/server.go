@@ -7,6 +7,7 @@ package wire
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -15,11 +16,36 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/h2"
 	"vroom/internal/hints"
+	"vroom/internal/hintstore"
 	"vroom/internal/obs"
+	"vroom/internal/overload"
 	"vroom/internal/replay"
 	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
+)
+
+// Degradation protocol headers. The client sends its remaining per-attempt
+// budget so the server's admission queue never holds a request past the
+// moment its client would give up; the server tags every response it
+// degraded so clients and load tests can account for shed work.
+const (
+	// HeaderDeadline carries the client's remaining header budget in
+	// integer milliseconds.
+	HeaderDeadline = "vroom-deadline-ms"
+	// HeaderDegraded lists the degradation modes applied to a response,
+	// comma-separated.
+	HeaderDegraded = "vroom-degraded"
+)
+
+// Degradation mode tokens carried in HeaderDegraded, one per rung actually
+// taken. "shed-request" appears on 503s from admission control; the others
+// ride on otherwise-normal responses.
+const (
+	DegradedStaleHints  = "stale-hints"
+	DegradedShedHints   = "shed-hints"
+	DegradedShedPush    = "shed-push"
+	DegradedShedRequest = "shed-request"
 )
 
 // ServerConfig controls the replay server's Vroom behaviour.
@@ -49,6 +75,16 @@ type Server struct {
 	// both sides can share one Plan (its methods serialize internally).
 	Faults *faults.Plan
 
+	// Store, when set, serves hints from the multi-tenant hint store keyed
+	// by document host; Resolver remains the fallback for origins the store
+	// does not hold. Set before Serve.
+	Store *hintstore.Store
+	// Gate, when set, applies admission control and drives the degradation
+	// ladder: a request refused admission is answered 503 (retryable), a
+	// loaded-but-admitting gate sheds push first and hints next, never the
+	// response. Set before Serve.
+	Gate *overload.Gate
+
 	h2srv *h2.Server
 
 	mu     sync.Mutex
@@ -56,22 +92,58 @@ type Server struct {
 	// redirects remembers mangled stale-hint URLs -> fresh URLs so the
 	// server can answer the client's fetch of a stale hint with a 301.
 	redirects map[string]string
-	// Stats.
-	Requests int
-	Pushes   int
+	// Stats, exported only through the locked Stats() snapshot.
+	requests int
+	pushes   int
+	shed     int
+	degraded map[string]int // by mode token
 
 	trace *obs.Tracer
 	reg   *telemetry.Registry
 	mReqs map[string]*telemetry.Counter // by proto
 	mPush *telemetry.Counter
+	mShed *telemetry.Counter
+}
+
+// ServerStats is a point-in-time snapshot of the server's counters.
+type ServerStats struct {
+	// Requests counts served requests (admitted ones; shed requests are
+	// counted in Shed instead).
+	Requests int
+	// Pushes counts resources pushed to clients.
+	Pushes int
+	// Shed counts requests refused by admission control.
+	Shed int
+	// Degraded counts responses by degradation mode token (stale-hints,
+	// shed-hints, shed-push).
+	Degraded map[string]int
+}
+
+// Stats returns a consistent snapshot of the server's counters. The bare
+// fields these replace were racy to read while serving.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServerStats{Requests: s.requests, Pushes: s.pushes, Shed: s.shed}
+	if len(s.degraded) > 0 {
+		st.Degraded = make(map[string]int, len(s.degraded))
+		for k, v := range s.degraded {
+			st.Degraded[k] = v
+		}
+	}
+	return st
 }
 
 // NewServer builds a replay server. resolver may be nil when hints are
 // disabled.
 func NewServer(a *replay.Archive, resolver *core.Resolver, device webpage.DeviceClass, cfg ServerConfig) *Server {
 	s := &Server{Archive: a, Resolver: resolver, Device: device, Cfg: cfg,
-		pushed: make(map[string]bool), redirects: make(map[string]string)}
-	s.h2srv = &h2.Server{Handler: s}
+		pushed: make(map[string]bool), redirects: make(map[string]string),
+		degraded: make(map[string]int)}
+	// The transport refuses streams outright (REFUSED_STREAM — retryable)
+	// once the gate could only shed them anyway; cheaper than spending a
+	// handler goroutine to say 503. Saturated is nil-gate safe.
+	s.h2srv = &h2.Server{Handler: s, Overloaded: func() bool { return s.Gate.Saturated() }}
 	return s
 }
 
@@ -92,20 +164,111 @@ func (s *Server) Instrument(tr *obs.Tracer, reg *telemetry.Registry) {
 	reg.Describe("vroom_server_requests_total", "Requests served, by protocol.")
 	reg.Describe("vroom_server_pushes_total", "Resources pushed to clients.")
 	reg.Describe("vroom_server_injected_faults_total", "Seeded server-side faults served, by kind.")
+	reg.Describe("vroom_server_shed_total", "Requests refused by admission control (503).")
+	reg.Describe("vroom_server_degraded_total", "Degraded responses, by mode (stale-hints, shed-hints, shed-push).")
 	s.mReqs = map[string]*telemetry.Counter{
 		"h1": reg.Counter("vroom_server_requests_total", telemetry.L("proto", "h1")),
 		"h2": reg.Counter("vroom_server_requests_total", telemetry.L("proto", "h2")),
 	}
 	s.mPush = reg.Counter("vroom_server_pushes_total")
+	s.mShed = reg.Counter("vroom_server_shed_total")
+	if s.Store != nil {
+		s.Store.Instrument(reg)
+	}
 }
 
 // noteRequest counts one served request.
 func (s *Server) noteRequest(proto string) {
 	s.mu.Lock()
-	s.Requests++
+	s.requests++
 	ctr := s.mReqs[proto]
 	s.mu.Unlock()
 	ctr.Inc()
+}
+
+// noteShed counts one request refused by admission.
+func (s *Server) noteShed() {
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+	s.mShed.Inc()
+	if s.trace.Enabled() {
+		s.trace.Instant(obs.TrackServer, "request-shed")
+	}
+}
+
+// noteDegraded counts a response's degradation modes.
+func (s *Server) noteDegraded(modes []string) {
+	if len(modes) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, m := range modes {
+		s.degraded[m]++
+	}
+	reg := s.reg
+	s.mu.Unlock()
+	if reg != nil {
+		for _, m := range modes {
+			reg.Counter("vroom_server_degraded_total", telemetry.L("mode", m)).Inc()
+		}
+	}
+}
+
+// requestDeadline derives the server-side admission deadline from the
+// client's HeaderDeadline budget. Zero means no deadline was sent.
+func requestDeadline(r *h2.Request) time.Time {
+	vals := r.Header[HeaderDeadline]
+	if len(vals) == 0 {
+		return time.Time{}
+	}
+	ms, err := strconv.Atoi(vals[0])
+	if err != nil || ms <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond)
+}
+
+// admit runs a request through the admission gate. On refusal it returns
+// false and the 503 the caller must answer with; the gate's slot is held
+// until release is called.
+func (s *Server) admit(r *h2.Request) (release func(), refusal *h2.Response) {
+	err := s.Gate.Acquire(requestDeadline(r))
+	if err == nil {
+		return func() { s.Gate.Release() }, nil
+	}
+	s.noteShed()
+	return nil, &h2.Response{Status: 503,
+		Header: map[string][]string{
+			"content-type": {"text/plain"},
+			"retry-after":  {"1"},
+			HeaderDegraded: {DegradedShedRequest},
+		},
+		Body: []byte("server overloaded: " + err.Error())}
+}
+
+// hintsFor resolves a document's hints through the store (multi-tenant,
+// stale-while-revalidate) or the fallback resolver, appending any
+// degradation modes taken to degraded.
+func (s *Server) hintsFor(u urlutil.URL, body string, degraded *[]string) []hints.Hint {
+	if s.Store != nil {
+		hs, res := s.Store.Lookup(u, body)
+		switch res.Source {
+		case hintstore.Fresh:
+			return s.staleify(hs)
+		case hintstore.Stale:
+			*degraded = append(*degraded, DegradedStaleHints)
+			return s.staleify(hs)
+		case hintstore.Shed:
+			*degraded = append(*degraded, DegradedShedHints)
+			return nil
+		}
+		// Miss: the origin is not a store tenant; fall back.
+	}
+	if s.Resolver == nil {
+		return nil
+	}
+	return s.staleify(s.Resolver.HintsFor(u, body, s.Device))
 }
 
 // noteFault counts one injected fault served to a client.
@@ -119,15 +282,27 @@ func (s *Server) noteFault(kind, url string) {
 	}
 }
 
-// Drain gracefully shuts the HTTP/2 side down: GOAWAY on every connection,
-// in-flight streams get up to timeout to finish, new streams are refused
-// retryably. The caller closes its listener.
-func (s *Server) Drain(timeout time.Duration) { s.h2srv.Drain(timeout) }
+// Drain gracefully shuts the serving path down: the admission gate sheds
+// its queue and refuses new work, the HTTP/2 side sends GOAWAY on every
+// connection (in-flight streams get up to timeout to finish, new streams
+// are refused retryably), and the hint store cancels in-flight retraining
+// and checkpoints every shard. The caller closes its listener. The returned
+// checkpoints are nil when no store is attached.
+func (s *Server) Drain(timeout time.Duration) []hintstore.Checkpoint {
+	s.Gate.Drain()
+	s.h2srv.Drain(timeout)
+	return s.Store.Drain(timeout)
+}
 
 // ServeH1 implements h1.Handler: the same replay content over HTTP/1.1.
 // Dependency hints still work (Link headers predate HTTP/2) but there is
 // no push.
 func (s *Server) ServeH1(r *h2.Request) *h2.Response {
+	release, refusal := s.admit(r)
+	if refusal != nil {
+		return refusal
+	}
+	defer release()
 	if s.Cfg.ThinkTime > 0 {
 		time.Sleep(s.Cfg.ThinkTime)
 	}
@@ -151,18 +326,35 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 			Body: []byte("injected transient error")}
 	}
 	resp := &h2.Response{Status: 200, Header: map[string][]string{"content-type": {contentType(rec)}}, Body: s.body(rec)}
-	if rec.ResourceType() == webpage.HTML && s.Resolver != nil && s.Cfg.SendHints {
-		if u, err := rec.ParsedURL(); err == nil {
-			for name, vals := range hints.Format(s.staleify(s.Resolver.HintsFor(u, rec.Body, s.Device))) {
+	var degraded []string
+	if rec.ResourceType() == webpage.HTML && s.Cfg.SendHints {
+		if s.Gate.Level() >= overload.LevelShedHints {
+			degraded = append(degraded, DegradedShedHints)
+		} else if u, err := rec.ParsedURL(); err == nil {
+			for name, vals := range hints.Format(s.hintsFor(u, rec.Body, &degraded)) {
 				resp.Header[name] = vals
 			}
 		}
+	}
+	if len(degraded) > 0 {
+		resp.Header[HeaderDegraded] = []string{strings.Join(degraded, ", ")}
+		s.noteDegraded(degraded)
 	}
 	return resp
 }
 
 // ServeH2 implements h2.Handler.
 func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
+	release, refusal := s.admit(r)
+	if refusal != nil {
+		for name, vals := range refusal.Header {
+			w.Header()[name] = vals
+		}
+		w.WriteHeader(refusal.Status)
+		w.Write(refusal.Body)
+		return
+	}
+	defer release()
 	if s.Cfg.ThinkTime > 0 {
 		time.Sleep(s.Cfg.ThinkTime)
 	}
@@ -197,10 +389,16 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 	}
 
 	w.Header()["content-type"] = []string{contentType(rec)}
+	// The degradation ladder, read once per response: shed push first,
+	// hints next, never the response body itself.
+	level := s.Gate.Level()
+	var degraded []string
 	var hs []hints.Hint
-	if rec.ResourceType() == webpage.HTML && s.Resolver != nil && (s.Cfg.SendHints || s.Cfg.Push) {
-		if u, err := rec.ParsedURL(); err == nil {
-			hs = s.staleify(s.Resolver.HintsFor(u, rec.Body, s.Device))
+	if rec.ResourceType() == webpage.HTML && (s.Cfg.SendHints || s.Cfg.Push) {
+		if level >= overload.LevelShedHints {
+			degraded = append(degraded, DegradedShedHints)
+		} else if u, err := rec.ParsedURL(); err == nil {
+			hs = s.hintsFor(u, rec.Body, &degraded)
 		}
 	}
 	if s.Cfg.SendHints && len(hs) > 0 {
@@ -209,7 +407,19 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 		}
 	}
 	if s.Cfg.Push && len(hs) > 0 {
-		s.push(w, r, hs)
+		if level >= overload.LevelShedPush {
+			degraded = append(degraded, DegradedShedPush)
+		} else if dl := requestDeadline(r); !dl.IsZero() && time.Until(dl) < 10*time.Millisecond {
+			// The client is nearly out of budget: speculative bytes now
+			// would only compete with the response it is waiting for.
+			degraded = append(degraded, DegradedShedPush)
+		} else {
+			s.push(w, r, hs)
+		}
+	}
+	if len(degraded) > 0 {
+		w.Header()[HeaderDegraded] = []string{strings.Join(degraded, ", ")}
+		s.noteDegraded(degraded)
 	}
 	w.Write(s.body(rec))
 }
@@ -237,7 +447,7 @@ func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint) {
 			return // peer disabled push
 		}
 		s.mu.Lock()
-		s.Pushes++
+		s.pushes++
 		s.mu.Unlock()
 		s.mPush.Inc()
 		if s.trace.Enabled() {

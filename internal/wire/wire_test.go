@@ -75,7 +75,7 @@ func TestVroomLoadPushesAndHints(t *testing.T) {
 	if rep.Pushed == 0 {
 		t.Error("no resources were pushed")
 	}
-	if srv.Pushes == 0 {
+	if srv.Stats().Pushes == 0 {
 		t.Error("server reports zero pushes")
 	}
 	if len(rep.Fetches) < archive.Len()*8/10 {
