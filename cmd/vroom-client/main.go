@@ -23,12 +23,19 @@
 // into a Chrome trace-event file that chrome://tracing or ui.perfetto.dev
 // opens directly. -metrics-out dumps the client's metric registry
 // (counters, gauges, latency histograms) as JSON after the load.
+//
+// With -trace-propagate the client mints a per-load trace ID and sends it
+// (plus a per-fetch span ID) in the vroom-trace request header; a server
+// running with -trace adopts it. -trace-scrape then fetches the server's
+// /trace recording after the load and merges it (tracks prefixed "srv:")
+// into the -trace file, joined to the client's fetches by flow events.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -58,6 +65,8 @@ func main() {
 		deadline   = flag.Duration("deadline", 2*time.Minute, "whole-load deadline; a partial report is returned on expiry")
 		retries    = flag.Int("retries", 3, "max attempts per fetch (1 disables retries)")
 		traceOut   = flag.String("trace", "", "write a Perfetto (Chrome trace-event) trace of the load to this path")
+		propagate  = flag.Bool("trace-propagate", false, "send a per-load trace context in the vroom-trace header")
+		traceScr   = flag.String("trace-scrape", "", "server /trace URL; its recording is merged (tracks prefixed srv:) into -trace")
 		metricsOut = flag.String("metrics-out", "", "write the client metric registry as JSON to this path after the load")
 	)
 	flag.Parse()
@@ -107,6 +116,7 @@ func main() {
 		LoadDeadline:  *deadline,
 		Retry:         wire.RetryPolicy{MaxAttempts: *retries},
 		Trace:         tr,
+		Propagate:     *propagate,
 		Metrics:       reg,
 	}
 	if *proto == "h1" {
@@ -128,11 +138,20 @@ func main() {
 	}
 
 	if rec != nil {
-		if err := writeTrace(*traceOut, rec); err != nil {
+		snap := rec.Snapshot()
+		if *traceScr != "" {
+			srvRec, err := scrapeTrace(*traceScr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			snap = obs.Merge(snap, obs.PrefixTracks(srvRec, "srv:"))
+		}
+		if err := writeTrace(*traceOut, snap); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace: %s (%d events)\n", *traceOut, rec.Len())
+		fmt.Printf("trace: %s (%d events)\n", *traceOut, len(snap.Events))
 	}
 	if reg != nil {
 		if err := writeMetrics(*metricsOut, reg); err != nil {
@@ -171,12 +190,11 @@ func main() {
 
 // writeTrace exports the recorded load as a Perfetto file, validating the
 // JSON before it lands so a broken trace never reaches chrome://tracing.
-func writeTrace(path string, rec *obs.LiveRecording) error {
+func writeTrace(path string, snap *obs.Recording) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	snap := rec.Snapshot()
 	if err := obs.WritePerfetto(f, snap); err != nil {
 		f.Close()
 		return err
@@ -189,6 +207,20 @@ func writeTrace(path string, rec *obs.LiveRecording) error {
 		return err
 	}
 	return obs.CheckPerfetto(data)
+}
+
+// scrapeTrace fetches a /trace endpoint and parses its vroom-events body.
+func scrapeTrace(url string) (*obs.Recording, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("trace scrape %s: status %d", url, resp.StatusCode)
+	}
+	return obs.ReadEvents(resp.Body)
 }
 
 // writeMetrics dumps the registry as JSON.

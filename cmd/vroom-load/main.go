@@ -18,14 +18,31 @@
 // vroom-bench/v1 artifact written by -json-out, which vroom-benchdiff can
 // then gate against a committed baseline.
 //
+// Distributed tracing:
+//
+//	vroom-load -root ... -trace-out storm.json -trace-propagate \
+//	    -trace-scrape http://127.0.0.1:9090/trace -flight-dir flight/
+//
+// -trace-out records every load's client-side spans into one storm
+// recording, exported as a validated Perfetto file. -trace-propagate mints
+// a per-load trace ID sent in the vroom-trace header; with -trace-scrape
+// the server's recording (it must run with -trace) is fetched after the
+// storm, its tracks prefixed "srv:", and merged under the clients' — the
+// run fails unless at least one fetch's flow joins both sides.
+// -flight-dir arms a bounded per-load flight recorder whose ring is dumped
+// there as a vroom-events artifact only for loads that end degraded,
+// failed, past deadline, or hung.
+//
 // Exit status: 0 on success; 1 when a load hung, when -require-degraded
-// tokens were not all observed, or when the scrape was unreachable.
+// tokens were not all observed, when the scrape was unreachable, or when
+// the merged trace failed validation (or joined no cross-process flow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -35,6 +52,7 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/loadgen"
 	"vroom/internal/netem"
+	"vroom/internal/obs"
 	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 )
@@ -52,6 +70,11 @@ func main() {
 		jsonOut     = flag.String("json-out", "", "write a vroom-bench/v1 artifact to this path")
 		scrapeURL   = flag.String("scrape", "", "server /metrics URL to scrape after the storm")
 		requireRaw  = flag.String("require-degraded", "", "comma-separated degradation tokens that must be observed (e.g. stale-hints,shed-push)")
+		traceOut    = flag.String("trace-out", "", "write a validated Perfetto trace of the storm to this path")
+		traceScrape = flag.String("trace-scrape", "", "server /trace URL; its recording is merged (tracks prefixed srv:) into -trace-out")
+		propagate   = flag.Bool("trace-propagate", false, "mint per-load trace IDs and send them in the vroom-trace header")
+		flightDir   = flag.String("flight-dir", "", "dump per-load flight-recorder rings here for loads that end degraded, failed, late, or hung")
+		flightEvts  = flag.Int("flight-events", 0, "flight-ring capacity per track (default 256)")
 	)
 	flag.Parse()
 	if *rootRaw == "" {
@@ -80,18 +103,38 @@ func main() {
 		}
 	}
 
+	var storm *obs.LiveRecording
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		storm = &obs.LiveRecording{Start: time.Now()}
+		tr = obs.NewWall(storm)
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	reg := telemetry.NewRegistry()
 	res := loadgen.Run(loadgen.Config{
-		Root:        root,
-		Loads:       *loads,
-		Concurrency: *concurrency,
-		Seed:        *seed,
-		Dial:        dial,
-		Metrics:     reg,
-		HangGrace:   *grace,
+		Root:         root,
+		Loads:        *loads,
+		Concurrency:  *concurrency,
+		Seed:         *seed,
+		Dial:         dial,
+		Metrics:      reg,
+		HangGrace:    *grace,
+		Trace:        tr,
+		Propagate:    *propagate,
+		FlightDir:    *flightDir,
+		FlightEvents: *flightEvts,
 	})
 
 	printSummary(res)
+	if *flightDir != "" {
+		fmt.Printf("flight: %d dump(s) in %s\n", len(res.FlightDumps), *flightDir)
+	}
 
 	failed := false
 	if res.Hung > 0 {
@@ -101,6 +144,13 @@ func main() {
 	for _, tok := range splitTokens(*requireRaw) {
 		if res.DegradedModes[tok] == 0 {
 			fmt.Fprintf(os.Stderr, "FAIL: required degradation mode %q never observed\n", tok)
+			failed = true
+		}
+	}
+
+	if storm != nil {
+		if err := exportTrace(*traceOut, *traceScrape, *propagate, storm); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: trace: %v\n", err)
 			failed = true
 		}
 	}
@@ -158,6 +208,98 @@ func printSummary(res *loadgen.Result) {
 		fmt.Printf("  %-20s n=%-4d p50=%7.1fms p95=%7.1fms\n",
 			cl, len(ms), percentile(ms, 50), percentile(ms, 95))
 	}
+}
+
+// exportTrace merges the storm's client recording with the server's /trace
+// scrape (when given) and writes one validated Perfetto file. With
+// propagation on and a server recording in hand, at least one fetch flow
+// must join both processes or the export fails — the cross-process gate CI
+// pins.
+func exportTrace(path, scrape string, propagate bool, storm *obs.LiveRecording) error {
+	merged := storm.Snapshot()
+	if scrape != "" {
+		srvRec, err := scrapeTrace(scrape)
+		if err != nil {
+			return err
+		}
+		merged = obs.Merge(merged, obs.PrefixTracks(srvRec, "srv:"))
+		if propagate {
+			n := crossProcessJoins(merged)
+			if n == 0 {
+				return fmt.Errorf("no fetch flow joined client and server spans")
+			}
+			fmt.Printf("trace: %d cross-process flow join(s)\n", n)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePerfetto(f, merged); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.CheckPerfetto(data); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s (%d events)\n", path, len(merged.Events))
+	return nil
+}
+
+// scrapeTrace fetches a /trace endpoint and parses its vroom-events body.
+func scrapeTrace(url string) (*obs.Recording, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	return obs.ReadEvents(resp.Body)
+}
+
+// crossProcessJoins counts distinct flow IDs seen on Begin events both on a
+// server-side ("srv:"-prefixed) track and a client-side one — fetches whose
+// propagated context the server demonstrably adopted. (obs.FlowJoinCount is
+// looser: client-internal track crossings also count there.)
+func crossProcessJoins(rec *obs.Recording) int {
+	type sides struct{ client, server bool }
+	flows := make(map[string]*sides)
+	for _, ev := range rec.Events {
+		if ev.Kind != obs.KindBegin {
+			continue
+		}
+		flow := ev.Arg(obs.ArgFlow)
+		if flow == "" {
+			continue
+		}
+		s := flows[flow]
+		if s == nil {
+			s = &sides{}
+			flows[flow] = s
+		}
+		if strings.HasPrefix(ev.Track, "srv:") {
+			s.server = true
+		} else {
+			s.client = true
+		}
+	}
+	n := 0
+	for _, s := range flows {
+		if s.client && s.server {
+			n++
+		}
+	}
+	return n
 }
 
 // scrapeServer reads the server's /metrics and distills the serving-side

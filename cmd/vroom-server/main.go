@@ -29,8 +29,17 @@
 // With -telemetry-addr the server also runs a plain net/http sidecar
 // exposing /metrics (Prometheus text), /healthz (liveness), /readyz
 // (readiness: every tenant trained and not draining), and the standard
-// /debug/pprof/ endpoints. The sidecar is observability-only — replay
-// traffic never touches it.
+// /debug/pprof/ endpoints. With -trace the serving path additionally
+// records wall-clock spans (admission wait, hint lookup, degradation
+// decisions, pushes) adopting any trace context clients propagate in the
+// vroom-trace header; /trace on the sidecar serves the recording as
+// vroom-events JSON for a client to merge with its own. The sidecar is
+// observability-only — replay traffic never touches it.
+//
+// All operational output is structured (log/slog): -log-format selects
+// text or json, -log-level the threshold. Message values are single words
+// (msg=trained, msg=checkpoint, msg=drained) so pipelines can grep
+// structurally in either format.
 package main
 
 import (
@@ -49,6 +58,8 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/h1"
 	"vroom/internal/hintstore"
+	"vroom/internal/logutil"
+	"vroom/internal/obs"
 	"vroom/internal/overload"
 	"vroom/internal/replay"
 	"vroom/internal/telemetry"
@@ -79,7 +90,10 @@ func main() {
 		faultsRaw   = flag.String("faults", "none", "server-side fault regime: none, mild, or severe")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault plan (same seed => same injected faults)")
 		drain       = flag.Duration("drain", 3*time.Second, "graceful-drain budget for in-flight streams on SIGTERM")
-		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /readyz, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		telAddr     = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /readyz, /trace, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		traceOn     = flag.Bool("trace", false, "record serving-path spans (adopting propagated vroom-trace contexts); scrape them at /trace on -telemetry-addr")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 
 		hintTTL  = flag.Duration("hint-ttl", time.Hour, "hint-table freshness window before a background retrain")
 		maxStale = flag.Duration("max-stale", 0, "age past which hints are shed instead of served stale (default 4x -hint-ttl)")
@@ -90,6 +104,12 @@ func main() {
 		maxWait  = flag.Duration("max-wait", time.Second, "longest a request waits for admission before shedding")
 	)
 	flag.Parse()
+
+	log, err := logutil.New(os.Stdout, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	at := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
 	device := webpage.PhoneSmall
@@ -109,7 +129,7 @@ func main() {
 	// warmup cost: readiness (the /readyz endpoint) is exactly "every shard
 	// has a published table".
 	store := hintstore.New(hintstore.Config{
-		TTL: *hintTTL, MaxStale: *maxStale, Workers: *workers,
+		TTL: *hintTTL, MaxStale: *maxStale, Workers: *workers, Log: log,
 	})
 	trainStart := time.Now()
 	for _, tn := range tenants {
@@ -119,16 +139,16 @@ func main() {
 			os.Exit(1)
 		}
 		hs, res := store.Lookup(tn.root, tn.body)
-		fmt.Printf("trained %s: %d hints for root, version %d, %.0f ms\n",
-			tn.origin, len(hs), res.Version, time.Since(t0).Seconds()*1000)
+		log.Info("trained", "origin", tn.origin, "hints", len(hs),
+			"version", res.Version, "ms", int(time.Since(t0).Milliseconds()))
 	}
-	fmt.Printf("hint store ready: %d tenant(s) trained in %.0f ms (ttl=%v workers=%d)\n",
-		store.Tenants(), time.Since(trainStart).Seconds()*1000, *hintTTL, *workers)
+	log.Info("store-ready", "tenants", store.Tenants(),
+		"ms", int(time.Since(trainStart).Milliseconds()), "ttl", hintTTL.String(), "workers", *workers)
 
 	var gate *overload.Gate
 	if *maxConc > 0 {
 		gate = overload.NewGate(overload.Config{
-			MaxConcurrent: *maxConc, MaxQueue: *maxQueue, MaxWait: *maxWait,
+			MaxConcurrent: *maxConc, MaxQueue: *maxQueue, MaxWait: *maxWait, Log: log,
 		})
 	}
 
@@ -137,6 +157,7 @@ func main() {
 	})
 	srv.Store = store
 	srv.Gate = gate
+	srv.Log = log
 	if regime != faults.RegimeNone {
 		plan := faults.New(*faultSeed, faults.RegimeConfig(regime))
 		// The root document must stay loadable or every run is a trivial
@@ -147,10 +168,23 @@ func main() {
 		srv.Faults = plan
 	}
 
+	// The serving-path tracer: -trace records every request's admission,
+	// hint, degradation, and push spans into one live recording; clients
+	// that propagate a vroom-trace context get their IDs adopted, so the
+	// /trace scrape merges cleanly under their own timeline.
+	var live *obs.LiveRecording
+	var tr *obs.Tracer
+	if *traceOn {
+		live = &obs.LiveRecording{Start: time.Now()}
+		tr = obs.NewWall(live)
+	}
+
 	var draining atomic.Bool
-	if *telAddr != "" {
+	if *telAddr == "" {
+		srv.Instrument(tr, nil)
+	} else {
 		reg := telemetry.NewRegistry()
-		srv.Instrument(nil, reg)
+		srv.Instrument(tr, reg)
 		// net/http/pprof registers its handlers on the default mux; put
 		// /metrics and the health endpoints there too so one listener serves
 		// the whole plane.
@@ -168,12 +202,20 @@ func main() {
 			}
 			fmt.Fprintln(w, "ready")
 		})
+		http.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			if live == nil {
+				http.Error(w, "tracing disabled (run with -trace)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			obs.WriteEvents(w, live.Snapshot())
+		})
 		tl, err := net.Listen("tcp", *telAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry: http://%s/metrics /healthz /readyz /debug/pprof/\n", tl.Addr())
+		log.Info("telemetry", "addr", tl.Addr().String(), "trace", *traceOn)
 		go http.Serve(tl, nil)
 	}
 
@@ -182,8 +224,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d resources (root %s) on %s  proto=%s hints=%v push=%v faults=%s gate=%d\n",
-		archive.Len(), archive.RootURL, l.Addr(), *proto, *sendHints, *push, regime, *maxConc)
+	log.Info("serving", "resources", archive.Len(), "root", archive.RootURL,
+		"addr", l.Addr().String(), "proto", *proto, "hints", *sendHints,
+		"push", *push, "faults", regime.String(), "gate", *maxConc)
 
 	h1srv := &h1.Server{Handler: srv, Overloaded: func() bool { return gate.Saturated() }}
 	serveErr := make(chan error, 1)
@@ -204,7 +247,7 @@ func main() {
 			os.Exit(1)
 		}
 	case s := <-sig:
-		fmt.Printf("%s: draining (up to %v for in-flight streams)\n", s, *drain)
+		log.Info("draining", "signal", s.String(), "budget", drain.String())
 		draining.Store(true)
 		l.Close()
 		var cps []hintstore.Checkpoint
@@ -216,10 +259,10 @@ func main() {
 			cps = srv.Drain(*drain)
 		}
 		for _, cp := range cps {
-			fmt.Printf("checkpoint %s: version %d (trained %s), %d lookups\n",
-				cp.Origin, cp.Version, cp.TrainedAt.Format(time.RFC3339), cp.Lookups)
+			log.Info("checkpoint", "origin", cp.Origin, "version", cp.Version,
+				"trained", cp.TrainedAt.Format(time.RFC3339), "lookups", cp.Lookups)
 		}
-		fmt.Println("drained")
+		log.Info("drained")
 	}
 }
 

@@ -93,7 +93,13 @@ func (p *Pool) RoundTripTimeout(req *h2.Request, header, stall time.Duration) (*
 	if traced {
 		start = time.Now()
 		if p.Trace.Enabled() {
-			sp = p.Trace.Begin(p.traceTrack(), "exchange", obs.Arg{Key: "path", Val: req.Path})
+			args := []obs.Arg{{Key: "path", Val: req.Path}}
+			if vals := req.Header[obs.TraceHeader]; len(vals) > 0 {
+				// Propagated trace context: stitch the exchange into the
+				// cross-process timeline by its fetch's flow ID.
+				args = append(args, obs.Arg{Key: obs.ArgFlow, Val: vals[0]})
+			}
+			sp = p.Trace.Begin(p.traceTrack(), "exchange", args...)
 		}
 	}
 	var timedOut atomic.Bool

@@ -242,7 +242,14 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 			in.bodyMs.Observe(float64(end.Sub(hdrAt)) / float64(time.Millisecond))
 		}
 		if in.trace.Enabled() {
-			rt := in.trace.BeginAt(start, in.track, "rt", obs.Arg{Key: "path", Val: req.Path})
+			rtArgs := []obs.Arg{{Key: "path", Val: req.Path}}
+			if vals := req.Header[obs.TraceHeader]; len(vals) > 0 {
+				// Propagated trace context: tag the round trip with the
+				// fetch's flow ID so transport spans stitch into the
+				// cross-process timeline.
+				rtArgs = append(rtArgs, obs.Arg{Key: obs.ArgFlow, Val: vals[0]})
+			}
+			rt := in.trace.BeginAt(start, in.track, "rt", rtArgs...)
 			hs := in.trace.BeginAt(start, in.track, "headers")
 			hs.EndAt(hdrAt)
 			bs := in.trace.BeginAt(hdrAt, in.track, "body")

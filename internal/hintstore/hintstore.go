@@ -22,6 +22,7 @@ package hintstore
 
 import (
 	"errors"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,9 @@ type Config struct {
 	QueueDepth int
 	// Clock supplies time for tests; nil means time.Now.
 	Clock func() time.Time
+	// Log, when non-nil, receives structured store events: retrain swaps
+	// and dropped retrains at Debug, evictions and drain at Info.
+	Log *slog.Logger
 }
 
 func (c Config) ttl() time.Duration {
@@ -301,6 +305,10 @@ func (st *Store) evictColdestLocked() {
 		}
 		delete(st.tenants, coldest.origin)
 		st.mEvict.Inc()
+		if st.cfg.Log != nil {
+			st.cfg.Log.Info("tenant evicted", "origin", coldest.origin,
+				"lookups", coldest.lookups.Load())
+		}
 	}
 }
 
@@ -358,6 +366,9 @@ func (st *Store) requestRetrain(sh *shard) {
 	default:
 		sh.retraining.Store(false)
 		st.mQFull.Inc()
+		if st.cfg.Log != nil {
+			st.cfg.Log.Debug("retrain dropped", "origin", sh.origin, "reason", "queue-full")
+		}
 	}
 }
 
@@ -397,6 +408,9 @@ func (st *Store) retrain(sh *shard) {
 	sh.cur.Store(&table{version: version, trainedAt: st.clock(), resolver: r, device: sh.device})
 	st.mRetrains.Inc()
 	st.mSwaps.Inc()
+	if st.cfg.Log != nil {
+		st.cfg.Log.Debug("table swapped", "origin", sh.origin, "version", version)
+	}
 }
 
 // Ready reports whether every registered tenant has a published table and
@@ -469,6 +483,9 @@ func (st *Store) Drain(timeout time.Duration) []Checkpoint {
 		cps = append(cps, cp)
 	}
 	sort.Slice(cps, func(i, j int) bool { return cps[i].Origin < cps[j].Origin })
+	if st.cfg.Log != nil {
+		st.cfg.Log.Info("store drained", "tenants", len(cps))
+	}
 	return cps
 }
 

@@ -14,13 +14,18 @@
 package loadgen
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"vroom/internal/h1"
+	"vroom/internal/obs"
 	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
@@ -87,6 +92,20 @@ type Config struct {
 	HangGrace time.Duration
 	// Retry tunes per-fetch retries (default: 3 attempts, fast backoff).
 	Retry wire.RetryPolicy
+	// Trace, when set, records every load's spans into one shared storm
+	// recording (it must come from obs.NewWall — loads emit concurrently).
+	Trace *obs.Tracer
+	// Propagate mints a per-load trace ID on each client and sends it in
+	// the request header, so server-side spans stitch to the client's.
+	Propagate bool
+	// FlightDir, when set, arms a per-load flight recorder: each load keeps
+	// a bounded ring of its most recent events, dumped to this directory as
+	// a vroom-events artifact only when the load ends degraded, failed,
+	// past deadline, or hung.
+	FlightDir string
+	// FlightEvents sizes each flight ring per track (default
+	// obs.DefaultFlightEvents).
+	FlightEvents int
 }
 
 func (c Config) loads() int {
@@ -134,6 +153,9 @@ type Sample struct {
 	Pushed      int
 	DeadlineHit bool
 	Hung        bool
+	// FlightDump is the path of the flight-recorder artifact this load
+	// dumped, empty when the load ended clean (or FlightDir was unset).
+	FlightDump string
 
 	// modes and retries ride unexported so Run can fold them into the
 	// aggregate without a second report walk.
@@ -160,8 +182,11 @@ type Result struct {
 	DegradedModes map[string]int
 	// ByClass holds per-class load wall times in milliseconds.
 	ByClass map[string][]float64
-	Samples []Sample
-	Elapsed time.Duration
+	// FlightDumps lists the flight-recorder artifacts written by loads that
+	// ended degraded, failed, past deadline, or hung.
+	FlightDumps []string
+	Samples     []Sample
+	Elapsed     time.Duration
 }
 
 // Run executes the storm and blocks until every load returns or trips the
@@ -208,7 +233,7 @@ func Run(cfg Config) *Result {
 			defer wg.Done()
 			for i := range jobs {
 				cl, root := pick(i)
-				s := runOne(cfg, cl, root)
+				s := runOne(cfg, i, cl, root)
 				mu.Lock()
 				res.Samples[i] = s
 				if s.Hung {
@@ -218,6 +243,9 @@ func Run(cfg Config) *Result {
 				}
 				if s.DeadlineHit {
 					res.DeadlineHit++
+				}
+				if s.FlightDump != "" {
+					res.FlightDumps = append(res.FlightDumps, s.FlightDump)
 				}
 				res.Fetches += s.Fetches
 				res.FailedFetches += s.Failed
@@ -248,7 +276,7 @@ func Run(cfg Config) *Result {
 }
 
 // runOne performs a single page load for one class under the hang watchdog.
-func runOne(cfg Config, cl ClientClass, root urlutil.URL) Sample {
+func runOne(cfg Config, idx int, cl ClientClass, root urlutil.URL) Sample {
 	c := &wire.Client{
 		Staged:        cl.Staged,
 		DialTimeout:   2 * time.Second,
@@ -257,6 +285,21 @@ func runOne(cfg Config, cl ClientClass, root urlutil.URL) Sample {
 		LoadDeadline:  cl.LoadDeadline,
 		Retry:         cfg.retry(),
 		Metrics:       cfg.Metrics,
+		Trace:         cfg.Trace,
+		Propagate:     cfg.Propagate,
+	}
+	// Arm the flight recorder: a bounded black box that rides along and is
+	// dumped only when the load ends badly. Forking keeps the shared storm
+	// recording (when any) and the ring fed by one tracer with one span-ID
+	// space; without a storm tracer the ring is the only sink.
+	var flight *obs.FlightRecorder
+	if cfg.FlightDir != "" {
+		flight = obs.NewFlightRecorder(cfg.FlightEvents)
+		if cfg.Trace != nil {
+			c.Trace = cfg.Trace.Fork(flight)
+		} else {
+			c.Trace = obs.NewWall(flight)
+		}
 	}
 	if cl.Proto == "h1" {
 		c.DialOrigin = func(origin string) (wire.OriginConn, error) {
@@ -297,23 +340,65 @@ func runOne(cfg Config, cl ClientClass, root urlutil.URL) Sample {
 		}
 		s.modes = make(map[string]int)
 		for _, f := range o.rep.Fetches {
+			seen := false
 			if f.Degraded != "" {
 				for _, mode := range strings.Split(f.Degraded, ",") {
-					s.modes[strings.TrimSpace(mode)]++
+					mode = strings.TrimSpace(mode)
+					s.modes[mode]++
+					seen = seen || mode == wire.DegradedShedRequest
 				}
 			}
-			// Admission 503s surface as failed/retried fetches; tag them so
-			// shed-request pressure is visible even when retries recover.
-			if f.Status == 503 && f.Failed() {
+			// Admission 503s whose response lost the degraded header (an
+			// injected fault, a mid-write cut) still mean shed-request
+			// pressure; count them unless the record already carries the
+			// token — Degraded now unions all attempts, so a tagged retry
+			// must not be counted twice.
+			if f.Status == 503 && f.Failed() && !seen {
 				s.modes[wire.DegradedShedRequest]++
 			}
 		}
 		s.retries = o.rep.Retries
+		if flight != nil && (s.Failed > 0 || s.Degraded > 0 || s.DeadlineHit) {
+			s.FlightDump = dumpFlight(cfg, flight, idx, cl.Name, started)
+		}
 		return s
 	case <-watchdog.C:
 		// The load goroutine leaked past its own deadline: the exact bug
 		// this generator exists to catch. Leave it behind and report.
-		return Sample{Class: cl.Name, Hung: true,
+		s := Sample{Class: cl.Name, Hung: true,
 			Ms: float64(time.Since(started)) / float64(time.Millisecond)}
+		if flight != nil {
+			// The leaked goroutine may still be emitting; Snapshot is safe
+			// against live writers, and a hung load's black box is exactly
+			// the artifact worth keeping.
+			s.FlightDump = dumpFlight(cfg, flight, idx, cl.Name, started)
+		}
+		return s
 	}
+}
+
+// dumpFlight writes one load's flight-ring snapshot as a vroom-events
+// artifact and returns its path ("" when there is nothing to dump or the
+// write fails — a dump must never fail the storm).
+func dumpFlight(cfg Config, flight *obs.FlightRecorder, idx int, class string, started time.Time) string {
+	events, dropped := flight.Snapshot()
+	if len(events) == 0 {
+		return ""
+	}
+	if dropped > 0 {
+		// Make ring eviction visible in the artifact itself.
+		events = append(events, obs.Event{Kind: obs.KindInstant, Track: "flight",
+			Name: "events-dropped", At: events[len(events)-1].At,
+			Args: []obs.Arg{{Key: "count", Val: strconv.FormatUint(dropped, 10)}}})
+	}
+	path := filepath.Join(cfg.FlightDir, fmt.Sprintf("flight-%04d-%s.json", idx, class))
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	if err := obs.WriteEvents(f, &obs.Recording{Start: started, Events: events}); err != nil {
+		return ""
+	}
+	return path
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -138,11 +139,16 @@ func (s *Scrape) Sum(family string, match map[string]string) float64 {
 // HistogramQuantile estimates the p-th percentile (0 < p <= 100) of a
 // scraped histogram family by linear interpolation over its cumulative
 // le-buckets (all label sets of the family summed together). Returns 0 when
-// the family is empty.
+// the family is empty; the estimate is always finite and clamped into its
+// bucket, so sparse (0- or 1-sample) histograms can never yield NaN or a
+// value outside the observed bucket range.
 func (s *Scrape) HistogramQuantile(family string, p float64) float64 {
 	cum := make(map[float64]float64)
 	var inf float64
 	for _, smp := range s.samples[family+"_bucket"] {
+		if math.IsNaN(smp.value) {
+			continue
+		}
 		le := smp.labels["le"]
 		if le == "+Inf" {
 			inf += smp.value
@@ -154,8 +160,14 @@ func (s *Scrape) HistogramQuantile(family string, p float64) float64 {
 		}
 		cum[b] += smp.value
 	}
-	if inf == 0 {
+	if inf <= 0 {
 		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	if p < 0 {
+		p = 0
 	}
 	bounds := make([]float64, 0, len(cum))
 	for b := range cum {
@@ -166,11 +178,26 @@ func (s *Scrape) HistogramQuantile(family string, p float64) float64 {
 	prevBound, prevCum := 0.0, 0.0
 	for _, b := range bounds {
 		c := cum[b]
+		// A scrape racing updates (or a malformed exposition) can yield a
+		// non-monotone cumulative series; clamp it so the interpolation
+		// denominator stays non-negative.
+		if c < prevCum {
+			c = prevCum
+		}
 		if c >= target {
 			if c == prevCum {
 				return b
 			}
-			return prevBound + (b-prevBound)*(target-prevCum)/(c-prevCum)
+			v := prevBound + (b-prevBound)*(target-prevCum)/(c-prevCum)
+			// Clamp into the bucket: with one sample (or degenerate
+			// counts) the raw interpolation can land outside [prev, b].
+			if v < prevBound || math.IsNaN(v) {
+				v = prevBound
+			}
+			if v > b {
+				v = b
+			}
+			return v
 		}
 		prevBound, prevCum = b, c
 	}

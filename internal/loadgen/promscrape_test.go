@@ -64,6 +64,89 @@ func TestHistogramQuantileInterpolation(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileSparse pins the sparse-histogram contract: 0- and
+// 1-sample expositions (and degenerate ones) must yield finite, clamped
+// estimates, never NaN.
+func TestHistogramQuantileSparse(t *testing.T) {
+	quantile := func(t *testing.T, exposition string, fam string, p float64) float64 {
+		t.Helper()
+		sc, err := ParseProm(strings.NewReader(exposition))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sc.HistogramQuantile(fam, p)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("quantile(%s, p%v) = %v, want finite", fam, p, got)
+		}
+		return got
+	}
+
+	// Empty: every bucket zero (a registered histogram before any Observe).
+	empty := `m_bucket{le="1"} 0
+m_bucket{le="5"} 0
+m_bucket{le="+Inf"} 0
+m_count 0
+`
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := quantile(t, empty, "m", p); got != 0 {
+			t.Errorf("empty histogram p%v = %v, want 0", p, got)
+		}
+	}
+
+	// One sample in one finite bucket: every percentile must land inside
+	// that bucket.
+	one := `m_bucket{le="1"} 0
+m_bucket{le="5"} 1
+m_bucket{le="+Inf"} 1
+m_count 1
+`
+	for _, p := range []float64{1, 50, 99, 100} {
+		got := quantile(t, one, "m", p)
+		if got < 1 || got > 5 {
+			t.Errorf("1-sample p%v = %v, want within [1, 5]", p, got)
+		}
+	}
+
+	// One sample past every finite bound: best estimate is the last bound.
+	tail := `m_bucket{le="1"} 0
+m_bucket{le="5"} 0
+m_bucket{le="+Inf"} 1
+m_count 1
+`
+	if got := quantile(t, tail, "m", 50); got != 5 {
+		t.Errorf("+Inf-only sample p50 = %v, want 5", got)
+	}
+
+	// Out-of-range p is clamped, not propagated into the interpolation.
+	if got := quantile(t, one, "m", 250); got < 1 || got > 5 {
+		t.Errorf("p250 = %v, want clamped within [1, 5]", got)
+	}
+	if got := quantile(t, one, "m", -10); got < 0 || got > 5 {
+		t.Errorf("p-10 = %v, want clamped within [0, 5]", got)
+	}
+
+	// A non-monotone cumulative series (scrape racing updates) must not
+	// produce a negative interpolation denominator.
+	skew := `m_bucket{le="1"} 3
+m_bucket{le="5"} 2
+m_bucket{le="+Inf"} 4
+m_count 4
+`
+	if got := quantile(t, skew, "m", 90); got < 0 || got > 5 {
+		t.Errorf("non-monotone p90 = %v, want within [0, 5]", got)
+	}
+
+	// NaN bucket values are skipped rather than poisoning the estimate.
+	nan := `m_bucket{le="1"} NaN
+m_bucket{le="5"} 1
+m_bucket{le="+Inf"} 1
+m_count 1
+`
+	if got := quantile(t, nan, "m", 50); got < 0 || got > 5 {
+		t.Errorf("NaN-bucket p50 = %v, want within [0, 5]", got)
+	}
+}
+
 // TestScrapeRoundTrip feeds a real telemetry registry exposition through the
 // parser, pinning the scraper to the format the server actually emits.
 func TestScrapeRoundTrip(t *testing.T) {

@@ -1,0 +1,39 @@
+// Package logutil builds the structured loggers the vroom commands share:
+// log/slog with a selectable handler (human-readable text or line-oriented
+// JSON) and level. Commands log one-word message values ("checkpoint",
+// "drained") so shell pipelines can grep structurally (msg=checkpoint)
+// regardless of the attribute set.
+package logutil
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// New builds a logger writing to w. format is "text" or "json"; level is
+// "debug", "info", "warn", or "error". Empty strings select text and info.
+func New(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logutil: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("logutil: unknown log format %q (want text or json)", format)
+	}
+}

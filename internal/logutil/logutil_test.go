@@ -1,0 +1,50 @@
+package logutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewFormatsAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("checkpoint", "origin", "www.example.com", "version", 3)
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("expected exactly one emitted line, got %q", buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("JSON handler emitted invalid JSON: %v (%q)", err, line)
+	}
+	if rec["msg"] != "checkpoint" || rec["origin"] != "www.example.com" {
+		t.Errorf("unexpected record %v", rec)
+	}
+
+	buf.Reset()
+	log, err = New(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("shed", "reason", "queue-overflow")
+	if !strings.Contains(buf.String(), "msg=shed") {
+		t.Errorf("text handler output %q lacks msg=shed", buf.String())
+	}
+
+	// Empty selectors default to text/info.
+	if _, err := New(&buf, "", ""); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if _, err := New(&buf, "yaml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := New(&buf, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

@@ -8,9 +8,11 @@ import (
 // CheckPerfetto validates rendered Chrome trace-event JSON against the
 // invariants a trace viewer depends on: the file parses, at least one event
 // exists, timestamps are non-negative and non-decreasing, every B has a
-// matching E on the same tid (proper nesting), and async b/e events pair up
-// per id. Tests and the CI telemetry job run it over both simulated and
-// live-wire traces.
+// matching E on the same tid (proper nesting), async b/e events pair up
+// per id, and flow events are well-formed (every "f" finish follows an "s"
+// start with the same id, and no start dangles without a finish). Tests
+// and the CI telemetry/load-smoke jobs run it over simulated, live-wire,
+// and cross-process merged traces.
 func CheckPerfetto(data []byte) error {
 	var tf struct {
 		TraceEvents []struct {
@@ -44,9 +46,12 @@ func CheckPerfetto(data []byte) error {
 		lastTs = ev.Ts
 	}
 
-	// Duration events nest per tid; async events pair per id.
+	// Duration events nest per tid; async events pair per id; flow
+	// finishes follow their start.
 	stacks := map[int][]string{}
 	async := map[string]int{}
+	flowStarts := map[string]bool{}
+	flowFinishes := map[string]int{}
 	for i, ev := range tf.TraceEvents {
 		switch ev.Ph {
 		case "B":
@@ -64,6 +69,16 @@ func CheckPerfetto(data []byte) error {
 			if async[ev.ID] < 0 {
 				return fmt.Errorf("obs: event %d: async end %q id %s before its begin", i, ev.Name, ev.ID)
 			}
+		case "s":
+			if flowStarts[ev.ID] {
+				return fmt.Errorf("obs: event %d: duplicate flow start id %s", i, ev.ID)
+			}
+			flowStarts[ev.ID] = true
+		case "f":
+			if !flowStarts[ev.ID] {
+				return fmt.Errorf("obs: event %d: flow finish id %s before its start", i, ev.ID)
+			}
+			flowFinishes[ev.ID]++
 		}
 	}
 	for tid, st := range stacks {
@@ -74,6 +89,11 @@ func CheckPerfetto(data []byte) error {
 	for id, n := range async {
 		if n != 0 {
 			return fmt.Errorf("obs: async id %s: %d unmatched begins", id, n)
+		}
+	}
+	for id := range flowStarts {
+		if flowFinishes[id] == 0 {
+			return fmt.Errorf("obs: flow id %s: start with no finish", id)
 		}
 	}
 	return nil

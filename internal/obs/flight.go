@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightRecorder is a bounded, lock-free Sink holding the most recent
+// events per track — the black box a load carries so that when it ends
+// degraded, faulted, or past deadline, the last moments of every track
+// (the load timeline, each connection, the scheduler) can be dumped
+// without having recorded the whole flight.
+//
+// One ring per track, so a chatty connection cannot evict the load
+// track's sparse-but-critical events. Emit is wait-free after a track's
+// first event: claim a slot with one atomic add, publish with one atomic
+// pointer store. Snapshot may run concurrently with emitters — a slot
+// mid-overwrite yields either the old or the new event, never a torn one.
+type FlightRecorder struct {
+	perTrack int
+	tracks   sync.Map // track name -> *flightRing
+}
+
+// DefaultFlightEvents is the per-track ring capacity when none is given:
+// enough for a whole small load, and the tail of a pathological one.
+const DefaultFlightEvents = 256
+
+// NewFlightRecorder builds a recorder keeping the last perTrack events of
+// each track (rounded up to a power of two; <= 0 means
+// DefaultFlightEvents).
+func NewFlightRecorder(perTrack int) *FlightRecorder {
+	if perTrack <= 0 {
+		perTrack = DefaultFlightEvents
+	}
+	size := 1
+	for size < perTrack {
+		size <<= 1
+	}
+	return &FlightRecorder{perTrack: size}
+}
+
+// flightRing is one track's bounded event ring.
+type flightRing struct {
+	n     atomic.Uint64 // total events ever claimed on this track
+	slots []atomic.Pointer[Event]
+}
+
+// Emit implements Sink.
+func (f *FlightRecorder) Emit(ev Event) {
+	v, ok := f.tracks.Load(ev.Track)
+	if !ok {
+		v, _ = f.tracks.LoadOrStore(ev.Track,
+			&flightRing{slots: make([]atomic.Pointer[Event], f.perTrack)})
+	}
+	ring := v.(*flightRing)
+	idx := ring.n.Add(1) - 1
+	e := ev
+	ring.slots[idx&uint64(len(ring.slots)-1)].Store(&e)
+}
+
+// Snapshot returns every retained event, sorted by time (ties keep slot
+// order), plus the count of events that were evicted from their rings. It
+// is safe to call while emitters are still running; events published after
+// the walk starts may or may not appear.
+func (f *FlightRecorder) Snapshot() (events []Event, dropped uint64) {
+	f.tracks.Range(func(_, v any) bool {
+		ring := v.(*flightRing)
+		n := ring.n.Load()
+		if n > uint64(len(ring.slots)) {
+			dropped += n - uint64(len(ring.slots))
+		}
+		for i := range ring.slots {
+			if p := ring.slots[i].Load(); p != nil {
+				events = append(events, *p)
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At.Before(events[j].At) })
+	return events, dropped
+}

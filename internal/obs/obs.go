@@ -158,15 +158,17 @@ func (r *LiveRecording) Snapshot() *Recording {
 // concurrent use — the live wire stack emits from fetch goroutines, read
 // loops, and handler goroutines at once.
 type Tracer struct {
-	now    func() time.Time
-	sink   Sink
-	nextID atomic.Uint64
+	now  func() time.Time
+	sink Sink
+	// ids is shared between a tracer and its Forks so span IDs stay unique
+	// across every recording they feed.
+	ids *atomic.Uint64
 }
 
 // New builds a tracer over a virtual clock source and a sink. now is
 // typically the event engine's Now; emission is single-goroutine.
 func New(now func() time.Time, sink Sink) *Tracer {
-	return &Tracer{now: now, sink: sink}
+	return &Tracer{now: now, sink: sink, ids: new(atomic.Uint64)}
 }
 
 // NewWall builds a tracer over the monotonic wall clock for live wire
@@ -174,7 +176,29 @@ func New(now func() time.Time, sink Sink) *Tracer {
 // and the sink is serialized behind a lock, so a plain Recording can
 // collect events from many goroutines.
 func NewWall(sink Sink) *Tracer {
-	return &Tracer{now: time.Now, sink: &lockedSink{sink: sink}}
+	return &Tracer{now: time.Now, sink: &lockedSink{sink: sink}, ids: new(atomic.Uint64)}
+}
+
+// Fork derives a tracer that emits every event both to the receiver's sink
+// and to extra, sharing the receiver's clock and span-ID allocator — so
+// recordings collected from a tracer and any of its forks can be merged
+// without ID collisions. The per-load flight recorder is the intended
+// extra sink. extra must be safe for the same concurrency as the parent's
+// sink (it is NOT wrapped in a lock; the lock-free FlightRecorder
+// qualifies). Forking a nil tracer returns nil.
+func (t *Tracer) Fork(extra Sink) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{now: t.now, sink: teeSink{a: t.sink, b: extra}, ids: t.ids}
+}
+
+// teeSink fans one emission out to two sinks.
+type teeSink struct{ a, b Sink }
+
+func (s teeSink) Emit(ev Event) {
+	s.a.Emit(ev)
+	s.b.Emit(ev)
 }
 
 // lockedSink serializes Emit for tracers shared across goroutines.
@@ -209,7 +233,7 @@ func (t *Tracer) BeginAt(at time.Time, track, name string, args ...Arg) Span {
 	if t == nil {
 		return Span{}
 	}
-	id := t.nextID.Add(1)
+	id := t.ids.Add(1)
 	t.sink.Emit(Event{Kind: KindBegin, Track: track, Name: name, At: at, ID: id, Args: args})
 	return Span{t: t, id: id, track: track, name: name}
 }
@@ -242,6 +266,11 @@ type Span struct {
 // Active reports whether the span will record its End (i.e. tracing was
 // enabled when it began).
 func (s Span) Active() bool { return s.t != nil }
+
+// ID returns the span's event ID — the value that links its Begin to its
+// End, and the per-fetch component of a propagated trace context. Zero for
+// the inactive span.
+func (s Span) ID() uint64 { return s.id }
 
 // End closes the span at the current time.
 func (s Span) End(args ...Arg) {

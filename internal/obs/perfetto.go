@@ -19,6 +19,7 @@ type traceEvent struct {
 	Cat  string            `json:"cat,omitempty"`
 	ID   string            `json:"id,omitempty"`
 	S    string            `json:"s,omitempty"`
+	Bp   string            `json:"bp,omitempty"`
 	Args map[string]string `json:"args,omitempty"`
 	// seq is the generation order (outer spans before inner), used only to
 	// break ts ties so same-tid B/E sequences stay properly nested.
@@ -119,6 +120,49 @@ func WritePerfetto(w io.Writer, rec *Recording) error {
 			Pid: tracePid, Tid: tid(ev.Track), S: "t", Args: argMap(ev.Args)})
 	}
 
+	// Flow events stitch spans sharing a propagated ArgFlow value (one
+	// client fetch and the server work it caused, see tracecontext.go): the
+	// earliest span anchors an "s" start, every later one an "f" finish
+	// bound to its enclosing slice (bp "e"). Flow IDs seen on only one span
+	// — the other side wasn't traced or wasn't merged in — emit nothing, so
+	// the file never carries a dangling flow start.
+	flows := make(map[string][]int)
+	var flowOrder []string
+	for i := range spans {
+		f := ""
+		for _, a := range spans[i].beginArgs {
+			if a.Key == ArgFlow {
+				f = a.Val
+				break
+			}
+		}
+		if f == "" {
+			continue
+		}
+		if len(flows[f]) == 0 {
+			flowOrder = append(flowOrder, f)
+		}
+		flows[f] = append(flows[f], i)
+	}
+	for _, f := range flowOrder {
+		idxs := flows[f]
+		if len(idxs) < 2 {
+			continue
+		}
+		for k, i := range idxs {
+			sp := spans[i]
+			ev := traceEvent{Name: "flow", Ts: us(sp.from), Pid: tracePid,
+				Tid: tid(sp.track), Cat: "vroom-flow", ID: f, seq: i}
+			if k == 0 {
+				ev.Ph = "s"
+			} else {
+				ev.Ph = "f"
+				ev.Bp = "e"
+			}
+			evs = append(evs, ev)
+		}
+	}
+
 	// Global ts order. Ties: closes before opens; among closes the
 	// inner span (later seq) first, among opens the outer span (earlier
 	// seq) first — keeping same-tid B/E sequences properly nested.
@@ -155,6 +199,10 @@ func phRank(ph string) int {
 		return 0
 	case "i":
 		return 1
+	case "s":
+		return 3 // flow start: after the B it anchors to
+	case "f":
+		return 4 // flow finish: after its own B, and after any same-ts "s"
 	default: // B, b
 		return 2
 	}

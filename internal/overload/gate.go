@@ -15,6 +15,7 @@ package overload
 
 import (
 	"errors"
+	"log/slog"
 	"sync"
 	"time"
 )
@@ -65,6 +66,9 @@ type Config struct {
 	// MaxWait bounds one request's time in the queue when it carries no
 	// deadline of its own (default 1s).
 	MaxWait time.Duration
+	// Log, when non-nil, receives structured gate events: individual sheds
+	// at Debug, drain at Info.
+	Log *slog.Logger
 }
 
 func (c Config) maxConcurrent() int {
@@ -184,6 +188,9 @@ func (g *Gate) abandon(w *waiter) {
 			g.queue = append(g.queue[:i], g.queue[i+1:]...)
 			g.shedTotal++
 			g.mu.Unlock()
+			if g.cfg.Log != nil {
+				g.cfg.Log.Debug("request shed", "reason", "wait-expired")
+			}
 			return
 		}
 	}
@@ -202,6 +209,9 @@ func (g *Gate) noteShed() {
 	g.mu.Lock()
 	g.shedTotal++
 	g.mu.Unlock()
+	if g.cfg.Log != nil {
+		g.cfg.Log.Debug("request shed", "reason", "queue-overflow")
+	}
 }
 
 // Release returns an admitted request's slot, handing it to the newest
@@ -269,6 +279,9 @@ func (g *Gate) Drain() {
 	g.mu.Unlock()
 	for _, w := range queued {
 		w.shed <- struct{}{}
+	}
+	if g.cfg.Log != nil {
+		g.cfg.Log.Info("gate draining", "shed_waiters", len(queued))
 	}
 }
 

@@ -96,6 +96,11 @@ type jsonHist struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// Exemplar names one concrete recent observation's trace context, so a
+	// distribution in a dump can be chased back to a specific load in the
+	// merged Perfetto trace. The Prometheus text endpoint deliberately
+	// omits exemplars: its consumers here are line-oriented parsers.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // jsonDump is the WriteJSON shape: series keyed by "name{labels}".
@@ -136,6 +141,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 						h.P50 = ss.s.hist.h.Quantile(50)
 						h.P90 = ss.s.hist.h.Quantile(90)
 						h.P99 = ss.s.hist.h.Quantile(99)
+						h.Exemplar = ss.s.hist.Exemplar()
 					}
 					dump.Histograms[key] = h
 				}

@@ -101,7 +101,22 @@ func (g *Gauge) Value() int64 {
 // Histogram is a sample-distribution series backed by the constant-memory
 // log-bucketed metrics.Histogram. A nil *Histogram no-ops. Values are in
 // the unit the caller observes; the wire stack records milliseconds.
-type Histogram struct{ h *metrics.Histogram }
+type Histogram struct {
+	h *metrics.Histogram
+	// ex is the latest exemplar: one (value, trace context) pair kept per
+	// series so a scrape can name a concrete recent trace behind the
+	// distribution. Exposed in the JSON dump only — the Prometheus text
+	// endpoint stays plain so simple line parsers keep working.
+	ex atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed sample to the trace it came from.
+type Exemplar struct {
+	Value float64
+	// Trace is the caller-supplied trace context string (an
+	// obs.TraceContext wire form on the wire stack).
+	Trace string
+}
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
@@ -109,6 +124,28 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.h.Observe(v)
+}
+
+// ObserveExemplar records one sample and, when trace is non-empty, stamps
+// it as the series' latest exemplar. With an empty trace it is exactly
+// Observe, so call sites can pass their possibly-empty flow ID
+// unconditionally.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	if h == nil {
+		return
+	}
+	h.h.Observe(v)
+	if trace != "" {
+		h.ex.Store(&Exemplar{Value: v, Trace: trace})
+	}
+}
+
+// Exemplar returns the latest exemplar, or nil when none was recorded.
+func (h *Histogram) Exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
 }
 
 // ObserveDuration records a duration sample in milliseconds.

@@ -226,3 +226,62 @@ func TestKindConflict(t *testing.T) {
 		t.Errorf("conflicting gauge leaked into exposition: %s", out)
 	}
 }
+
+// TestHistogramExemplar pins the exemplar contract: ObserveExemplar keeps
+// the latest non-empty trace, an empty trace is exactly Observe, the JSON
+// dump carries the exemplar, and the Prometheus text endpoint never does
+// (its consumers here are line-oriented parsers).
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vroom_wire_fetch_ms", L("outcome", "ok"))
+
+	h.ObserveExemplar(1.5, "")
+	if ex := h.Exemplar(); ex != nil {
+		t.Fatalf("empty trace stored an exemplar: %+v", ex)
+	}
+	h.ObserveExemplar(3.5, "00000000000000ab-0000000000000001")
+	h.ObserveExemplar(9.0, "00000000000000ab-0000000000000002")
+	ex := h.Exemplar()
+	if ex == nil || ex.Value != 9.0 || ex.Trace != "00000000000000ab-0000000000000002" {
+		t.Fatalf("latest exemplar not kept: %+v", ex)
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Histograms map[string]struct {
+			Count    uint64    `json:"count"`
+			Exemplar *Exemplar `json:"exemplar"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	series, ok := dump.Histograms[`vroom_wire_fetch_ms{outcome="ok"}`]
+	if !ok {
+		t.Fatalf("series missing from JSON dump: %s", js.String())
+	}
+	if series.Count != 3 {
+		t.Errorf("all three observations must count (exemplar or not), got %d", series.Count)
+	}
+	if series.Exemplar == nil || series.Exemplar.Trace != "00000000000000ab-0000000000000002" {
+		t.Errorf("JSON dump lost the exemplar: %+v", series.Exemplar)
+	}
+
+	var text bytes.Buffer
+	if err := r.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), "00000000000000ab") {
+		t.Errorf("Prometheus text exposition leaked an exemplar:\n%s", text.String())
+	}
+
+	// Nil-handle discipline matches the rest of the package.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "trace")
+	if nilH.Exemplar() != nil {
+		t.Error("nil histogram returned an exemplar")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vroom/internal/h2"
@@ -178,6 +180,13 @@ type Client struct {
 	// and redirect instants, breaker trips, push deliveries. Use
 	// obs.NewWall — fetches emit concurrently. Nil costs nothing.
 	Trace *obs.Tracer
+	// Propagate, with Trace set, mints a per-load trace ID and sends a
+	// per-fetch trace context to the server in the obs.TraceHeader request
+	// header; the fetch span carries the same context as obs.ArgFlow, so a
+	// server recording scraped from /trace can be merged into this load's
+	// and stitched by flow events. No-op without Trace (there are no spans
+	// to join); the disabled path stays allocation-free.
+	Propagate bool
 	// Metrics, when non-nil, feeds the live metrics plane: per-origin
 	// request/retry/failure/redirect counters, fetch-phase latency
 	// histograms, push utilization, breaker and connection gauges. Nil
@@ -203,6 +212,11 @@ type Client struct {
 	cancel      chan struct{}
 	finished    bool
 	lt          loadTelemetry
+
+	// traceID is the per-load trace identity (zero unless Propagate);
+	// fetchSeq numbers the fetch contexts minted under it.
+	traceID  uint64
+	fetchSeq atomic.Uint64
 }
 
 // originState is one origin's connection lifecycle: the live conn, the
@@ -228,6 +242,11 @@ type inflightFetch struct {
 	prio    hints.Priority
 	start   time.Time
 	retries int
+	// flow is the propagated trace context for this fetch — the
+	// obs.TraceHeader value sent on every attempt and the obs.ArgFlow value
+	// on the fetch span. Empty when propagation is off. Written once by the
+	// fetch goroutine before any attempt; never read by other goroutines.
+	flow string
 }
 
 type fetchJob struct {
@@ -243,6 +262,10 @@ type fetchOutcome struct {
 	timedOut  bool
 	redirects int
 	finalURL  urlutil.URL
+	// degraded is the union of vroom-degraded tokens seen on every
+	// response of this fetch — retried 5xx attempts and redirect hops
+	// included — not just the final one.
+	degraded string
 }
 
 // errLoadOver aborts work that outlived the load (deadline or completion).
@@ -341,7 +364,14 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 	c.lt.loads.Inc()
 	var loadSpan obs.Span
 	if c.Trace.Enabled() {
-		loadSpan = c.Trace.Begin(obs.TrackLoad, "load", obs.Arg{Key: "root", Val: root.String()})
+		if c.Propagate {
+			c.traceID = obs.NewTraceID()
+			loadSpan = c.Trace.Begin(obs.TrackLoad, "load",
+				obs.Arg{Key: "root", Val: root.String()},
+				obs.Arg{Key: obs.ArgTrace, Val: obs.TraceContext{Trace: c.traceID}.TraceID()})
+		} else {
+			loadSpan = c.Trace.Begin(obs.TrackLoad, "load", obs.Arg{Key: "root", Val: root.String()})
+		}
 	}
 
 	c.mu.Lock()
@@ -466,13 +496,18 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 		return // load already over; the deadline path wrote this record
 	}
 
-	sp := c.beginFetchSpan(key, prio.String())
+	sp := c.beginFetchSpan(fl, key, prio.String())
 	resp, out := c.doFetch(u, fl)
 	done := time.Now()
 
 	rec := FetchRecord{
 		URL: key, Priority: prio, Start: fl.start, Done: done,
 		Redirects: out.redirects,
+		// Degradation tags are unioned across every attempt and redirect
+		// hop, so a fetch that saw degraded service and then failed (or was
+		// retried into success) still reports it — keeping client-side
+		// degradation counts in step with the server's shed counters.
+		Degraded: out.degraded,
 	}
 	if out.err != nil {
 		rec.Err = out.err.Error()
@@ -484,19 +519,16 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 		rec.Status = resp.Status
 		rec.Bytes = len(resp.Body)
 		rec.FinalURL = out.finalURL.String()
-		if vals := resp.Header[HeaderDegraded]; len(vals) > 0 {
-			rec.Degraded = vals[0]
-		}
 	}
 	c.endFetchSpan(sp, &rec)
 	if c.Metrics != nil {
 		ms := float64(done.Sub(fl.start)) / float64(time.Millisecond)
 		if rec.Failed() {
-			c.lt.fetchErrMs.Observe(ms)
+			c.lt.fetchErrMs.ObserveExemplar(ms, fl.flow)
 			c.Metrics.Counter(mFailures, telemetry.L("origin", u.Origin()),
 				telemetry.L("kind", string(rec.ErrKind))).Inc()
 		} else {
-			c.lt.fetchOkMs.Observe(ms)
+			c.lt.fetchOkMs.ObserveExemplar(ms, fl.flow)
 		}
 		if rec.Redirects > 0 {
 			c.Metrics.Counter(mRedirects, telemetry.L("origin", u.Origin())).Add(int64(rec.Redirects))
@@ -606,9 +638,12 @@ func (c *Client) analyze(u urlutil.URL, resp *h2.Response) []fetchJob {
 func (c *Client) doFetch(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetchOutcome) {
 	cur := u
 	hops := 0
+	degraded := ""
 	for {
 		resp, out := c.fetchOne(cur, fl)
 		out.redirects = hops
+		degraded = mergeDegraded(degraded, out.degraded)
+		out.degraded = degraded
 		if out.err != nil {
 			return nil, out
 		}
@@ -621,7 +656,7 @@ func (c *Client) doFetch(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetchO
 			return nil, fetchOutcome{
 				err:    fmt.Errorf("wire: %s: more than %d redirect hops", u, c.redirectHops()),
 				kind:   FetchRedirect,
-				status: resp.Status, redirects: hops,
+				status: resp.Status, redirects: hops, degraded: degraded,
 			}
 		}
 		next, ok := urlutil.Resolve(cur, loc)
@@ -629,7 +664,7 @@ func (c *Client) doFetch(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetchO
 			return nil, fetchOutcome{
 				err:    fmt.Errorf("wire: %s: unresolvable location %q", cur, loc),
 				kind:   FetchRedirect,
-				status: resp.Status, redirects: hops,
+				status: resp.Status, redirects: hops, degraded: degraded,
 			}
 		}
 		hops++
@@ -647,6 +682,36 @@ func (c *Client) doFetch(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetchO
 	}
 }
 
+// mergeDegraded unions two comma-separated degradation-token lists,
+// preserving first-seen order.
+func mergeDegraded(a, b string) string {
+	if b == "" {
+		return a
+	}
+	if a == "" {
+		return b
+	}
+	out := a
+	for _, tok := range strings.Split(b, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" || hasToken(out, tok) {
+			continue
+		}
+		out += ", " + tok
+	}
+	return out
+}
+
+// hasToken reports whether a comma-separated token list contains tok.
+func hasToken(list, tok string) bool {
+	for _, t := range strings.Split(list, ",") {
+		if strings.TrimSpace(t) == tok {
+			return true
+		}
+	}
+	return false
+}
+
 func redirectLocation(resp *h2.Response) string {
 	switch resp.Status {
 	case 301, 302, 303, 307, 308:
@@ -659,9 +724,12 @@ func redirectLocation(resp *h2.Response) string {
 	return ""
 }
 
-// fetchOne fetches one URL with budgeted, backed-off retries.
+// fetchOne fetches one URL with budgeted, backed-off retries. Degradation
+// tags accumulate across attempts: a 503 shed that is later retried into a
+// 200 still reports shed-request.
 func (c *Client) fetchOne(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetchOutcome) {
 	var last fetchOutcome
+	degraded := ""
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			if !c.takeRetryToken(fl) {
@@ -680,23 +748,28 @@ func (c *Client) fetchOne(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetch
 			ok := c.sleepBackoff(c.Retry.backoff(attempt))
 			bs.End()
 			if !ok {
-				return nil, fetchOutcome{err: errLoadOver, kind: FetchDeadline}
+				return nil, fetchOutcome{err: errLoadOver, kind: FetchDeadline, degraded: degraded}
 			}
 		}
-		resp, err := c.attempt(u)
+		resp, err := c.attempt(u, fl)
+		if err == nil {
+			if vals := resp.Header[HeaderDegraded]; len(vals) > 0 {
+				degraded = mergeDegraded(degraded, vals[0])
+			}
+		}
 		if err == nil && resp.Status < 500 {
-			return resp, fetchOutcome{}
+			return resp, fetchOutcome{degraded: degraded}
 		}
 		if err == nil {
 			// 5xx: transient server verdicts redraw per attempt — replay.
 			last = fetchOutcome{
 				err:    fmt.Errorf("wire: %s answered %d", u.String(), resp.Status),
 				kind:   FetchHTTP,
-				status: resp.Status,
+				status: resp.Status, degraded: degraded,
 			}
 		} else {
 			kind, timedOut := classifyErr(err)
-			last = fetchOutcome{err: err, kind: kind, timedOut: timedOut}
+			last = fetchOutcome{err: err, kind: kind, timedOut: timedOut, degraded: degraded}
 			if !retryableErr(err) {
 				return nil, last
 			}
@@ -736,7 +809,7 @@ func (c *Client) sleepBackoff(d time.Duration) bool {
 
 // attempt performs one try at a URL: push cache, breaker, promised-push
 // wait, then a deadline-bound round trip.
-func (c *Client) attempt(u urlutil.URL) (*h2.Response, error) {
+func (c *Client) attempt(u urlutil.URL, fl *inflightFetch) (*h2.Response, error) {
 	key := u.String()
 	origin := u.Origin()
 	c.mu.Lock()
@@ -786,8 +859,15 @@ func (c *Client) attempt(u urlutil.URL) (*h2.Response, error) {
 	// headers, so it never holds or feeds a request its client has
 	// abandoned.
 	deadlineMS := strconv.FormatInt(int64(c.headerTimeout()/time.Millisecond), 10)
+	hdr := map[string][]string{HeaderDeadline: {deadlineMS}}
+	if fl.flow != "" {
+		// Propagate this fetch's trace context so the server's admission,
+		// hint-lookup, and push spans carry the same flow ID as our fetch
+		// span.
+		hdr[obs.TraceHeader] = []string{fl.flow}
+	}
 	req := &h2.Request{Method: "GET", Scheme: u.Scheme, Authority: u.Host, Path: u.Path,
-		Header: map[string][]string{HeaderDeadline: {deadlineMS}}}
+		Header: hdr}
 	os.mReqs.Inc()
 	resp, err := c.roundTrip(cc, req)
 	if err != nil {

@@ -7,6 +7,7 @@ package wire
 
 import (
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
@@ -84,6 +85,11 @@ type Server struct {
 	// loaded-but-admitting gate sheds push first and hints next, never the
 	// response. Set before Serve.
 	Gate *overload.Gate
+
+	// Log, when set, emits structured serving-path events: sheds and
+	// injected faults at Debug (stamped with the caller's trace ID when one
+	// was propagated), drains at Info. Nil disables logging.
+	Log *slog.Logger
 
 	h2srv *h2.Server
 
@@ -186,19 +192,74 @@ func (s *Server) noteRequest(proto string) {
 	ctr.Inc()
 }
 
+// serveTrace is one request's adopted trace context: the serve span
+// wrapping the handler plus the flow/trace IDs parsed from the client's
+// obs.TraceHeader (empty when the client didn't propagate one). The zero
+// value is the untraced fast path.
+type serveTrace struct {
+	span  obs.Span
+	flow  string // the obs.TraceHeader value, verbatim — the ArgFlow value
+	trace string // the 16-hex trace half, for ArgTrace and log stamping
+}
+
+// traceArgs appends the adopted flow/trace args to extra. Only called on
+// enabled-tracer paths, so the append may allocate.
+func (st *serveTrace) traceArgs(extra ...obs.Arg) []obs.Arg {
+	if st.flow == "" {
+		return extra
+	}
+	return append(extra,
+		obs.Arg{Key: obs.ArgFlow, Val: st.flow},
+		obs.Arg{Key: obs.ArgTrace, Val: st.trace})
+}
+
+// beginServe parses the request's propagated trace context and opens the
+// serve span wrapping the whole handler. Cheap when neither tracing nor
+// logging is on.
+func (s *Server) beginServe(proto string, r *h2.Request) serveTrace {
+	var st serveTrace
+	if s.trace == nil && s.Log == nil {
+		return st
+	}
+	if vals := r.Header[obs.TraceHeader]; len(vals) > 0 {
+		if tc, ok := obs.ParseTraceHeader(vals[0]); ok {
+			st.flow = vals[0]
+			st.trace = tc.TraceID()
+		}
+	}
+	if s.trace.Enabled() {
+		st.span = s.trace.Begin(obs.TrackServer, "serve",
+			st.traceArgs(obs.Arg{Key: "proto", Val: proto}, obs.Arg{Key: "path", Val: r.Path})...)
+	}
+	return st
+}
+
+// child opens a server-side sub-span carrying the request's adopted
+// context, so every stage of the serving path joins the caller's flow.
+func (s *Server) child(st *serveTrace, name string, extra ...obs.Arg) obs.Span {
+	if !st.span.Active() {
+		return obs.Span{}
+	}
+	return s.trace.Begin(obs.TrackServer, name, st.traceArgs(extra...)...)
+}
+
 // noteShed counts one request refused by admission.
-func (s *Server) noteShed() {
+func (s *Server) noteShed(st *serveTrace) {
 	s.mu.Lock()
 	s.shed++
 	s.mu.Unlock()
 	s.mShed.Inc()
 	if s.trace.Enabled() {
-		s.trace.Instant(obs.TrackServer, "request-shed")
+		s.trace.Instant(obs.TrackServer, "request-shed", st.traceArgs()...)
+	}
+	if s.Log != nil {
+		s.Log.Debug("request shed", "trace", st.trace)
 	}
 }
 
-// noteDegraded counts a response's degradation modes.
-func (s *Server) noteDegraded(modes []string) {
+// noteDegraded counts a response's degradation modes and records the
+// ladder decision against the caller's trace.
+func (s *Server) noteDegraded(modes []string, st *serveTrace) {
 	if len(modes) == 0 {
 		return
 	}
@@ -212,6 +273,13 @@ func (s *Server) noteDegraded(modes []string) {
 		for _, m := range modes {
 			reg.Counter("vroom_server_degraded_total", telemetry.L("mode", m)).Inc()
 		}
+	}
+	if s.trace.Enabled() {
+		s.trace.Instant(obs.TrackServer, "degrade",
+			st.traceArgs(obs.Arg{Key: "modes", Val: strings.Join(modes, ",")})...)
+	}
+	if s.Log != nil {
+		s.Log.Debug("response degraded", "modes", strings.Join(modes, ","), "trace", st.trace)
 	}
 }
 
@@ -231,13 +299,17 @@ func requestDeadline(r *h2.Request) time.Time {
 
 // admit runs a request through the admission gate. On refusal it returns
 // false and the 503 the caller must answer with; the gate's slot is held
-// until release is called.
-func (s *Server) admit(r *h2.Request) (release func(), refusal *h2.Response) {
+// until release is called. The admission span covers exactly the gate
+// wait — the queueing a propagated trace exists to make visible.
+func (s *Server) admit(r *h2.Request, st *serveTrace) (release func(), refusal *h2.Response) {
+	as := s.child(st, "admission")
 	err := s.Gate.Acquire(requestDeadline(r))
 	if err == nil {
+		as.End(obs.Arg{Key: "result", Val: "admitted"})
 		return func() { s.Gate.Release() }, nil
 	}
-	s.noteShed()
+	as.End(obs.Arg{Key: "result", Val: "shed"})
+	s.noteShed(st)
 	return nil, &h2.Response{Status: 503,
 		Header: map[string][]string{
 			"content-type": {"text/plain"},
@@ -249,17 +321,26 @@ func (s *Server) admit(r *h2.Request) (release func(), refusal *h2.Response) {
 
 // hintsFor resolves a document's hints through the store (multi-tenant,
 // stale-while-revalidate) or the fallback resolver, appending any
-// degradation modes taken to degraded.
-func (s *Server) hintsFor(u urlutil.URL, body string, degraded *[]string) []hints.Hint {
+// degradation modes taken to degraded. The hint-lookup span records which
+// source answered, tied to the caller's flow.
+func (s *Server) hintsFor(u urlutil.URL, body string, degraded *[]string, st *serveTrace) []hints.Hint {
+	sp := s.child(st, "hint-lookup", obs.Arg{Key: "url", Val: u.String()})
+	source := "none"
+	defer func() {
+		sp.End(obs.Arg{Key: "source", Val: source})
+	}()
 	if s.Store != nil {
 		hs, res := s.Store.Lookup(u, body)
 		switch res.Source {
 		case hintstore.Fresh:
+			source = "fresh"
 			return s.staleify(hs)
 		case hintstore.Stale:
+			source = "stale"
 			*degraded = append(*degraded, DegradedStaleHints)
 			return s.staleify(hs)
 		case hintstore.Shed:
+			source = "shed"
 			*degraded = append(*degraded, DegradedShedHints)
 			return nil
 		}
@@ -268,17 +349,21 @@ func (s *Server) hintsFor(u urlutil.URL, body string, degraded *[]string) []hint
 	if s.Resolver == nil {
 		return nil
 	}
+	source = "fallback"
 	return s.staleify(s.Resolver.HintsFor(u, body, s.Device))
 }
 
 // noteFault counts one injected fault served to a client.
-func (s *Server) noteFault(kind, url string) {
+func (s *Server) noteFault(kind, url string, st *serveTrace) {
 	if s.reg != nil {
 		s.reg.Counter("vroom_server_injected_faults_total", telemetry.L("kind", kind)).Inc()
 	}
 	if s.trace.Enabled() {
 		s.trace.Instant(obs.TrackServer, "injected-fault",
-			obs.Arg{Key: "kind", Val: kind}, obs.Arg{Key: "url", Val: url})
+			st.traceArgs(obs.Arg{Key: "kind", Val: kind}, obs.Arg{Key: "url", Val: url})...)
+	}
+	if s.Log != nil {
+		s.Log.Debug("injected fault", "kind", kind, "url", url, "trace", st.trace)
 	}
 }
 
@@ -289,16 +374,25 @@ func (s *Server) noteFault(kind, url string) {
 // and checkpoints every shard. The caller closes its listener. The returned
 // checkpoints are nil when no store is attached.
 func (s *Server) Drain(timeout time.Duration) []hintstore.Checkpoint {
+	if s.Log != nil {
+		s.Log.Info("drain started", "timeout", timeout)
+	}
 	s.Gate.Drain()
 	s.h2srv.Drain(timeout)
-	return s.Store.Drain(timeout)
+	cps := s.Store.Drain(timeout)
+	if s.Log != nil {
+		s.Log.Info("drain finished", "checkpoints", len(cps))
+	}
+	return cps
 }
 
 // ServeH1 implements h1.Handler: the same replay content over HTTP/1.1.
 // Dependency hints still work (Link headers predate HTTP/2) but there is
 // no push.
 func (s *Server) ServeH1(r *h2.Request) *h2.Response {
-	release, refusal := s.admit(r)
+	st := s.beginServe("h1", r)
+	defer st.span.End()
+	release, refusal := s.admit(r, &st)
 	if refusal != nil {
 		return refusal
 	}
@@ -310,7 +404,7 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 
 	key := "https://" + r.Authority + r.Path
 	if fresh := s.redirectFor(key); fresh != "" {
-		s.noteFault("stale-redirect", key)
+		s.noteFault("stale-redirect", key, &st)
 		return &h2.Response{Status: 301,
 			Header: map[string][]string{"content-type": {"text/plain"}, "location": {fresh}},
 			Body:   []byte("moved: " + fresh)}
@@ -321,7 +415,7 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 			Body: []byte("not in archive")}
 	}
 	if s.faulted(rec) {
-		s.noteFault("transient-503", key)
+		s.noteFault("transient-503", key, &st)
 		return &h2.Response{Status: 503, Header: map[string][]string{"content-type": {"text/plain"}},
 			Body: []byte("injected transient error")}
 	}
@@ -331,21 +425,23 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 		if s.Gate.Level() >= overload.LevelShedHints {
 			degraded = append(degraded, DegradedShedHints)
 		} else if u, err := rec.ParsedURL(); err == nil {
-			for name, vals := range hints.Format(s.hintsFor(u, rec.Body, &degraded)) {
+			for name, vals := range hints.Format(s.hintsFor(u, rec.Body, &degraded, &st)) {
 				resp.Header[name] = vals
 			}
 		}
 	}
 	if len(degraded) > 0 {
 		resp.Header[HeaderDegraded] = []string{strings.Join(degraded, ", ")}
-		s.noteDegraded(degraded)
+		s.noteDegraded(degraded, &st)
 	}
 	return resp
 }
 
 // ServeH2 implements h2.Handler.
 func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
-	release, refusal := s.admit(r)
+	st := s.beginServe("h2", r)
+	defer st.span.End()
+	release, refusal := s.admit(r, &st)
 	if refusal != nil {
 		for name, vals := range refusal.Header {
 			w.Header()[name] = vals
@@ -362,7 +458,7 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 
 	key := "https://" + r.Authority + r.Path
 	if fresh := s.redirectFor(key); fresh != "" {
-		s.noteFault("stale-redirect", key)
+		s.noteFault("stale-redirect", key, &st)
 		w.Header()["content-type"] = []string{"text/plain"}
 		w.Header()["location"] = []string{fresh}
 		w.WriteHeader(301)
@@ -381,7 +477,7 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 		return
 	}
 	if s.faulted(rec) {
-		s.noteFault("transient-503", key)
+		s.noteFault("transient-503", key, &st)
 		w.Header()["content-type"] = []string{"text/plain"}
 		w.WriteHeader(503)
 		w.Write([]byte("injected transient error"))
@@ -398,7 +494,7 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 		if level >= overload.LevelShedHints {
 			degraded = append(degraded, DegradedShedHints)
 		} else if u, err := rec.ParsedURL(); err == nil {
-			hs = s.hintsFor(u, rec.Body, &degraded)
+			hs = s.hintsFor(u, rec.Body, &degraded, &st)
 		}
 	}
 	if s.Cfg.SendHints && len(hs) > 0 {
@@ -414,18 +510,20 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 			// would only compete with the response it is waiting for.
 			degraded = append(degraded, DegradedShedPush)
 		} else {
-			s.push(w, r, hs)
+			s.push(w, r, hs, &st)
 		}
 	}
 	if len(degraded) > 0 {
 		w.Header()[HeaderDegraded] = []string{strings.Join(degraded, ", ")}
-		s.noteDegraded(degraded)
+		s.noteDegraded(degraded, &st)
 	}
 	w.Write(s.body(rec))
 }
 
-// push pushes same-origin high-priority dependencies, once per URL.
-func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint) {
+// push pushes same-origin high-priority dependencies, once per URL. Each
+// pushed write runs under its own span carrying the requesting fetch's
+// flow, so a push's cost lands on the load that triggered it.
+func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint, st *serveTrace) {
 	docURL := urlutil.URL{Scheme: "https", Host: r.Authority, Path: r.Path}
 	for _, u := range core.PushSet(hs, docURL, false) {
 		key := u.String()
@@ -451,12 +549,15 @@ func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint) {
 		s.mu.Unlock()
 		s.mPush.Inc()
 		if s.trace.Enabled() {
-			s.trace.Instant(obs.TrackServer, "push", obs.Arg{Key: "url", Val: key})
+			s.trace.Instant(obs.TrackServer, "push", st.traceArgs(obs.Arg{Key: "url", Val: key})...)
 		}
 		go func(rec *replay.Record) {
+			body := s.body(rec)
+			ps := s.child(st, "push-write", obs.Arg{Key: "url", Val: key})
 			pw.Header()["content-type"] = []string{contentType(rec)}
-			pw.Write(s.body(rec))
+			pw.Write(body)
 			pw.Close()
+			ps.End(obs.Arg{Key: "bytes", Val: strconv.Itoa(len(body))})
 		}(rec)
 	}
 }

@@ -73,12 +73,22 @@ func describeClientMetrics(reg *telemetry.Registry) {
 	reg.Describe(mDeadlines, "Page loads cut short by the load deadline.")
 }
 
-// beginFetchSpan opens the per-fetch span on the load track. Split out so
-// the zero-overhead contract is benchmarkable: with a nil tracer this must
-// not allocate.
-func (c *Client) beginFetchSpan(key string, prio string) obs.Span {
+// beginFetchSpan opens the per-fetch span on the load track, minting the
+// fetch's propagated trace context when the client is both tracing and
+// propagating. Split out so the zero-overhead contract is benchmarkable:
+// with a nil tracer (or propagation off) the disabled work must not
+// allocate.
+func (c *Client) beginFetchSpan(fl *inflightFetch, key string, prio string) obs.Span {
 	if !c.Trace.Enabled() {
 		return obs.Span{}
+	}
+	if c.traceID != 0 {
+		tc := obs.TraceContext{Trace: c.traceID, Span: c.fetchSeq.Add(1)}
+		fl.flow = tc.String()
+		return c.Trace.Begin(obs.TrackLoad, "fetch",
+			obs.Arg{Key: "url", Val: key}, obs.Arg{Key: "prio", Val: prio},
+			obs.Arg{Key: obs.ArgFlow, Val: fl.flow},
+			obs.Arg{Key: obs.ArgTrace, Val: tc.TraceID()})
 	}
 	return c.Trace.Begin(obs.TrackLoad, "fetch",
 		obs.Arg{Key: "url", Val: key}, obs.Arg{Key: "prio", Val: prio})

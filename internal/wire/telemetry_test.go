@@ -207,17 +207,20 @@ func TestFinalURLRecorded(t *testing.T) {
 }
 
 // TestNilTracerZeroAlloc enforces the disabled-path contract: with a nil
-// tracer and nil registry, the per-fetch instrumentation hooks must not
-// allocate at all.
+// tracer and nil registry, the per-fetch instrumentation hooks — trace
+// propagation ones included — must not allocate at all.
 func TestNilTracerZeroAlloc(t *testing.T) {
-	c := &Client{}
+	// Propagate without a tracer is the worst disabled case: every
+	// propagation guard is reached and must still bail allocation-free.
+	c := &Client{Propagate: true}
 	lt := newLoadTelemetry(nil)
 	frec := FetchRecord{URL: "https://origin.example/x", Status: 200, Bytes: 1024}
+	fl := &inflightFetch{}
 	allocs := testing.AllocsPerRun(1000, func() {
-		sp := c.beginFetchSpan(frec.URL, "high")
+		sp := c.beginFetchSpan(fl, frec.URL, "high")
 		c.endFetchSpan(sp, &frec)
 		lt.loads.Inc()
-		lt.fetchOkMs.Observe(1.5)
+		lt.fetchOkMs.ObserveExemplar(1.5, fl.flow)
 		lt.pushReceived.Inc()
 		lt.deadlines.Inc()
 	})
@@ -227,32 +230,51 @@ func TestNilTracerZeroAlloc(t *testing.T) {
 }
 
 // BenchmarkWireTracerOverhead measures the per-fetch instrumentation cost
-// on the disabled (nil tracer, nil registry) and enabled paths. The nil
-// path is the production default and must stay at 0 allocs/op.
+// on the disabled (nil tracer, nil registry — propagation flag on and off)
+// and enabled paths. The nil paths are the production default and must
+// stay at 0 allocs/op.
 func BenchmarkWireTracerOverhead(b *testing.B) {
 	frec := FetchRecord{URL: "https://origin.example/x", Status: 200, Bytes: 1024}
-	b.Run("nil", func(b *testing.B) {
-		c := &Client{}
-		lt := newLoadTelemetry(nil)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			sp := c.beginFetchSpan(frec.URL, "high")
-			c.endFetchSpan(sp, &frec)
-			lt.loads.Inc()
-			lt.fetchOkMs.Observe(1.5)
+	disabled := func(c *Client) func(b *testing.B) {
+		return func(b *testing.B) {
+			lt := newLoadTelemetry(nil)
+			fl := &inflightFetch{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sp := c.beginFetchSpan(fl, frec.URL, "high")
+				c.endFetchSpan(sp, &frec)
+				lt.loads.Inc()
+				lt.fetchOkMs.ObserveExemplar(1.5, fl.flow)
+			}
 		}
-	})
+	}
+	b.Run("nil", disabled(&Client{}))
+	b.Run("nil-propagate", disabled(&Client{Propagate: true}))
 	b.Run("enabled", func(b *testing.B) {
 		rec := &obs.Recording{}
 		c := &Client{Trace: obs.NewWall(rec)}
-		reg := telemetry.NewRegistry()
-		lt := newLoadTelemetry(reg)
+		lt := newLoadTelemetry(telemetry.NewRegistry())
+		fl := &inflightFetch{}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sp := c.beginFetchSpan(frec.URL, "high")
+			sp := c.beginFetchSpan(fl, frec.URL, "high")
 			c.endFetchSpan(sp, &frec)
 			lt.loads.Inc()
-			lt.fetchOkMs.Observe(1.5)
+			lt.fetchOkMs.ObserveExemplar(1.5, fl.flow)
+			rec.Events = rec.Events[:0]
+		}
+	})
+	b.Run("enabled-propagate", func(b *testing.B) {
+		rec := &obs.Recording{}
+		c := &Client{Trace: obs.NewWall(rec), Propagate: true, traceID: obs.NewTraceID()}
+		lt := newLoadTelemetry(telemetry.NewRegistry())
+		fl := &inflightFetch{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := c.beginFetchSpan(fl, frec.URL, "high")
+			c.endFetchSpan(sp, &frec)
+			lt.loads.Inc()
+			lt.fetchOkMs.ObserveExemplar(1.5, fl.flow)
 			rec.Events = rec.Events[:0]
 		}
 	})
