@@ -203,25 +203,78 @@ func ReadRequest(br *bufio.Reader) (*h2.Request, bool, error) {
 	return req, keepAlive, nil
 }
 
-// WriteRequest serializes a request.
+// exchangeBufPool recycles the scratch buffers requests and responses are
+// serialized into — the h1 exchange hot path allocates nothing once the
+// pool is warm. Pooled as pointers so Get/Put don't allocate slice headers.
+var exchangeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledExchangeBuf caps what returns to the pool so one huge header
+// set can't pin memory forever.
+const maxPooledExchangeBuf = 1 << 20
+
+func getExchangeBuf() *[]byte { return exchangeBufPool.Get().(*[]byte) }
+
+func putExchangeBuf(b *[]byte) {
+	if cap(*b) <= maxPooledExchangeBuf {
+		*b = (*b)[:0]
+		exchangeBufPool.Put(b)
+	}
+}
+
+// appendLower appends s lowercased without allocating.
+func appendLower(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return b
+}
+
+// appendHeaderLine appends "name: value\r\n" with the name lowercased.
+func appendHeaderLine(b []byte, name, value string) []byte {
+	b = appendLower(b, name)
+	b = append(b, ':', ' ')
+	b = append(b, value...)
+	return append(b, '\r', '\n')
+}
+
+// WriteRequest serializes a request. The header section is assembled in a
+// pooled buffer that is flushed to w before the call returns, so nothing
+// the caller sees aliases pooled memory.
 func WriteRequest(w io.Writer, req *h2.Request) error {
-	var b strings.Builder
+	bp := getExchangeBuf()
+	defer putExchangeBuf(bp)
+	b := (*bp)[:0]
 	method := req.Method
 	if method == "" {
 		method = "GET"
 	}
-	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, req.Path)
-	fmt.Fprintf(&b, "host: %s\r\n", req.Authority)
+	b = append(b, method...)
+	b = append(b, ' ')
+	b = append(b, req.Path...)
+	b = append(b, " HTTP/1.1\r\n"...)
+	b = appendHeaderLine(b, "host", req.Authority)
 	for name, vals := range req.Header {
 		for _, v := range vals {
-			fmt.Fprintf(&b, "%s: %s\r\n", strings.ToLower(name), v)
+			b = appendHeaderLine(b, name, v)
 		}
 	}
 	if len(req.Body) > 0 {
-		fmt.Fprintf(&b, "content-length: %d\r\n", len(req.Body))
+		b = append(b, "content-length: "...)
+		b = strconv.AppendInt(b, int64(len(req.Body)), 10)
+		b = append(b, '\r', '\n')
 	}
-	b.WriteString("\r\n")
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	b = append(b, '\r', '\n')
+	*bp = b
+	if _, err := w.Write(b); err != nil {
 		return err
 	}
 	if len(req.Body) > 0 {
@@ -232,21 +285,32 @@ func WriteRequest(w io.Writer, req *h2.Request) error {
 	return nil
 }
 
-// WriteResponse serializes a response with an explicit content length.
+// WriteResponse serializes a response with an explicit content length. The
+// header section uses a pooled scratch buffer; the body is written from the
+// caller's slice directly, so large bodies never transit pooled memory.
 func WriteResponse(w io.Writer, resp *h2.Response, keepAlive bool) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, statusText(resp.Status))
+	bp := getExchangeBuf()
+	defer putExchangeBuf(bp)
+	b := (*bp)[:0]
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(resp.Status), 10)
+	b = append(b, ' ')
+	b = append(b, statusText(resp.Status)...)
+	b = append(b, '\r', '\n')
 	for name, vals := range resp.Header {
 		for _, v := range vals {
-			fmt.Fprintf(&b, "%s: %s\r\n", strings.ToLower(name), v)
+			b = appendHeaderLine(b, name, v)
 		}
 	}
-	fmt.Fprintf(&b, "content-length: %d\r\n", len(resp.Body))
+	b = append(b, "content-length: "...)
+	b = strconv.AppendInt(b, int64(len(resp.Body)), 10)
+	b = append(b, '\r', '\n')
 	if !keepAlive {
-		b.WriteString("connection: close\r\n")
+		b = append(b, "connection: close\r\n"...)
 	}
-	b.WriteString("\r\n")
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	b = append(b, '\r', '\n')
+	*bp = b
+	if _, err := w.Write(b); err != nil {
 		return err
 	}
 	_, err := w.Write(resp.Body)

@@ -72,6 +72,33 @@ type poolConn struct {
 	bw *bufio.Writer
 }
 
+// bufio readers/writers carry 4 KiB buffers each; recycling them across
+// redials keeps connection churn (fault-heavy runs discard constantly)
+// from allocating fresh ones per conn.
+var (
+	brPool = sync.Pool{New: func() any { return bufio.NewReader(nil) }}
+	bwPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
+)
+
+func newPoolConn(nc net.Conn) *poolConn {
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(nc)
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(nc)
+	return &poolConn{nc: nc, br: br, bw: bw}
+}
+
+// recycleBufs returns a discarded conn's buffers to the pools. Call only
+// when the caller exclusively owns pc (the discard path does).
+func (pc *poolConn) recycleBufs() {
+	pc.br.Reset(nil)
+	brPool.Put(pc.br)
+	pc.br = nil
+	pc.bw.Reset(nil)
+	bwPool.Put(pc.bw)
+	pc.bw = nil
+}
+
 // RoundTrip performs one request/response exchange, reusing or opening a
 // connection within the limit.
 func (p *Pool) RoundTrip(req *h2.Request) (*h2.Response, error) {
@@ -211,7 +238,7 @@ func (p *Pool) acquire() (*poolConn, error) {
 			p.mu.Unlock()
 			return nil, err
 		}
-		pc := &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+		pc := newPoolConn(nc)
 		p.track(pc)
 		return pc, nil
 	}
@@ -247,6 +274,7 @@ func (p *Pool) release(pc *poolConn) {
 // discard drops a broken connection, freeing a slot.
 func (p *Pool) discard(pc *poolConn) {
 	pc.nc.Close()
+	pc.recycleBufs()
 	p.mu.Lock()
 	delete(p.all, pc)
 	p.total--
@@ -272,7 +300,7 @@ func (p *Pool) discard(pc *poolConn) {
 			close(next)
 			return
 		}
-		npc := &poolConn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+		npc := newPoolConn(nc)
 		p.track(npc)
 		next <- npc
 	}

@@ -59,6 +59,42 @@ type clientStream struct {
 	hdrAt  time.Time
 }
 
+// csPool recycles clientStream state across round trips. done and hdr are
+// closed channels by the time a stream is recycled, so they are remade per
+// acquisition; the buffered progress channel is drained and reused.
+var csPool = sync.Pool{
+	New: func() any {
+		return &clientStream{progress: make(chan struct{}, 1)}
+	},
+}
+
+func getClientStream(s *stream, traced bool) *clientStream {
+	cs := csPool.Get().(*clientStream)
+	cs.s = s
+	cs.resp = nil
+	cs.err = nil
+	cs.done = make(chan struct{})
+	cs.hdr = make(chan struct{})
+	select {
+	case <-cs.progress: // drop a token left over from the previous use
+	default:
+	}
+	cs.traced = traced
+	cs.hdrAt = time.Time{}
+	return cs
+}
+
+// putClientStream returns a stream's round-trip state to the pool. Safe
+// only once the stream is out of cc.pending (the read loop reaches
+// clientStreams exclusively through that map) and the round trip that owns
+// it has read resp/err — i.e. at the return points of RoundTripTimeout.
+func putClientStream(cs *clientStream) {
+	cs.s = nil
+	cs.resp = nil
+	cs.err = nil
+	csPool.Put(cs)
+}
+
 // ccInstruments is the connection's tracing and metrics attachment. The
 // zero value is the disabled fast path.
 type ccInstruments struct {
@@ -155,13 +191,7 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 		start = time.Now()
 	}
 	s := cc.conn.newStream()
-	cs := &clientStream{
-		s:        s,
-		done:     make(chan struct{}),
-		hdr:      make(chan struct{}),
-		progress: make(chan struct{}, 1),
-		traced:   traced,
-	}
+	cs := getClientStream(s, traced)
 	cc.mu.Lock()
 	cc.pending[s.id] = cs
 	cc.mu.Unlock()
@@ -228,12 +258,18 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 		}
 	}
 	<-cs.done
-	if cs.err != nil {
-		return nil, cs.err
+	// done was closed by the read loop (not an abort), so the read loop is
+	// finished with cs and it can go back to the pool once resp/err/hdrAt
+	// are captured. The abort/timeout paths above leave cs unpooled: a
+	// racing dispatch may still hold a pointer it fetched from pending
+	// before the abort deleted it.
+	resp, rtErr, hdrAt := cs.resp, cs.err, cs.hdrAt
+	putClientStream(cs)
+	if rtErr != nil {
+		return nil, rtErr
 	}
 	if traced {
 		end := time.Now()
-		hdrAt := cs.hdrAt
 		if hdrAt.IsZero() {
 			hdrAt = end
 		}
@@ -254,11 +290,11 @@ func (cc *ClientConn) RoundTripTimeout(req *Request, header, stall time.Duration
 			hs.EndAt(hdrAt)
 			bs := in.trace.BeginAt(hdrAt, in.track, "body")
 			bs.EndAt(end)
-			rt.EndAt(end, obs.Arg{Key: "status", Val: strconv.Itoa(cs.resp.Status)})
+			rt.EndAt(end, obs.Arg{Key: "status", Val: strconv.Itoa(resp.Status)})
 		}
 	}
-	cs.resp.Request = req
-	return cs.resp, nil
+	resp.Request = req
+	return resp, nil
 }
 
 // abortStream cancels a locally initiated stream: the peer sees RST_STREAM
@@ -274,7 +310,7 @@ func (cc *ClientConn) abortStream(s *stream, err error) {
 	if ok && err != nil {
 		close(cs.done)
 	}
-	_ = cc.conn.writeFrame(&Frame{Type: FrameRSTStream, StreamID: s.id, Payload: rstPayload(ErrCancel)})
+	_ = cc.conn.writeRst(s.id, ErrCancel)
 	cc.conn.finishStream(s)
 }
 
@@ -322,8 +358,13 @@ func (cc *ClientConn) readLoop() {
 		close(cc.readDone)
 	}()
 	for {
+		// Reuse-mode reads: f and f.Payload are invalidated by the next
+		// ReadFrameReuse, so every dispatch path that keeps payload bytes
+		// past this iteration copies them first (stream bodies and partial
+		// header blocks append-copy; header blocks decode into strings
+		// before the loop comes back around).
 		var f *Frame
-		f, err = cc.conn.fr.ReadFrame()
+		f, err = cc.conn.fr.ReadFrameReuse()
 		if err != nil {
 			return
 		}

@@ -1,6 +1,7 @@
 package h2
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -30,6 +31,10 @@ type conn struct {
 	// write stream so it lives under the same lock.
 	wmu sync.Mutex
 	enc *HPACKEncoder
+	// ctrl is reusable scratch for fixed-size control payloads
+	// (WINDOW_UPDATE, RST_STREAM), guarded by wmu, so the per-frame
+	// bookkeeping writes allocate nothing.
+	ctrl [8]byte
 
 	// dec is only touched by the read loop goroutine.
 	dec *HPACKDecoder
@@ -53,8 +58,12 @@ type conn struct {
 	pushEnabled bool
 
 	// partial is the in-progress cross-frame header block (read side; only
-	// touched by the read loop).
-	partial *partialHeaders
+	// touched by the read loop). The struct and its block buffer are
+	// reused across header blocks — only one may be open at a time (§6.10)
+	// — so CONTINUATION accumulation stops allocating once the buffer has
+	// grown to the largest block seen.
+	partial     partialHeaders
+	partialOpen bool
 }
 
 // stream is one HTTP/2 stream's state.
@@ -132,40 +141,68 @@ func (c *conn) writeFrame(f *Frame) error {
 	return c.fr.WriteFrame(f)
 }
 
+// writeWindowUpdate sends WINDOW_UPDATE from the conn's control scratch —
+// it runs twice per received DATA frame, so it must not allocate.
+func (c *conn) writeWindowUpdate(streamID, increment uint32) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	binary.BigEndian.PutUint32(c.ctrl[:4], increment&^(1<<31))
+	f := Frame{Type: FrameWindowUpdate, StreamID: streamID, Payload: c.ctrl[:4]}
+	return c.fr.WriteFrame(&f)
+}
+
+// writeRst sends RST_STREAM from the conn's control scratch.
+func (c *conn) writeRst(streamID uint32, code ErrCode) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	binary.BigEndian.PutUint32(c.ctrl[:4], uint32(code))
+	f := Frame{Type: FrameRSTStream, StreamID: streamID, Payload: c.ctrl[:4]}
+	return c.fr.WriteFrame(&f)
+}
+
 // writeHeaderBlock writes HEADERS (or PUSH_PROMISE when promisedID != 0),
 // splitting oversized header blocks across CONTINUATION frames (§6.10) —
-// Vroom's hint headers for complex pages can exceed one frame.
+// Vroom's hint headers for complex pages can exceed one frame. The block
+// is assembled in a pooled buffer (prefix + HPACK encode in one pass) that
+// every frame write slices out of; the frames hit the wire before the
+// buffer returns to the pool, so nothing aliases it afterwards.
 func (c *conn) writeHeaderBlock(streamID uint32, fields []HeaderField, endStream bool, promisedID uint32) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	var prefix []byte
+	maxFrame := c.fr.MaxWriteFrameSize()
+	bp := getPayloadBuf()
+	defer putPayloadBuf(bp)
+	buf := (*bp)[:0]
 	typ := FrameHeaders
 	var firstFlags uint8
+	prefixLen := 0
 	if promisedID != 0 {
 		typ = FramePushPromise
-		prefix = []byte{byte(promisedID>>24) & 0x7f, byte(promisedID >> 16), byte(promisedID >> 8), byte(promisedID)}
+		buf = append(buf, byte(promisedID>>24)&0x7f, byte(promisedID>>16), byte(promisedID>>8), byte(promisedID))
+		prefixLen = 4
 	} else if endStream {
 		firstFlags |= FlagEndStream
 	}
-	block := c.enc.Encode(nil, fields)
+	buf = c.enc.Encode(buf, fields)
+	*bp = buf // keep the grown capacity when the buffer goes back
+	block := buf[prefixLen:]
 
 	// First frame carries the prefix plus as much of the block as fits.
-	first := maxFrameSize - len(prefix)
+	first := maxFrame - prefixLen
 	if first > len(block) {
 		first = len(block)
 	}
-	payload := append(append([]byte{}, prefix...), block[:first]...)
 	rest := block[first:]
 	if len(rest) == 0 {
 		firstFlags |= FlagEndHeaders
 	}
-	if err := c.fr.WriteFrame(&Frame{Type: typ, Flags: firstFlags, StreamID: streamID, Payload: payload}); err != nil {
+	if err := c.fr.WriteFrame(&Frame{Type: typ, Flags: firstFlags, StreamID: streamID, Payload: buf[:prefixLen+first]}); err != nil {
 		return err
 	}
 	for len(rest) > 0 {
 		n := len(rest)
-		if n > maxFrameSize {
-			n = maxFrameSize
+		if n > maxFrame {
+			n = maxFrame
 		}
 		var flags uint8
 		if n == len(rest) {
@@ -190,36 +227,39 @@ type partialHeaders struct {
 
 // beginHeaderBlock starts (or completes, if END_HEADERS is already set)
 // accumulation of a header block. It returns (complete, payload) where
-// complete reports whether the block is ready to decode.
+// complete reports whether the block is ready to decode. body is copied
+// into the conn's reusable accumulation buffer, so callers may pass a
+// reuse-mode frame payload.
 func (c *conn) beginHeaderBlock(f *Frame, promisedID uint32, body []byte) (bool, error) {
-	if c.partial != nil {
+	if c.partialOpen {
 		return false, ConnError{Code: ErrProtocol, Reason: "HEADERS while another header block is open"}
 	}
 	if f.Flags&FlagEndHeaders != 0 {
 		return true, nil
 	}
-	c.partial = &partialHeaders{
-		streamID:   f.StreamID,
-		promisedID: promisedID,
-		endStream:  f.EndStream(),
-		block:      append([]byte{}, body...),
-	}
+	c.partialOpen = true
+	c.partial.streamID = f.StreamID
+	c.partial.promisedID = promisedID
+	c.partial.endStream = f.EndStream()
+	c.partial.block = append(c.partial.block[:0], body...)
 	return false, nil
 }
 
 // continueHeaderBlock appends a CONTINUATION frame; when END_HEADERS
-// arrives it returns the finished block.
+// arrives it returns the finished block. The returned struct and its
+// block are the conn's reusable accumulation state: they stay valid until
+// the next header block opens, which is after the caller (the read loop)
+// has decoded them.
 func (c *conn) continueHeaderBlock(f *Frame) (*partialHeaders, error) {
-	if c.partial == nil || c.partial.streamID != f.StreamID {
+	if !c.partialOpen || c.partial.streamID != f.StreamID {
 		return nil, ConnError{Code: ErrProtocol, Reason: "CONTINUATION without open header block"}
 	}
 	c.partial.block = append(c.partial.block, f.Payload...)
 	if f.Flags&FlagEndHeaders == 0 {
 		return nil, nil
 	}
-	done := c.partial
-	c.partial = nil
-	return done, nil
+	c.partialOpen = false
+	return &c.partial, nil
 }
 
 // writeData sends a body with flow control, chunking at the frame size and
@@ -243,8 +283,8 @@ func (c *conn) writeData(s *stream, data []byte, endStream bool) error {
 			return StreamError{StreamID: s.id, Code: s.rstCode, Reason: "stream reset by peer"}
 		}
 		n := len(data)
-		if n > maxFrameSize {
-			n = maxFrameSize
+		if max := c.fr.MaxWriteFrameSize(); n > max {
+			n = max
 		}
 		if int64(n) > c.sendWindow {
 			n = int(c.sendWindow)
@@ -309,6 +349,13 @@ func (c *conn) handleSettings(f *Frame) error {
 			}
 		case SettingEnablePush:
 			c.pushEnabled = s.Value == 1
+		case SettingMaxFrameSize:
+			// The peer-advertised max governs every frame we send from now
+			// on; out-of-range values are a connection error (§6.5.2).
+			if err := c.fr.SetMaxWriteFrameSize(s.Value); err != nil {
+				c.mu.Unlock()
+				return err
+			}
 		}
 	}
 	c.sendCond.Broadcast()
@@ -322,10 +369,10 @@ func (c *conn) consumeData(streamID uint32, n int) error {
 	if n == 0 {
 		return nil
 	}
-	if err := c.writeFrame(&Frame{Type: FrameWindowUpdate, StreamID: 0, Payload: windowUpdatePayload(uint32(n))}); err != nil {
+	if err := c.writeWindowUpdate(0, uint32(n)); err != nil {
 		return err
 	}
-	return c.writeFrame(&Frame{Type: FrameWindowUpdate, StreamID: streamID, Payload: windowUpdatePayload(uint32(n))})
+	return c.writeWindowUpdate(streamID, uint32(n))
 }
 
 // closeWithError tears the connection down and unblocks writers.

@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 )
 
 // FrameType identifies an HTTP/2 frame type (RFC 7540 §6).
@@ -69,8 +71,15 @@ const (
 	FlagPadded     = 0x8
 )
 
-// maxFrameSize is the fixed SETTINGS_MAX_FRAME_SIZE both ends use.
+// maxFrameSize is the protocol's initial SETTINGS_MAX_FRAME_SIZE (RFC 7540
+// §6.5.2): the value both directions start at until a SETTINGS frame moves
+// it, and the floor a peer may never advertise below.
 const maxFrameSize = 16384
+
+// absMaxFrameSize is the protocol ceiling for SETTINGS_MAX_FRAME_SIZE
+// (2^24-1); values outside [maxFrameSize, absMaxFrameSize] are a
+// connection error.
+const absMaxFrameSize = 1<<24 - 1
 
 // Frame is one HTTP/2 frame.
 type Frame struct {
@@ -89,41 +98,119 @@ type Framer struct {
 	r io.Reader
 	w io.Writer
 
-	readBuf [9]byte
+	readBuf  [9]byte
+	writeBuf [9]byte
+
+	// frame and payload back ReadFrameReuse: the payload buffer grows to
+	// the largest frame seen and is then reused, so steady-state reads
+	// allocate nothing.
+	frame   Frame
+	payload []byte
+
+	// maxRead is the size we advertised to the peer (what it may send us);
+	// maxWrite is what the peer advertised (what we may send it). Atomics
+	// because SETTINGS arrive on the read loop while writers are active;
+	// zero means the protocol initial value so a zero Framer works.
+	maxRead  atomic.Uint32
+	maxWrite atomic.Uint32
 }
 
 // NewFramer wraps a transport.
 func NewFramer(rw io.ReadWriter) *Framer { return &Framer{r: rw, w: rw} }
 
-// ReadFrame reads the next frame, enforcing the max frame size.
+// orDefault maps the unset limit to the protocol initial value.
+func orDefault(n uint32) uint32 {
+	if n == 0 {
+		return maxFrameSize
+	}
+	return n
+}
+
+// SetMaxReadFrameSize raises (or restores) the incoming-frame limit this
+// end advertised via SETTINGS_MAX_FRAME_SIZE.
+func (fr *Framer) SetMaxReadFrameSize(n uint32) error {
+	if n < maxFrameSize || n > absMaxFrameSize {
+		return ConnError{Code: ErrProtocol, Reason: fmt.Sprintf("SETTINGS_MAX_FRAME_SIZE %d outside [%d, %d]", n, maxFrameSize, absMaxFrameSize)}
+	}
+	fr.maxRead.Store(n)
+	return nil
+}
+
+// SetMaxWriteFrameSize installs the peer-advertised SETTINGS_MAX_FRAME_SIZE
+// as the outgoing-frame limit. A peer that lowers its max mid-connection
+// immediately shrinks what WriteFrame accepts.
+func (fr *Framer) SetMaxWriteFrameSize(n uint32) error {
+	if n < maxFrameSize || n > absMaxFrameSize {
+		return ConnError{Code: ErrProtocol, Reason: fmt.Sprintf("SETTINGS_MAX_FRAME_SIZE %d outside [%d, %d]", n, maxFrameSize, absMaxFrameSize)}
+	}
+	fr.maxWrite.Store(n)
+	return nil
+}
+
+// MaxWriteFrameSize returns the current peer-advertised outgoing limit;
+// writers chunk DATA and header blocks at this size.
+func (fr *Framer) MaxWriteFrameSize() int { return int(orDefault(fr.maxWrite.Load())) }
+
+// ReadFrame reads the next frame into a fresh Frame whose payload the
+// caller owns indefinitely. Prefer ReadFrameReuse on hot read loops.
 func (fr *Framer) ReadFrame() (*Frame, error) {
-	if _, err := io.ReadFull(fr.r, fr.readBuf[:]); err != nil {
+	f := &Frame{}
+	if err := fr.readInto(f, false); err != nil {
 		return nil, err
-	}
-	length := uint32(fr.readBuf[0])<<16 | uint32(fr.readBuf[1])<<8 | uint32(fr.readBuf[2])
-	if length > maxFrameSize {
-		return nil, ConnError{Code: ErrFrameSize, Reason: fmt.Sprintf("frame of %d bytes exceeds max %d", length, maxFrameSize)}
-	}
-	f := &Frame{
-		Type:     FrameType(fr.readBuf[3]),
-		Flags:    fr.readBuf[4],
-		StreamID: binary.BigEndian.Uint32(fr.readBuf[5:9]) &^ (1 << 31),
-	}
-	if length > 0 {
-		f.Payload = make([]byte, length)
-		if _, err := io.ReadFull(fr.r, f.Payload); err != nil {
-			return nil, err
-		}
 	}
 	return f, nil
 }
 
-// WriteFrame writes one frame.
-func (fr *Framer) WriteFrame(f *Frame) error {
-	if len(f.Payload) > maxFrameSize {
-		return ConnError{Code: ErrFrameSize, Reason: "oversized frame write"}
+// ReadFrameReuse reads the next frame into the Framer's reusable Frame.
+// The returned Frame and its Payload are valid only until the next
+// ReadFrameReuse call: the payload buffer is reused across reads (grown
+// only when capacity is insufficient), so any consumer that retains
+// payload bytes past the next read must copy them first (copy-on-escape —
+// see DESIGN.md "Zero-allocation wire path").
+func (fr *Framer) ReadFrameReuse() (*Frame, error) {
+	if err := fr.readInto(&fr.frame, true); err != nil {
+		return nil, err
 	}
-	var hdr [9]byte
+	return &fr.frame, nil
+}
+
+// readInto decodes one frame. With reuse set the payload lands in fr's
+// capacity-grown scratch buffer; otherwise it is freshly allocated.
+func (fr *Framer) readInto(f *Frame, reuse bool) error {
+	if _, err := io.ReadFull(fr.r, fr.readBuf[:]); err != nil {
+		return err
+	}
+	length := uint32(fr.readBuf[0])<<16 | uint32(fr.readBuf[1])<<8 | uint32(fr.readBuf[2])
+	if max := orDefault(fr.maxRead.Load()); length > max {
+		return ConnError{Code: ErrFrameSize, Reason: fmt.Sprintf("frame of %d bytes exceeds max %d", length, max)}
+	}
+	f.Type = FrameType(fr.readBuf[3])
+	f.Flags = fr.readBuf[4]
+	f.StreamID = binary.BigEndian.Uint32(fr.readBuf[5:9]) &^ (1 << 31)
+	f.Payload = nil
+	if length > 0 {
+		if reuse {
+			if cap(fr.payload) < int(length) {
+				fr.payload = make([]byte, length)
+			}
+			f.Payload = fr.payload[:length]
+		} else {
+			f.Payload = make([]byte, length)
+		}
+		if _, err := io.ReadFull(fr.r, f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFrame writes one frame, enforcing the peer-advertised max frame
+// size.
+func (fr *Framer) WriteFrame(f *Frame) error {
+	if max := orDefault(fr.maxWrite.Load()); len(f.Payload) > int(max) {
+		return ConnError{Code: ErrFrameSize, Reason: fmt.Sprintf("oversized frame write: %d bytes exceeds peer max %d", len(f.Payload), max)}
+	}
+	hdr := &fr.writeBuf
 	hdr[0] = byte(len(f.Payload) >> 16)
 	hdr[1] = byte(len(f.Payload) >> 8)
 	hdr[2] = byte(len(f.Payload))
@@ -139,6 +226,30 @@ func (fr *Framer) WriteFrame(f *Frame) error {
 		}
 	}
 	return nil
+}
+
+// payloadPool recycles header-block scratch buffers: PUSH_PROMISE/HEADERS
+// assembly on the write side and CONTINUATION accumulation on the read
+// side. Buffers are pooled as pointers so Get/Put don't allocate slice
+// headers.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, maxFrameSize)
+		return &b
+	},
+}
+
+// maxPooledPayload caps what goes back into payloadPool so one giant
+// header block can't pin memory forever.
+const maxPooledPayload = 1 << 20
+
+func getPayloadBuf() *[]byte { return payloadPool.Get().(*[]byte) }
+
+func putPayloadBuf(b *[]byte) {
+	if cap(*b) <= maxPooledPayload {
+		*b = (*b)[:0]
+		payloadPool.Put(b)
+	}
 }
 
 // ClientPreface is the fixed connection preface (RFC 7540 §3.5).
@@ -184,13 +295,6 @@ func decodeSettings(p []byte) ([]Setting, error) {
 		})
 	}
 	return out, nil
-}
-
-// windowUpdatePayload builds a WINDOW_UPDATE payload.
-func windowUpdatePayload(increment uint32) []byte {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], increment&^(1<<31))
-	return b[:]
 }
 
 // parseWindowUpdate extracts the increment.

@@ -1,6 +1,9 @@
 package h2
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzHPACKDecode checks the decoder is total: arbitrary header blocks
 // either decode or fail cleanly, never panic.
@@ -31,6 +34,64 @@ func FuzzFrameRead(f *testing.F) {
 		for i := 0; i < 100; i++ {
 			if _, err := fr.ReadFrame(); err != nil {
 				return
+			}
+		}
+	})
+}
+
+// FuzzFrameReuse drives the same byte stream through an allocating Framer
+// and a reuse-mode Framer side by side. Each reused frame must match the
+// allocated one exactly, and mutating the reused payload must never reach
+// the allocated copy — if ReadFrame ever handed out a slice aliasing the
+// shared scratch buffer, the mutation check catches it. This is the fuzz
+// form of the copy-on-escape contract (DESIGN.md "Zero-allocation wire
+// path").
+func FuzzFrameReuse(f *testing.F) {
+	seed := func(frames ...*Frame) []byte {
+		var buf bytes.Buffer
+		fw := &Framer{w: &buf}
+		fw.SetMaxWriteFrameSize(absMaxFrameSize)
+		for _, fr := range frames {
+			if err := fw.WriteFrame(fr); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	// Sizes shrink and regrow so the reusable buffer is exercised both ways.
+	f.Add(seed(
+		&Frame{Type: FrameData, StreamID: 1, Payload: []byte("hello world")},
+		&Frame{Type: FrameData, StreamID: 1, Payload: []byte("x")},
+		&Frame{Type: FramePing, Payload: []byte("12345678")},
+		&Frame{Type: FrameData, StreamID: 3, Payload: bytes.Repeat([]byte("z"), 4096)},
+	))
+	f.Add(seed(&Frame{Type: FrameSettings}))
+	// An oversized frame: both framers must reject it identically.
+	f.Add(seed(&Frame{Type: FrameData, StreamID: 1, Payload: make([]byte, maxFrameSize+1)}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		alloc := NewFramer(&rwBuf{data: data})
+		reuse := NewFramer(&rwBuf{data: append([]byte(nil), data...)})
+		for i := 0; i < 100; i++ {
+			fa, errA := alloc.ReadFrame()
+			fb, errB := reuse.ReadFrameReuse()
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("read %d diverged: alloc err=%v, reuse err=%v", i, errA, errB)
+			}
+			if errA != nil {
+				return
+			}
+			if fa.Type != fb.Type || fa.Flags != fb.Flags || fa.StreamID != fb.StreamID ||
+				!bytes.Equal(fa.Payload, fb.Payload) {
+				t.Fatalf("read %d mismatch:\nalloc %+v\nreuse %+v", i, fa, fb)
+			}
+			if len(fb.Payload) > 0 {
+				// Clobber the reused payload the way the next read would;
+				// the allocated frame must be unaffected.
+				orig := fa.Payload[0]
+				fb.Payload[0] ^= 0xff
+				if fa.Payload[0] != orig {
+					t.Fatalf("read %d: allocating ReadFrame payload aliases the reuse buffer", i)
+				}
 			}
 		}
 	})

@@ -138,8 +138,8 @@ func TestHPACKEviction(t *testing.T) {
 	tbl.setMaxSize(100)
 	tbl.add(HeaderField{"aaaa", strings.Repeat("x", 30)}) // 66 bytes
 	tbl.add(HeaderField{"bbbb", strings.Repeat("y", 30)}) // 66 bytes, evicts first
-	if len(tbl.entries) != 1 || tbl.entries[0].Name != "bbbb" {
-		t.Fatalf("eviction failed: %v", tbl.entries)
+	if tbl.n != 1 || tbl.at(0).Name != "bbbb" {
+		t.Fatalf("eviction failed: n=%d", tbl.n)
 	}
 }
 

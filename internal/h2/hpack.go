@@ -81,9 +81,16 @@ var hpackStaticTable = []HeaderField{
 // defaultHeaderTableSize is SETTINGS_HEADER_TABLE_SIZE's default.
 const defaultHeaderTableSize = 4096
 
-// dynamicTable is the HPACK dynamic table: newest entry at index 0.
+// dynamicTable is the HPACK dynamic table. Entries live in a ring buffer
+// so inserting at HPACK index 0 (the newest slot) and evicting from the
+// tail are both O(1) — the previous slice representation reallocated and
+// copied the whole table on every insert. buf[head] is the newest entry;
+// the entry at HPACK dynamic offset i (0 = newest) lives at
+// buf[(head+i)%len(buf)].
 type dynamicTable struct {
-	entries []HeaderField
+	buf     []HeaderField
+	head    int
+	n       int
 	size    int
 	maxSize int
 }
@@ -92,10 +99,34 @@ func newDynamicTable() *dynamicTable {
 	return &dynamicTable{maxSize: defaultHeaderTableSize}
 }
 
+// at returns the entry at dynamic offset i (0 = newest); caller checks
+// i < t.n.
+func (t *dynamicTable) at(i int) HeaderField {
+	return t.buf[(t.head+i)%len(t.buf)]
+}
+
 func (t *dynamicTable) add(f HeaderField) {
-	t.entries = append([]HeaderField{f}, t.entries...)
+	if t.n == len(t.buf) {
+		t.grow()
+	}
+	t.head--
+	if t.head < 0 {
+		t.head = len(t.buf) - 1
+	}
+	t.buf[t.head] = f
+	t.n++
 	t.size += f.size()
 	t.evict()
+}
+
+// grow doubles the ring, laying entries back out newest-first from slot 0.
+func (t *dynamicTable) grow() {
+	next := make([]HeaderField, max(8, 2*len(t.buf)))
+	for i := 0; i < t.n; i++ {
+		next[i] = t.at(i)
+	}
+	t.buf = next
+	t.head = 0
 }
 
 func (t *dynamicTable) setMaxSize(n int) {
@@ -104,10 +135,11 @@ func (t *dynamicTable) setMaxSize(n int) {
 }
 
 func (t *dynamicTable) evict() {
-	for t.size > t.maxSize && len(t.entries) > 0 {
-		last := t.entries[len(t.entries)-1]
-		t.entries = t.entries[:len(t.entries)-1]
-		t.size -= last.size()
+	for t.size > t.maxSize && t.n > 0 {
+		oldest := (t.head + t.n - 1) % len(t.buf)
+		t.size -= t.buf[oldest].size()
+		t.buf[oldest] = HeaderField{} // release the strings
+		t.n--
 	}
 }
 
@@ -120,10 +152,10 @@ func (t *dynamicTable) lookup(idx int) (HeaderField, error) {
 		return hpackStaticTable[idx-1], nil
 	}
 	d := idx - len(hpackStaticTable) - 1
-	if d >= len(t.entries) {
+	if d >= t.n {
 		return HeaderField{}, ConnError{Code: ErrCompression, Reason: fmt.Sprintf("hpack index %d out of range", idx)}
 	}
-	return t.entries[d], nil
+	return t.at(d), nil
 }
 
 // find returns the best index for a field: exact match (name+value) or
@@ -139,9 +171,10 @@ func (t *dynamicTable) find(f HeaderField) (exact int, nameOnly int) {
 			}
 		}
 	}
-	for i, s := range t.entries {
-		idx := len(hpackStaticTable) + 1 + i
+	for i := 0; i < t.n; i++ {
+		s := t.at(i)
 		if s.Name == f.Name {
+			idx := len(hpackStaticTable) + 1 + i
 			if s.Value == f.Value {
 				return idx, 0
 			}

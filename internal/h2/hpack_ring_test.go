@@ -1,0 +1,163 @@
+package h2
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// naiveDynamicTable is the obvious slice implementation the ring buffer
+// replaced: prepend on add, truncate on evict. It is the executable spec
+// for HPACK index semantics — offset 0 is always the newest entry, eviction
+// always drops the oldest.
+type naiveDynamicTable struct {
+	entries []HeaderField
+	size    int
+	maxSize int
+}
+
+func (t *naiveDynamicTable) add(f HeaderField) {
+	t.entries = append([]HeaderField{f}, t.entries...)
+	t.size += f.size()
+	t.evict()
+}
+
+func (t *naiveDynamicTable) setMaxSize(n int) {
+	t.maxSize = n
+	t.evict()
+}
+
+func (t *naiveDynamicTable) evict() {
+	for t.size > t.maxSize && len(t.entries) > 0 {
+		last := t.entries[len(t.entries)-1]
+		t.size -= last.size()
+		t.entries = t.entries[:len(t.entries)-1]
+	}
+}
+
+// TestHPACKRingMatchesNaiveTable drives the ring-buffer table and the naive
+// reference through the same randomized add/resize sequence and requires
+// identical contents, sizes, and lookup/find results after every step — the
+// regression proof that the O(1) ring changed nothing observable.
+func TestHPACKRingMatchesNaiveTable(t *testing.T) {
+	r := rand.New(rand.NewSource(7540))
+	ring := newDynamicTable()
+	naive := &naiveDynamicTable{maxSize: defaultHeaderTableSize}
+
+	check := func(step int) {
+		t.Helper()
+		if ring.n != len(naive.entries) || ring.size != naive.size {
+			t.Fatalf("step %d: ring n=%d size=%d, naive n=%d size=%d",
+				step, ring.n, ring.size, len(naive.entries), naive.size)
+		}
+		for i := 0; i < ring.n; i++ {
+			if ring.at(i) != naive.entries[i] {
+				t.Fatalf("step %d: offset %d: ring %v, naive %v", step, i, ring.at(i), naive.entries[i])
+			}
+		}
+		// 1-based lookup across static + dynamic, including out-of-range.
+		for _, idx := range []int{0, 1, len(hpackStaticTable), len(hpackStaticTable) + 1,
+			len(hpackStaticTable) + ring.n, len(hpackStaticTable) + ring.n + 1} {
+			got, gotErr := ring.lookup(idx)
+			var want HeaderField
+			var wantErr bool
+			switch {
+			case idx <= 0:
+				wantErr = true
+			case idx <= len(hpackStaticTable):
+				want = hpackStaticTable[idx-1]
+			case idx-len(hpackStaticTable)-1 < len(naive.entries):
+				want = naive.entries[idx-len(hpackStaticTable)-1]
+			default:
+				wantErr = true
+			}
+			if (gotErr != nil) != wantErr || got != want {
+				t.Fatalf("step %d: lookup(%d) = %v, %v; want %v, err=%v", step, idx, got, gotErr, want, wantErr)
+			}
+		}
+	}
+
+	names := []string{"x-a", "x-b", "link", "etag", "content-type"}
+	for step := 0; step < 2000; step++ {
+		switch r.Intn(10) {
+		case 0:
+			// Resize, shrinking sometimes to force bulk eviction.
+			sz := r.Intn(600)
+			ring.setMaxSize(sz)
+			naive.setMaxSize(sz)
+		default:
+			f := HeaderField{
+				Name:  names[r.Intn(len(names))],
+				Value: strings.Repeat("v", r.Intn(120)) + fmt.Sprint(r.Intn(50)),
+			}
+			ring.add(f)
+			naive.add(f)
+			// find must agree with a scan of the reference layout.
+			exact, nameOnly := ring.find(f)
+			wantExact, wantName := naive.find(f)
+			if exact != wantExact || nameOnly != wantName {
+				t.Fatalf("step %d: find(%v) = (%d, %d), want (%d, %d)", step, f, exact, nameOnly, wantExact, wantName)
+			}
+		}
+		check(step)
+	}
+}
+
+// find mirrors dynamicTable.find against the naive layout.
+func (t *naiveDynamicTable) find(f HeaderField) (exact, nameOnly int) {
+	for i, s := range hpackStaticTable {
+		if s.Name == f.Name {
+			if s.Value == f.Value {
+				return i + 1, 0
+			}
+			if nameOnly == 0 {
+				nameOnly = i + 1
+			}
+		}
+	}
+	for i, s := range t.entries {
+		if s.Name == f.Name {
+			idx := len(hpackStaticTable) + 1 + i
+			if s.Value == f.Value {
+				return idx, 0
+			}
+			if nameOnly == 0 {
+				nameOnly = idx
+			}
+		}
+	}
+	return 0, nameOnly
+}
+
+// TestHPACKRingEvictionOrder pins the eviction order concretely: entries
+// leave oldest-first while indices of the survivors shift down, exactly as
+// RFC 7541 §4.4 demands.
+func TestHPACKRingEvictionOrder(t *testing.T) {
+	tbl := newDynamicTable()
+	tbl.setMaxSize(3 * (36 + 4)) // room for exactly three 4+4-byte entries
+	for _, v := range []string{"v1", "v2", "v3"} {
+		tbl.add(HeaderField{"name", v + "xx"})
+	}
+	wantOrder := func(want ...string) {
+		t.Helper()
+		if tbl.n != len(want) {
+			t.Fatalf("n=%d, want %d", tbl.n, len(want))
+		}
+		for i, w := range want {
+			if got := tbl.at(i).Value; got != w {
+				t.Fatalf("offset %d = %q, want %q", i, got, w)
+			}
+		}
+	}
+	wantOrder("v3xx", "v2xx", "v1xx")
+	// A fourth entry evicts the oldest (v1), not the newest.
+	tbl.add(HeaderField{"name", "v4xx"})
+	wantOrder("v4xx", "v3xx", "v2xx")
+	// Shrinking evicts from the tail until the budget fits.
+	tbl.setMaxSize(36 + 4)
+	wantOrder("v4xx")
+	// An entry bigger than the whole table empties it (§4.4).
+	tbl.add(HeaderField{"name", strings.Repeat("x", 200)})
+	wantOrder()
+}

@@ -230,7 +230,11 @@ func (sc *serverConn) serve() {
 		return
 	}
 	for {
-		f, err := sc.conn.fr.ReadFrame()
+		// Reuse-mode reads: the frame payload is only valid until the next
+		// iteration. dispatch copies anything it keeps (request bodies and
+		// partial header blocks append-copy; header blocks decode into
+		// strings synchronously).
+		f, err := sc.conn.fr.ReadFrameReuse()
 		if err != nil {
 			if ce, ok := err.(ConnError); ok {
 				sc.conn.goAway(ce.Code, ce.Reason)
@@ -328,7 +332,7 @@ func (sc *serverConn) startHandler(s *stream) {
 			sc.srv.Trace.Instant(obs.TrackServer, "stream-refused",
 				obs.Arg{Key: "stream", Val: strconv.FormatUint(uint64(s.id), 10)})
 		}
-		_ = sc.conn.writeFrame(&Frame{Type: FrameRSTStream, StreamID: s.id, Payload: rstPayload(ErrRefusedStream)})
+		_ = sc.conn.writeRst(s.id, ErrRefusedStream)
 		return
 	}
 	if s.id > sc.lastStarted {
@@ -337,7 +341,7 @@ func (sc *serverConn) startHandler(s *stream) {
 	sc.mu.Unlock()
 	req, err := requestFromFields(s.headers)
 	if err != nil {
-		_ = sc.conn.writeFrame(&Frame{Type: FrameRSTStream, StreamID: s.id, Payload: rstPayload(ErrProtocol)})
+		_ = sc.conn.writeRst(s.id, ErrProtocol)
 		return
 	}
 	req.Body = s.body

@@ -6,6 +6,7 @@
 package wire
 
 import (
+	"bytes"
 	"fmt"
 	"log/slog"
 	"strconv"
@@ -109,6 +110,14 @@ type Server struct {
 	mReqs map[string]*telemetry.Counter // by proto
 	mPush *telemetry.Counter
 	mShed *telemetry.Counter
+
+	// bodies memoizes the per-record response bytes (archive bodies are
+	// strings; fillers are synthesized). Keyed by *replay.Record, so the
+	// cache is bounded by the archive. The cached slices are shared across
+	// responses and written straight to the wire, which only ever reads
+	// them; nothing in the serving path may mutate a body it got from
+	// body().
+	bodies sync.Map
 }
 
 // ServerStats is a point-in-time snapshot of the server's counters.
@@ -551,14 +560,18 @@ func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint, st *
 		if s.trace.Enabled() {
 			s.trace.Instant(obs.TrackServer, "push", st.traceArgs(obs.Arg{Key: "url", Val: key})...)
 		}
-		go func(rec *replay.Record) {
+		// Begin the span here, not in the goroutine: the push decision is
+		// part of serving the document, so the span opens before the client
+		// can possibly see the HTML (a snapshot taken after the load always
+		// contains it); the End still marks when the bytes were flushed.
+		ps := s.child(st, "push-write", obs.Arg{Key: "url", Val: key})
+		go func(rec *replay.Record, ps obs.Span) {
 			body := s.body(rec)
-			ps := s.child(st, "push-write", obs.Arg{Key: "url", Val: key})
 			pw.Header()["content-type"] = []string{contentType(rec)}
 			pw.Write(body)
 			pw.Close()
 			ps.End(obs.Arg{Key: "bytes", Val: strconv.Itoa(len(body))})
-		}(rec)
+		}(rec, ps)
 	}
 }
 
@@ -613,16 +626,26 @@ func (s *Server) faulted(rec *replay.Record) bool {
 }
 
 // body returns the record's bytes: real content for text resources,
-// deterministic filler for binary ones (sizes are what matter on the wire).
+// deterministic filler for binary ones (sizes are what matter on the
+// wire). Bodies are built once per record and memoized — converting the
+// archive string per response was a whole-body allocation on every
+// request. The returned slice is shared: treat it as read-only.
 func (s *Server) body(rec *replay.Record) []byte {
+	if b, ok := s.bodies.Load(rec); ok {
+		return b.([]byte)
+	}
+	var b []byte
 	if rec.Body != "" {
-		return []byte(rec.Body)
+		b = []byte(rec.Body)
+	} else {
+		n := rec.Size
+		if n <= 0 {
+			n = 1
+		}
+		b = bytes.Repeat([]byte{0xa5}, n)
 	}
-	n := rec.Size
-	if n <= 0 {
-		n = 1
-	}
-	return []byte(strings.Repeat("\xa5", n))
+	actual, _ := s.bodies.LoadOrStore(rec, b)
+	return actual.([]byte)
 }
 
 func contentType(rec *replay.Record) string {
