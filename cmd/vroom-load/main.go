@@ -317,6 +317,12 @@ func scrapeServer(url string, elapsed time.Duration) (*benchfmt.ServerStats, err
 		Shed:          int64(shed),
 		HintLookupP50: sc.HistogramQuantile("vroom_store_hint_lookup_ms", 50),
 		HintLookupP99: sc.HistogramQuantile("vroom_store_hint_lookup_ms", 99),
+		// The durable-state block: all zero when the server runs without
+		// -state-dir, and omitted from the JSON accordingly.
+		RecoveryMs:      sc.Sum("vroom_persist_recovery_ms", nil),
+		RecoveredTables: int64(sc.Sum("vroom_persist_recovered_tables", nil)),
+		Quarantined:     int64(sc.Sum("vroom_persist_quarantined_total", nil)),
+		WALFsyncP99:     sc.HistogramQuantile("vroom_persist_wal_fsync_ms", 99),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		st.QPS = reqs / secs
@@ -326,6 +332,8 @@ func scrapeServer(url string, elapsed time.Duration) (*benchfmt.ServerStats, err
 	}
 	if reqs > 0 {
 		st.DegradedRate = degraded / reqs
+		st.StaleRestoreRate = sc.Sum("vroom_server_degraded_total",
+			map[string]string{"mode": "stale-restore"}) / reqs
 	}
 	return st, nil
 }

@@ -26,6 +26,16 @@
 // have -drain to finish, background retraining is cancelled, and each hint
 // shard's final table version is checkpointed to the log.
 //
+// With -state-dir trained hint tables are durable: every retrain publish
+// appends to a per-origin CRC-framed write-ahead log (-fsync always|none),
+// periodic snapshots compact it (-snapshot-every, -wal-rotate), and the
+// SIGTERM drain writes one final snapshot per origin — each checkpoint logs
+// its snapshot path and bytes, and a failed final flush exits nonzero. On
+// restart the store recovers the newest valid snapshot plus WAL tail,
+// quarantining corrupt or torn files, and serves the restored tables
+// immediately tagged "vroom-degraded: stale-restore" while background
+// retraining refreshes them; /readyz reports "recovering" until it has.
+//
 // With -telemetry-addr the server also runs a plain net/http sidecar
 // exposing /metrics (Prometheus text), /healthz (liveness), /readyz
 // (readiness: every tenant trained and not draining), and the standard
@@ -58,6 +68,7 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/h1"
 	"vroom/internal/hintstore"
+	"vroom/internal/hintstore/persist"
 	"vroom/internal/logutil"
 	"vroom/internal/obs"
 	"vroom/internal/overload"
@@ -99,6 +110,11 @@ func main() {
 		maxStale = flag.Duration("max-stale", 0, "age past which hints are shed instead of served stale (default 4x -hint-ttl)")
 		workers  = flag.Int("train-workers", 2, "background training workers")
 
+		stateDir  = flag.String("state-dir", "", "persist trained hint tables here (snapshot+WAL per origin); on restart the store serves restored tables immediately, tagged stale-restore")
+		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic full-snapshot interval under -state-dir")
+		walRotate = flag.Int64("wal-rotate", 1<<20, "WAL size in bytes past which a snapshot is cut and the WAL reset")
+		fsyncMode = flag.String("fsync", "always", "fsync policy for -state-dir writes: always or none")
+
 		maxConc  = flag.Int("max-concurrent", 64, "requests admitted at once (0 disables admission control)")
 		maxQueue = flag.Int("max-queue", 0, "admission queue depth (default 2x -max-concurrent)")
 		maxWait  = flag.Duration("max-wait", time.Second, "longest a request waits for admission before shedding")
@@ -127,10 +143,37 @@ func main() {
 
 	// Train every tenant synchronously before accepting traffic, logging the
 	// warmup cost: readiness (the /readyz endpoint) is exactly "every shard
-	// has a published table".
-	store := hintstore.New(hintstore.Config{
+	// has a published table". Under -state-dir the store first recovers
+	// whatever the previous process persisted — restored origins skip the
+	// synchronous warmup and serve their disk tables immediately (tagged
+	// stale-restore) while background retraining refreshes them.
+	storeCfg := hintstore.Config{
 		TTL: *hintTTL, MaxStale: *maxStale, Workers: *workers, Log: log,
-	})
+	}
+	var store *hintstore.Store
+	if *stateDir != "" {
+		fsync, err := persist.ParseFsync(*fsyncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		storeCfg.Persist = persist.Options{
+			Dir: *stateDir, SnapshotEvery: *snapEvery,
+			WALRotateBytes: *walRotate, Fsync: fsync,
+		}
+		var rec *persist.Recovery
+		store, rec, err = hintstore.NewDurable(storeCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		log.Info("recovered", "dir", *stateDir, "tables", len(rec.Tables),
+			"snapshots", rec.Snapshots, "wal_records", rec.WALRecords,
+			"quarantined", len(rec.Quarantined), "torn_tails", rec.TornTails,
+			"ms", rec.Elapsed.Milliseconds())
+	} else {
+		store = hintstore.New(storeCfg)
+	}
 	trainStart := time.Now()
 	for _, tn := range tenants {
 		t0 := time.Now()
@@ -200,6 +243,14 @@ func main() {
 				http.Error(w, "not ready", http.StatusServiceUnavailable)
 				return
 			}
+			// Serving, but some tenant is still on a disk-restored table that
+			// background retraining has not refreshed: available-degraded, a
+			// distinct state so operators and CI can tell stale-restore
+			// serving from full freshness.
+			if store.Recovering() {
+				fmt.Fprintln(w, "recovering")
+				return
+			}
 			fmt.Fprintln(w, "ready")
 		})
 		http.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -258,9 +309,27 @@ func main() {
 		} else {
 			cps = srv.Drain(*drain)
 		}
+		flushFailed := false
 		for _, cp := range cps {
-			log.Info("checkpoint", "origin", cp.Origin, "version", cp.Version,
-				"trained", cp.TrainedAt.Format(time.RFC3339), "lookups", cp.Lookups)
+			args := []any{"origin", cp.Origin, "version", cp.Version,
+				"trained", cp.TrainedAt.Format(time.RFC3339),
+				"lookups", cp.Lookups, "retrains", cp.Retrains}
+			if *stateDir != "" {
+				args = append(args, "snapshot", cp.SnapshotPath, "bytes", cp.SnapshotBytes)
+			}
+			if cp.FlushErr != "" {
+				flushFailed = true
+				args = append(args, "flush_err", cp.FlushErr)
+				log.Error("checkpoint", args...)
+				continue
+			}
+			log.Info("checkpoint", args...)
+		}
+		if flushFailed {
+			// A drain whose final flush lost state must not look clean to the
+			// supervisor: the next cold start will serve older tables.
+			log.Error("drained", "flush", "failed")
+			os.Exit(1)
 		}
 		log.Info("drained")
 	}

@@ -78,6 +78,21 @@ type ServerStats struct {
 	// Requests and Shed are the raw counters behind the rates.
 	Requests int64 `json:"requests"`
 	Shed     int64 `json:"shed"`
+	// RecoveryMs, RecoveredTables, and Quarantined report the server's
+	// cold-start restore when it ran with -state-dir: how long the
+	// snapshot-load + WAL-replay pass took, how many origin tables it
+	// brought back, and how many corrupt or torn artifacts it set aside.
+	// All zero (and omitted) on a server without durable state.
+	RecoveryMs      float64 `json:"recovery_ms,omitempty"`
+	RecoveredTables int64   `json:"recovered_tables,omitempty"`
+	Quarantined     int64   `json:"quarantined,omitempty"`
+	// WALFsyncP99 is the WAL fsync latency p99 in milliseconds — the
+	// durability tax each retrain publish pays under -state-dir.
+	WALFsyncP99 float64 `json:"wal_fsync_p99_ms,omitempty"`
+	// StaleRestoreRate is stale-restore-tagged responses / served: how much
+	// of the storm was answered from disk-restored tables not yet refreshed
+	// by background retraining.
+	StaleRestoreRate float64 `json:"stale_restore_rate,omitempty"`
 }
 
 // Series is one labelled distribution, distilled to the quartiles the

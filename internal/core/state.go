@@ -1,0 +1,38 @@
+package core
+
+// This file makes a trained Resolver portable: the hint-store persistence
+// layer (internal/hintstore/persist) snapshots trained tables to disk and
+// rebuilds them on cold start, so a crash or deploy restart does not throw
+// away hours of training. Only the trained state crosses the boundary —
+// per-process fields (Trace, mid-training accumulators) never persist.
+
+// ResolverState is the serializable trained state of a Resolver: its
+// strategy configuration plus the offline stable sets and template tables
+// the last training pass established. The maps are shared with the
+// resolver that exported them (they are immutable after training, the same
+// contract Clone relies on), so exporting is cheap enough to run on every
+// retrain publish.
+type ResolverState struct {
+	Config    ResolverConfig   `json:"config"`
+	Stable    map[string][]Dep `json:"stable,omitempty"`
+	Templates map[string][]Dep `json:"templates,omitempty"`
+}
+
+// Export captures the resolver's trained state. Calling it mid-Train is
+// undefined; the hint store only exports published (immutable) tables.
+func (r *Resolver) Export() ResolverState {
+	return ResolverState{Config: r.cfg, Stable: r.stable, Templates: r.templates}
+}
+
+// NewResolverFromState rebuilds a resolver from exported state. The result
+// serves hints exactly as the exporter did (HintsFor/HintsForPage read only
+// cfg, stable, and templates) but must not be retrained into — treat it
+// like a Clone: train a fresh resolver and swap instead.
+func NewResolverFromState(st ResolverState) *Resolver {
+	r := NewResolver(st.Config)
+	if st.Stable != nil {
+		r.stable = st.Stable
+	}
+	r.templates = st.Templates
+	return r
+}

@@ -66,6 +66,16 @@ type Config struct {
 	// RedirectFrac is the fraction of stale hints that redirect to the
 	// fresh URL (costing a round trip) instead of returning 404.
 	RedirectFrac float64
+
+	// CrashRate is the per-boundary probability that a named persistence
+	// write boundary kills the process (see Plan.CrashPoint). The hint
+	// store's durable layer consults it at every snapshot/WAL write step,
+	// so the crash-recovery torture harness can die at any of them.
+	CrashRate float64
+	// CrashMaxTorn bounds how many bytes of the interrupted write land on
+	// disk before a crash — the torn-record case recovery must quarantine.
+	// Zero means the whole write is lost.
+	CrashMaxTorn int
 }
 
 // Regime is a named fault intensity preset.
@@ -387,6 +397,30 @@ func (p *Plan) WireConnFault(origin string) (fault ResponseFault, cutBytes int, 
 		return FaultStall, 0, index
 	}
 	return FaultNone, 0, index
+}
+
+// CrashPoint decides whether the process dies at a named persistence write
+// boundary ("wal-append", "snap-rename", ...), and if so how many bytes of
+// the in-progress write survive on disk (a torn record). Each call for the
+// same point is a fresh seeded draw keyed by occurrence index, so one plan
+// crashes at a reproducible sequence of boundaries across a torture run.
+// The persist layer honors the verdict by truncating the write and failing
+// every later operation, simulating kill -9 at exactly that boundary.
+func (p *Plan) CrashPoint(point string) (crash bool, tornBytes int) {
+	if p == nil || p.cfg.CrashRate <= 0 {
+		return false, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sub := fmt.Sprint(p.nth("crash", point))
+	if p.u01("crash", point, sub) >= p.cfg.CrashRate {
+		return false, 0
+	}
+	p.count("crashes-injected")
+	if p.cfg.CrashMaxTorn > 0 {
+		tornBytes = int(p.u01("crash-torn", point, sub) * float64(p.cfg.CrashMaxTorn+1))
+	}
+	return true, tornBytes
 }
 
 // TruncateFrac returns the fraction of the body delivered before a

@@ -1,0 +1,202 @@
+package hintstore
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vroom/internal/core"
+	"vroom/internal/hintstore/persist"
+	"vroom/internal/webpage"
+)
+
+// TestDurableRestartRoundTrip is the store-level cold-start path end to end:
+// train, serve, drain (final flush), then a second store over the same state
+// directory serves the restored tables immediately — tagged Restored, with
+// the lookup and retrain counters carried across the restart — and flips
+// back to fresh once the tenant re-registers and retrains.
+func TestDurableRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	site := webpage.NewSite("durable00", webpage.News, 2017)
+	root := site.RootURL()
+	clock := newFakeClock()
+	r := trainedResolver(t, site)
+	sn := site.Snapshot(testEpoch, webpage.Profile{Device: webpage.PhoneSmall}, 1)
+	body := sn.RootResource().Body
+
+	cfg := Config{
+		TTL: time.Hour, Clock: clock.Now,
+		Persist: persist.Options{Dir: dir},
+	}
+	st, rec, err := NewDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tables) != 0 {
+		t.Fatalf("fresh dir recovered %d tables", len(rec.Tables))
+	}
+	if err := st.Register(root.Host, webpage.PhoneSmall, StaticTrainer(r)); err != nil {
+		t.Fatal(err)
+	}
+	wantHints, res := st.Lookup(root, body)
+	if res.Source != Fresh || res.Restored {
+		t.Fatalf("first-life lookup: %+v", res)
+	}
+	st.Lookup(root, body) // a second lookup, so the persisted counter is 2
+
+	cps := st.Drain(time.Second)
+	if len(cps) != 1 {
+		t.Fatalf("got %d checkpoints", len(cps))
+	}
+	cp := cps[0]
+	if cp.FlushErr != "" || cp.SnapshotPath == "" || cp.SnapshotBytes == 0 {
+		t.Fatalf("drain flush checkpoint: %+v", cp)
+	}
+	if cp.Lookups != 2 {
+		t.Fatalf("checkpointed %d lookups, want 2", cp.Lookups)
+	}
+
+	// --- second life ---
+	st2, rec2, err := NewDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Drain(time.Second)
+	if len(rec2.Tables) != 1 {
+		t.Fatalf("recovered %d tables, want 1", len(rec2.Tables))
+	}
+	if got := rec2.Tables[0].Lookups; got != 2 {
+		t.Fatalf("recovered lookup counter %d, want 2 (persisted across restart)", got)
+	}
+	if !st2.Ready() {
+		t.Fatal("restored store not ready — cold start should serve immediately")
+	}
+	if !st2.Recovering() {
+		t.Fatal("store with only restored tables should report recovering")
+	}
+
+	// Lookups serve the restored table, tagged, before any re-registration.
+	hs, res := st2.Lookup(root, body)
+	if !res.Restored || res.Source != Fresh {
+		t.Fatalf("restored lookup: %+v", res)
+	}
+	if len(hs) != len(wantHints) {
+		t.Fatalf("restored table served %d hints, first life served %d", len(hs), len(wantHints))
+	}
+
+	// Re-registering a fresh restored origin returns immediately (no
+	// synchronous retrain) and keeps serving the restored table.
+	calls := 0
+	if err := st2.Register(root.Host, webpage.PhoneSmall, func(v uint64, c <-chan struct{}) (*core.Resolver, error) {
+		calls++
+		return r, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatal("re-register on a fresh restored table retrained synchronously")
+	}
+	if _, res := st2.Lookup(root, body); !res.Restored {
+		t.Fatalf("still-fresh restored table lost its tag: %+v", res)
+	}
+
+	// Age it past TTL: served stale+restored (never shed), background
+	// retrain replaces it and clears both flags.
+	clock.Advance(10 * time.Hour) // far past MaxStale = 4h
+	if _, res := st2.Lookup(root, body); res.Source != Stale || !res.Restored {
+		t.Fatalf("aged restored lookup must serve stale, never shed: %+v", res)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st2.Recovering() {
+		if time.Now().After(deadline) {
+			t.Fatal("background retrain never refreshed the restored table")
+		}
+		time.Sleep(time.Millisecond)
+		st2.Lookup(root, body)
+	}
+	if calls == 0 {
+		t.Fatal("no background retrain ran")
+	}
+	if _, res := st2.Lookup(root, body); res.Restored || res.Source != Fresh {
+		t.Fatalf("post-retrain lookup: %+v", res)
+	}
+
+	// Checkpoints from the second life carry the accumulated counters.
+	cps = st2.Drain(time.Second)
+	if len(cps) != 1 || cps[0].Retrains == 0 {
+		t.Fatalf("second-life checkpoints: %+v", cps)
+	}
+	if cps[0].Restored {
+		t.Fatal("checkpoint still flagged restored after a retrain")
+	}
+}
+
+// TestDurableDrainFlushFailure injects a crash at the drain flush and checks
+// the failure is carried per-checkpoint instead of being swallowed — the
+// signal vroom-server uses to exit nonzero.
+func TestDurableDrainFlushFailure(t *testing.T) {
+	site := webpage.NewSite("durable01", webpage.News, 2017)
+	root := site.RootURL()
+	clock := newFakeClock()
+	var armed atomic.Bool
+	st, _, err := NewDurable(Config{
+		Clock: clock.Now,
+		Persist: persist.Options{
+			Dir: t.TempDir(),
+			Crash: func(point string) (bool, int) {
+				return armed.Load() && point == "snap-temp", 5
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register(root.Host, webpage.PhoneSmall, StaticTrainer(trainedResolver(t, site))); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+	cps := st.Drain(time.Second)
+	if len(cps) != 1 {
+		t.Fatalf("got %d checkpoints", len(cps))
+	}
+	if cps[0].FlushErr == "" || !strings.Contains(cps[0].FlushErr, "crash") {
+		t.Fatalf("flush failure not surfaced: %+v", cps[0])
+	}
+}
+
+// TestDurableRestoredShardWithoutTrainer: a staleness-triggered retrain on a
+// restored shard whose tenant never re-registered must be a no-op, not a
+// panic — the shard keeps serving its disk table.
+func TestDurableRestoredShardWithoutTrainer(t *testing.T) {
+	dir := t.TempDir()
+	site := webpage.NewSite("durable02", webpage.News, 2017)
+	root := site.RootURL()
+	clock := newFakeClock()
+
+	cfg := Config{TTL: time.Hour, Clock: clock.Now, Persist: persist.Options{Dir: dir}}
+	st, _, err := NewDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register(root.Host, webpage.PhoneSmall, StaticTrainer(trainedResolver(t, site))); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain(time.Second)
+
+	st2, _, err := NewDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Drain(time.Second)
+	clock.Advance(10 * time.Hour)
+	for i := 0; i < 10; i++ {
+		if _, res := st2.Lookup(root, "body"); res.Source != Stale || !res.Restored {
+			t.Fatalf("lookup %d: %+v", i, res)
+		}
+		time.Sleep(time.Millisecond) // let the queued no-op retrain run
+	}
+	if !st2.Recovering() {
+		t.Fatal("trainerless restored shard should still be recovering")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"vroom/internal/core"
 	"vroom/internal/hints"
+	"vroom/internal/hintstore/persist"
 	"vroom/internal/telemetry"
 	"vroom/internal/urlutil"
 	"vroom/internal/webpage"
@@ -86,6 +87,11 @@ type Result struct {
 	Source  Source
 	Version uint64
 	Age     time.Duration
+	// Restored marks an answer served from a table loaded off disk at cold
+	// start that background retraining has not refreshed yet. The serving
+	// path tags such responses vroom-degraded: stale-restore — correct at
+	// the time it was persisted, possibly behind the site's churn since.
+	Restored bool
 }
 
 // Config sizes a Store. Zero fields select defaults.
@@ -111,6 +117,10 @@ type Config struct {
 	// Log, when non-nil, receives structured store events: retrain swaps
 	// and dropped retrains at Debug, evictions and drain at Info.
 	Log *slog.Logger
+	// Persist configures the durable snapshot+WAL layer: snapshot interval,
+	// WAL rotation size, fsync policy (see persist.Options). Only NewDurable
+	// honors it; New ignores it and keeps every table in memory only.
+	Persist persist.Options
 }
 
 func (c Config) ttl() time.Duration {
@@ -155,6 +165,9 @@ type table struct {
 	trainedAt time.Time
 	resolver  *core.Resolver
 	device    webpage.DeviceClass
+	// restored marks a table loaded from disk at cold start; the first
+	// retrain swap clears it (the replacement table has restored=false).
+	restored bool
 }
 
 // shard is one tenant's serving state.
@@ -172,8 +185,12 @@ type shard struct {
 	retraining atomic.Bool
 	// lastUsed is the UnixNano of the newest lookup, for LRU eviction.
 	lastUsed atomic.Int64
-	// lookups counts lookups served by this shard (checkpoint reporting).
+	// lookups counts lookups served by this shard. It seeds from the
+	// persisted count at restore time so LRU eviction decisions and
+	// capacity planning survive a restart instead of resetting to zero.
 	lookups atomic.Int64
+	// retrains counts retrain publishes, likewise persisted.
+	retrains atomic.Int64
 }
 
 // Checkpoint is one shard's state at drain time.
@@ -182,6 +199,17 @@ type Checkpoint struct {
 	Version   uint64
 	TrainedAt time.Time
 	Lookups   int64
+	Retrains  int64
+	// Restored reports a table still serving from a disk restore (no
+	// retrain refreshed it before the drain).
+	Restored bool
+	// SnapshotPath and SnapshotBytes describe this shard's final drain
+	// flush when the store is durable ("" / 0 otherwise). FlushErr carries
+	// the flush failure, empty on success — a failed final flush must be
+	// distinguishable from a clean one, so the server can exit nonzero.
+	SnapshotPath  string
+	SnapshotBytes int64
+	FlushErr      string
 }
 
 // Store is the multi-tenant hint store. Create with New; a Store must be
@@ -197,6 +225,11 @@ type Store struct {
 	trainq chan *shard
 	cancel chan struct{}
 	wg     sync.WaitGroup
+
+	// pers is the durable layer (nil for memory-only stores); recovery is
+	// the cold-start pass that seeded it, kept for Instrument.
+	pers     *persist.Persister
+	recovery *persist.Recovery
 
 	// Telemetry handles; nil-safe when Instrument was never called.
 	mLookups  map[Source]*telemetry.Counter
@@ -228,6 +261,73 @@ func New(cfg Config) *Store {
 	return st
 }
 
+// NewDurable returns a running store whose trained tables persist under
+// cfg.Persist.Dir. It recovers whatever a previous process left behind
+// (newest valid snapshot per origin plus WAL replay, quarantining corrupt
+// or torn records), installs the recovered tables so lookups serve from
+// disk state immediately, re-snapshots them (the recovery checkpoint that
+// lets WALs be truncated safely), and starts the periodic snapshot loop.
+// The returned Recovery reports what was restored and quarantined.
+func NewDurable(cfg Config) (*Store, *persist.Recovery, error) {
+	rec, err := persist.Recover(cfg.Persist.Dir, cfg.Log)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Persist.Log = cfg.Log
+	pers, err := persist.Open(cfg.Persist)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := New(cfg)
+	st.pers, st.recovery = pers, rec
+	st.Restore(rec.Tables)
+	if len(rec.Tables) > 0 {
+		if _, err := pers.SnapshotAll(st.tableStates()); err != nil {
+			// An injected crash or full disk here is survivable: the WALs
+			// still hold what the snapshot would have; log and serve.
+			if cfg.Log != nil {
+				cfg.Log.Warn("recovery checkpoint failed", "err", err)
+			}
+		}
+	}
+	st.wg.Add(1)
+	go st.snapshotLoop(cfg.Persist.SnapshotInterval())
+	return st, rec, nil
+}
+
+// Restore installs recovered tables as served state: each becomes a shard
+// whose published table is tagged restored, so the serving path can mark
+// responses stale-restore until background retraining refreshes them.
+// Restored shards have no trainer until Register supplies one; staleness-
+// triggered retrains are no-ops until then. Call before Register.
+func (st *Store) Restore(tables []persist.TableState) {
+	for _, t := range tables {
+		sh := &shard{origin: t.Origin, device: t.Device}
+		sh.version.Store(t.Version)
+		sh.lookups.Store(t.Lookups)
+		sh.retrains.Store(t.Retrains)
+		sh.lastUsed.Store(st.clock().UnixNano())
+		sh.cur.Store(&table{version: t.Version, trainedAt: t.TrainedAt,
+			resolver: core.NewResolverFromState(t.Resolver), device: t.Device,
+			restored: true})
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			return
+		}
+		if _, ok := st.tenants[t.Origin]; !ok {
+			st.evictColdestLocked()
+		}
+		st.tenants[t.Origin] = sh
+		st.mTenants.Set(int64(len(st.tenants)))
+		st.mu.Unlock()
+		if st.cfg.Log != nil {
+			st.cfg.Log.Info("restored", "origin", t.Origin, "version", t.Version,
+				"trained", t.TrainedAt.Format(time.RFC3339), "lookups", t.Lookups)
+		}
+	}
+}
+
 // Instrument attaches the store's metric families to reg. Call before
 // serving; nil costs nothing.
 func (st *Store) Instrument(reg *telemetry.Registry) {
@@ -253,6 +353,7 @@ func (st *Store) Instrument(reg *telemetry.Registry) {
 	st.mTenants = reg.Gauge(metricTenants)
 	st.mEvict = reg.Counter(metricEvictions)
 	st.mQFull = reg.Counter(metricQueueFull)
+	st.pers.Instrument(reg, st.recovery)
 }
 
 // ErrClosed reports registration on a drained store.
@@ -281,13 +382,26 @@ func (st *Store) Register(origin string, device webpage.DeviceClass, tr Trainer)
 	}
 	st.mu.Unlock()
 
+	// Cold start: a restored table serves immediately instead of blocking
+	// startup on a synchronous retrain (the retrain storm persistence
+	// exists to avoid). A stale restored table refreshes in the background
+	// right away; a fresh one at its TTL like any other.
+	if tbl := sh.cur.Load(); tbl != nil && tbl.restored {
+		if st.clock().Sub(tbl.trainedAt) > st.cfg.ttl() {
+			st.requestRetrain(sh)
+		}
+		return nil
+	}
+
 	version := sh.version.Add(1)
 	r, err := tr(version, st.cancel)
 	if err != nil {
 		return err
 	}
-	sh.cur.Store(&table{version: version, trainedAt: st.clock(), resolver: r, device: device})
+	tbl := &table{version: version, trainedAt: st.clock(), resolver: r, device: device}
+	sh.cur.Store(tbl)
 	st.mSwaps.Inc()
+	st.persistSwap(sh, tbl)
 	return nil
 }
 
@@ -340,10 +454,13 @@ func (st *Store) lookup(doc urlutil.URL, body string, now time.Time) ([]hints.Hi
 		return nil, Result{Source: Miss}
 	}
 	age := now.Sub(tbl.trainedAt)
-	res := Result{Source: Fresh, Version: tbl.version, Age: age}
+	res := Result{Source: Fresh, Version: tbl.version, Age: age, Restored: tbl.restored}
 	if age > st.cfg.ttl() {
 		st.requestRetrain(sh)
-		if age > st.cfg.maxStale() {
+		// A restored table is never shed on age: serving yesterday's hints
+		// tagged stale-restore beats serving none — shedding here would
+		// reintroduce the cold-start outage persistence exists to remove.
+		if age > st.cfg.maxStale() && !tbl.restored {
 			res.Source = Shed
 			return nil, res
 		}
@@ -395,8 +512,16 @@ func (st *Store) retrain(sh *shard) {
 		return // drained while queued
 	default:
 	}
+	// The trainer is written under st.mu by Register; read it the same way
+	// (a restored shard has none until its tenant re-registers).
+	st.mu.RLock()
+	tr, device := sh.trainer, sh.device
+	st.mu.RUnlock()
+	if tr == nil {
+		return // restored, not yet re-registered: keep serving disk state
+	}
 	version := sh.version.Add(1)
-	r, err := sh.trainer(version, st.cancel)
+	r, err := tr(version, st.cancel)
 	if err != nil {
 		return // the old table keeps serving; the next stale lookup retries
 	}
@@ -405,11 +530,77 @@ func (st *Store) retrain(sh *shard) {
 		return // drained mid-build: discard, checkpoint the old table
 	default:
 	}
-	sh.cur.Store(&table{version: version, trainedAt: st.clock(), resolver: r, device: sh.device})
+	tbl := &table{version: version, trainedAt: st.clock(), resolver: r, device: device}
+	sh.cur.Store(tbl)
+	sh.retrains.Add(1)
 	st.mRetrains.Inc()
 	st.mSwaps.Inc()
+	st.persistSwap(sh, tbl)
 	if st.cfg.Log != nil {
 		st.cfg.Log.Debug("table swapped", "origin", sh.origin, "version", version)
+	}
+}
+
+// persistSwap appends a table publish to the durable WAL; memory-only
+// stores skip it. Append failures are logged, never fatal — the serving
+// path must not depend on the disk.
+func (st *Store) persistSwap(sh *shard, tbl *table) {
+	if st.pers == nil {
+		return
+	}
+	if err := st.pers.Append(st.stateOf(sh, tbl)); err != nil && st.cfg.Log != nil {
+		st.cfg.Log.Warn("wal append failed", "origin", sh.origin, "err", err)
+	}
+}
+
+// stateOf renders one shard's durable state around a published table.
+func (st *Store) stateOf(sh *shard, tbl *table) persist.TableState {
+	return persist.TableState{
+		Origin:    sh.origin,
+		Version:   tbl.version,
+		TrainedAt: tbl.trainedAt,
+		Device:    tbl.device,
+		Lookups:   sh.lookups.Load(),
+		Retrains:  sh.retrains.Load(),
+		Resolver:  tbl.resolver.Export(),
+	}
+}
+
+// tableStates collects every published table's durable state, sorted by
+// origin for deterministic snapshot order.
+func (st *Store) tableStates() []persist.TableState {
+	st.mu.RLock()
+	shards := make([]*shard, 0, len(st.tenants))
+	for _, sh := range st.tenants {
+		shards = append(shards, sh)
+	}
+	st.mu.RUnlock()
+	states := make([]persist.TableState, 0, len(shards))
+	for _, sh := range shards {
+		if tbl := sh.cur.Load(); tbl != nil {
+			states = append(states, st.stateOf(sh, tbl))
+		}
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].Origin < states[j].Origin })
+	return states
+}
+
+// snapshotLoop periodically flushes a full snapshot so lookup counters and
+// slow-churning tables reach disk between retrains. Only durable stores
+// run it.
+func (st *Store) snapshotLoop(every time.Duration) {
+	defer st.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.cancel:
+			return
+		case <-t.C:
+			if _, err := st.pers.SnapshotAll(st.tableStates()); err != nil && st.cfg.Log != nil {
+				st.cfg.Log.Warn("periodic snapshot failed", "err", err)
+			}
+		}
 	}
 }
 
@@ -430,6 +621,24 @@ func (st *Store) Ready() bool {
 		}
 	}
 	return true
+}
+
+// Recovering reports whether any tenant is still serving a table restored
+// from disk that background retraining has not refreshed yet — the
+// readiness endpoint's "recovering" state: answering (possibly stale)
+// hints, not yet back to trained freshness.
+func (st *Store) Recovering() bool {
+	if st == nil {
+		return false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, sh := range st.tenants {
+		if tbl := sh.cur.Load(); tbl != nil && tbl.restored {
+			return true
+		}
+	}
+	return false
 }
 
 // Tenants returns the number of resident tenants.
@@ -471,14 +680,40 @@ func (st *Store) Drain(timeout time.Duration) []Checkpoint {
 	case <-t.C:
 	}
 
+	// Durable stores flush one final snapshot per origin so the drained
+	// tables (with their final lookup counters) are what the next process
+	// recovers. Per-origin outcomes ride the checkpoints: the server logs
+	// each snapshot path and size and exits nonzero on any FlushErr.
+	var flush map[string]persist.SnapInfo
+	if st.pers != nil {
+		infos, err := st.pers.SnapshotAll(st.tableStates())
+		flush = make(map[string]persist.SnapInfo, len(infos))
+		for _, in := range infos {
+			flush[in.Origin] = in
+		}
+		if err != nil && st.cfg.Log != nil {
+			st.cfg.Log.Error("final flush failed", "err", err)
+		}
+		st.pers.Close()
+	}
+
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	cps := make([]Checkpoint, 0, len(st.tenants))
 	for _, sh := range st.tenants {
-		cp := Checkpoint{Origin: sh.origin, Lookups: sh.lookups.Load()}
+		cp := Checkpoint{Origin: sh.origin, Lookups: sh.lookups.Load(),
+			Retrains: sh.retrains.Load()}
 		if tbl := sh.cur.Load(); tbl != nil {
 			cp.Version = tbl.version
 			cp.TrainedAt = tbl.trainedAt
+			cp.Restored = tbl.restored
+			if st.pers != nil {
+				if in, ok := flush[sh.origin]; ok {
+					cp.SnapshotPath, cp.SnapshotBytes, cp.FlushErr = in.Path, in.Bytes, in.Err
+				} else {
+					cp.FlushErr = "final flush did not reach this origin"
+				}
+			}
 		}
 		cps = append(cps, cp)
 	}

@@ -1,0 +1,112 @@
+package hintstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// TestLRUEvictionRacesRegisterAndDrain hammers the eviction path from many
+// goroutines under the race detector: registrations far past MaxTenants
+// (every one evicting a coldest shard), lookups touching shards as they are
+// evicted underneath them, staleness-triggered background retrains, and a
+// Drain racing all of it. The invariants: no lookup ever observes a torn
+// table (it answers from whatever shard it loaded, or misses), the tenant
+// count never exceeds the cap, and Register after Drain fails ErrClosed.
+func TestLRUEvictionRacesRegisterAndDrain(t *testing.T) {
+	const (
+		maxTenants = 8
+		writers    = 4
+		readers    = 4
+		origins    = 64
+	)
+	site := webpage.NewSite("lrurace", webpage.News, 2017)
+	r := trainedResolver(t, site)
+	clock := newFakeClock()
+	st := New(Config{
+		TTL:        time.Nanosecond, // every lookup schedules a retrain
+		MaxStale:   time.Hour,
+		MaxTenants: maxTenants,
+		Workers:    2,
+		Clock:      clock.Now,
+	})
+	clock.Advance(time.Millisecond) // all tables born an instant ago, already past TTL
+
+	urls := make([]urlutil.URL, origins)
+	for i := range urls {
+		urls[i] = urlutil.MustParse(fmt.Sprintf("https://tenant-%02d.example/", i))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := urls[(w*17+i)%origins]
+				if err := st.Register(u.Host, webpage.PhoneSmall, StaticTrainer(r)); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return // drain won the race, as designed
+					}
+					t.Errorf("register %s: %v", u.Host, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := urls[(w*31+i)%origins]
+				_, res := st.Lookup(u, "")
+				switch res.Source {
+				case Fresh, Stale, Shed, Miss:
+				default:
+					t.Errorf("lookup returned impossible source %v", res.Source)
+					return
+				}
+				if n := st.Tenants(); n > maxTenants {
+					t.Errorf("tenant count %d exceeds cap %d", n, maxTenants)
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	cps := st.Drain(5 * time.Second) // races the registers and lookups above
+	close(stop)
+	wg.Wait()
+
+	if len(cps) > maxTenants {
+		t.Fatalf("drain checkpointed %d tenants, cap is %d", len(cps), maxTenants)
+	}
+	if err := st.Register("late.example", webpage.PhoneSmall, StaticTrainer(r)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after drain: %v, want ErrClosed", err)
+	}
+	// Post-drain lookups still answer read-only from surviving tables.
+	for _, cp := range cps {
+		u := urlutil.MustParse("https://" + cp.Origin + "/")
+		if _, res := st.Lookup(u, ""); res.Source == Miss {
+			t.Fatalf("checkpointed tenant %s missing after drain", cp.Origin)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package persist makes the hint store's trained state durable. Vroom's
+// whole win depends on the server holding trained per-origin dependency
+// hints; keeping them only in memory means a crash or deploy restart throws
+// away hours of training and forces a synchronous retrain storm before the
+// server is useful again. This package gives every origin a snapshot +
+// write-ahead-log pair on disk and a recovery path that rebuilds the newest
+// consistent table from whatever a crash left behind.
+//
+// On-disk layout, one directory per origin under the state dir:
+//
+//	<state-dir>/<origin>/snap-<version>.vsnap   versioned full snapshots
+//	<state-dir>/<origin>/wal.log                retrain deltas since the last snapshot
+//	<state-dir>/<origin>/quarantine/            corrupt or torn bytes, kept for forensics
+//
+// A snapshot is a versioned, length-prefixed, CRC32C-checksummed envelope
+// around one JSON-encoded TableState, written via temp file + fsync +
+// atomic rename + directory fsync, so a reader never observes a partially
+// written snapshot under POSIX rename semantics. The WAL is an append-only
+// sequence of length-prefixed, checksummed records (each a complete
+// TableState — a retrain publishes a whole table, so the "delta" is
+// self-contained); a torn tail is expected after a crash and is quarantined,
+// never fatal. Recovery loads the newest snapshot that validates, then
+// replays WAL records with higher versions.
+//
+// Every write boundary consults an optional CrashFn hook, so a torture test
+// can kill the layer at each of them (see internal/faults.Plan.CrashPoint)
+// and assert recovery never loads a corrupt table.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"vroom/internal/core"
+	"vroom/internal/webpage"
+)
+
+// TableState is one origin's complete durable state: the published table's
+// identity plus the shard counters that should survive a restart (lookup
+// and retrain counts feed LRU eviction and capacity planning).
+type TableState struct {
+	Origin    string              `json:"origin"`
+	Version   uint64              `json:"version"`
+	TrainedAt time.Time           `json:"trained_at"`
+	Device    webpage.DeviceClass `json:"device"`
+	Lookups   int64               `json:"lookups"`
+	Retrains  int64               `json:"retrains"`
+	Resolver  core.ResolverState  `json:"resolver"`
+}
+
+// Format constants. Bump formatVersion on incompatible change — recovery
+// quarantines files from a different generation instead of guessing.
+const (
+	snapMagic     = "VSNP"
+	walMagic      = "VWAL"
+	formatVersion = 1
+
+	// maxRecordBytes bounds one payload; a length prefix past it is treated
+	// as corruption, so a flipped length byte cannot balloon an allocation.
+	maxRecordBytes = 64 << 20
+)
+
+// Envelope framing sizes.
+const (
+	snapHeaderLen = 4 + 2 + 4 // magic + format version + payload length
+	walHeaderLen  = 4 + 2     // magic + format version (file header)
+	recHeaderLen  = 4 + 4     // payload length + CRC32C (per record)
+	crcLen        = 4
+)
+
+// castagnoli is the CRC32C table (the polynomial with hardware support on
+// both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports bytes that do not decode as a valid snapshot or WAL
+// record: bad magic, wrong format version, implausible length, checksum
+// mismatch, or truncation.
+var ErrCorrupt = errors.New("persist: corrupt record")
+
+// EncodeTable renders the canonical payload encoding of one table state.
+// JSON with sorted map keys is deterministic, so two stores holding the
+// same trained table encode byte-identical payloads — the property the
+// crash-torture harness pins recovery against.
+func EncodeTable(t TableState) ([]byte, error) {
+	return json.Marshal(t)
+}
+
+// DecodeTable parses a payload produced by EncodeTable.
+func DecodeTable(b []byte) (TableState, error) {
+	var t TableState
+	if err := json.Unmarshal(b, &t); err != nil {
+		return TableState{}, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	return t, nil
+}
+
+// EncodeSnapshot renders the full snapshot file for one table:
+//
+//	[4]"VSNP" [2]format [4]len [len]payload [4]crc32c(payload)
+func EncodeSnapshot(t TableState) ([]byte, error) {
+	payload, err := EncodeTable(t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, snapHeaderLen+len(payload)+crcLen)
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint16(out, formatVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return out, nil
+}
+
+// DecodeSnapshot parses and validates a snapshot file. Any framing or
+// checksum violation returns ErrCorrupt — callers quarantine, never trust.
+func DecodeSnapshot(b []byte) (TableState, error) {
+	if len(b) < snapHeaderLen+crcLen {
+		return TableState{}, fmt.Errorf("%w: short snapshot (%d bytes)", ErrCorrupt, len(b))
+	}
+	if string(b[:4]) != snapMagic {
+		return TableState{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != formatVersion {
+		return TableState{}, fmt.Errorf("%w: format version %d (want %d)", ErrCorrupt, v, formatVersion)
+	}
+	n := binary.LittleEndian.Uint32(b[6:10])
+	if n > maxRecordBytes || int(n) != len(b)-snapHeaderLen-crcLen {
+		return TableState{}, fmt.Errorf("%w: length %d vs %d file bytes", ErrCorrupt, n, len(b))
+	}
+	payload := b[snapHeaderLen : snapHeaderLen+int(n)]
+	want := binary.LittleEndian.Uint32(b[len(b)-crcLen:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return TableState{}, fmt.Errorf("%w: crc %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return DecodeTable(payload)
+}
+
+// walFileHeader is the fixed header a fresh WAL file begins with.
+func walFileHeader() []byte {
+	out := make([]byte, 0, walHeaderLen)
+	out = append(out, walMagic...)
+	return binary.LittleEndian.AppendUint16(out, formatVersion)
+}
+
+// EncodeWALRecord renders one appended record:
+//
+//	[4]len [4]crc32c(payload) [len]payload
+func EncodeWALRecord(t TableState) ([]byte, error) {
+	payload, err := EncodeTable(t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, recHeaderLen+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return append(out, payload...), nil
+}
+
+// ScanWAL parses a WAL file's contents. It returns every valid record in
+// order, the byte offset scanning stopped at, and whether the remainder was
+// a torn or corrupt suffix (tail=false means the file ended cleanly at a
+// record boundary). Scanning is strictly sequential: the first bad record
+// invalidates everything after it, because an append-only log has no way to
+// resynchronize past a record whose very length field may be garbage.
+func ScanWAL(b []byte) (recs []TableState, off int, torn bool) {
+	if len(b) < walHeaderLen {
+		return nil, 0, len(b) > 0
+	}
+	if string(b[:4]) != walMagic ||
+		binary.LittleEndian.Uint16(b[4:6]) != formatVersion {
+		return nil, 0, true
+	}
+	off = walHeaderLen
+	for off < len(b) {
+		rest := b[off:]
+		if len(rest) < recHeaderLen {
+			return recs, off, true
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if n > maxRecordBytes || int(n) > len(rest)-recHeaderLen {
+			return recs, off, true
+		}
+		payload := rest[recHeaderLen : recHeaderLen+int(n)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return recs, off, true
+		}
+		t, err := DecodeTable(payload)
+		if err != nil {
+			return recs, off, true
+		}
+		recs = append(recs, t)
+		off += recHeaderLen + int(n)
+	}
+	return recs, off, false
+}

@@ -1,0 +1,224 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"vroom/internal/core"
+	"vroom/internal/hints"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// testState builds a deterministic table state: the same (origin, version)
+// always yields byte-identical canonical encodings, which is what both the
+// round-trip tests and the crash-torture control rely on.
+func testState(origin string, version uint64) TableState {
+	base := time.Date(2017, 8, 21, 12, 0, 0, 0, time.UTC)
+	deps := make([]core.Dep, 0, 3)
+	for i := 0; i < 3; i++ {
+		deps = append(deps, core.Dep{
+			URL:      urlutil.MustParse(fmt.Sprintf("https://%s/asset-%d-%d.js", origin, version, i)),
+			Priority: hints.High,
+			Order:    i,
+		})
+	}
+	return TableState{
+		Origin:    origin,
+		Version:   version,
+		TrainedAt: base.Add(time.Duration(version) * time.Hour),
+		Device:    webpage.PhoneSmall,
+		Lookups:   int64(version * 10),
+		Retrains:  int64(version),
+		Resolver: core.ResolverState{
+			Config: core.ResolverConfig{UseOffline: true, OfflineLoads: 3, Interval: time.Hour},
+			Stable: map[string][]core.Dep{
+				"https://" + origin + "/": deps,
+			},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := testState("news.example", 7)
+	b, err := EncodeSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := EncodeTable(want)
+	gb, _ := EncodeTable(got)
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("round trip changed the table:\n want %s\n got  %s", wb, gb)
+	}
+}
+
+func TestEncodeTableDeterministic(t *testing.T) {
+	a, err := EncodeTable(testState("news.example", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeTable(testState("news.example", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same logical state encoded to different bytes")
+	}
+}
+
+// TestDecodeSnapshotRejectsCorruption flips, truncates, and rewrites a valid
+// snapshot every which way; every mutation must surface as ErrCorrupt, never
+// as a quietly wrong table.
+func TestDecodeSnapshotRejectsCorruption(t *testing.T) {
+	valid, err := EncodeSnapshot(testState("news.example", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every single-byte flip must be caught.
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x41
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(valid))
+		}
+	}
+	// Every truncation must be caught.
+	for n := 0; n < len(valid); n++ {
+		if _, err := DecodeSnapshot(valid[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+	// A huge claimed length must not allocate or pass.
+	mut := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(mut[6:10], maxRecordBytes+1)
+	if _, err := DecodeSnapshot(mut); err == nil {
+		t.Fatal("oversized length prefix went undetected")
+	}
+}
+
+func TestScanWALRoundTripAndTornTail(t *testing.T) {
+	var wal []byte
+	wal = append(wal, walFileHeader()...)
+	for v := uint64(1); v <= 5; v++ {
+		rec, err := EncodeWALRecord(testState("news.example", v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal = append(wal, rec...)
+	}
+
+	recs, off, torn := ScanWAL(wal)
+	if torn || len(recs) != 5 || off != len(wal) {
+		t.Fatalf("clean WAL scan: %d recs, off %d/%d, torn=%v", len(recs), off, len(wal), torn)
+	}
+	for i, r := range recs {
+		if r.Version != uint64(i+1) {
+			t.Fatalf("record %d has version %d", i, r.Version)
+		}
+	}
+
+	// Any truncation yields exactly the records before the cut. A cut that
+	// lands on a record boundary is a clean (shorter) WAL; anywhere else is
+	// a torn tail.
+	boundaries := map[int]bool{}
+	for o := walHeaderLen; o < len(wal); {
+		boundaries[o] = true
+		n := binary.LittleEndian.Uint32(wal[o : o+4])
+		o += recHeaderLen + int(n)
+	}
+	for cut := len(wal) - 1; cut > walHeaderLen; cut-- {
+		recs, off, torn := ScanWAL(wal[:cut])
+		if torn == boundaries[cut] {
+			t.Fatalf("cut at %d: torn=%v, boundary=%v", cut, torn, boundaries[cut])
+		}
+		if off > cut {
+			t.Fatalf("cut at %d reported offset %d past the data", cut, off)
+		}
+		for i, r := range recs {
+			if r.Version != uint64(i+1) {
+				t.Fatalf("cut at %d: surviving record %d has version %d", cut, i, r.Version)
+			}
+		}
+	}
+
+	// A flipped payload byte invalidates that record and everything after.
+	mut := append([]byte(nil), wal...)
+	mut[walHeaderLen+recHeaderLen] ^= 0x41 // first record's first payload byte
+	recs, _, torn = ScanWAL(mut)
+	if !torn || len(recs) != 0 {
+		t.Fatalf("corrupt first record: %d recs, torn=%v", len(recs), torn)
+	}
+
+	// Garbage magic and an empty file.
+	if _, _, torn := ScanWAL([]byte("garbage!")); !torn {
+		t.Fatal("bad magic not reported torn")
+	}
+	if recs, _, torn := ScanWAL(nil); torn || len(recs) != 0 {
+		t.Fatal("empty WAL should scan clean and empty")
+	}
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoder: it must
+// never panic or allocate absurdly, and whatever it accepts must re-encode
+// into a snapshot it accepts again.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid, err := EncodeSnapshot(testState("news.example", 7))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(snapMagic))
+	f.Add(valid[:len(valid)-1])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ts, err := DecodeSnapshot(b)
+		if err != nil {
+			return
+		}
+		re, err := EncodeSnapshot(ts)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if _, err := DecodeSnapshot(re); err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+	})
+}
+
+// FuzzWALDecode feeds arbitrary bytes to the WAL scanner: no panics, the
+// reported offset must stay in bounds, and every returned record must be one
+// the encoder accepts back.
+func FuzzWALDecode(f *testing.F) {
+	var wal []byte
+	wal = append(wal, walFileHeader()...)
+	for v := uint64(1); v <= 3; v++ {
+		rec, err := EncodeWALRecord(testState("news.example", v))
+		if err != nil {
+			f.Fatal(err)
+		}
+		wal = append(wal, rec...)
+	}
+	f.Add(wal)
+	f.Add([]byte{})
+	f.Add(walFileHeader())
+	f.Add(wal[:len(wal)-3])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, off, _ := ScanWAL(b)
+		if off < 0 || off > len(b) {
+			t.Fatalf("offset %d out of bounds for %d bytes", off, len(b))
+		}
+		for _, r := range recs {
+			if _, err := EncodeWALRecord(r); err != nil {
+				t.Fatalf("scanned record failed to re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -106,6 +106,14 @@ type Config struct {
 	// FlightEvents sizes each flight ring per track (default
 	// obs.DefaultFlightEvents).
 	FlightEvents int
+	// RestartAfter and Restart arm the kill-and-restart storm mode: once
+	// RestartAfter loads have completed, Restart runs exactly once while the
+	// remaining workers keep storming through the outage. The hook plays
+	// kill -9 plus cold restart — it must leave the dial target serving
+	// again before it returns — and loads in flight ride their per-fetch
+	// retry policy across the gap. Zero or nil disables the mode.
+	RestartAfter int
+	Restart      func() error
 }
 
 func (c Config) loads() int {
@@ -185,8 +193,13 @@ type Result struct {
 	// FlightDumps lists the flight-recorder artifacts written by loads that
 	// ended degraded, failed, past deadline, or hung.
 	FlightDumps []string
-	Samples     []Sample
-	Elapsed     time.Duration
+	// Restarts counts Restart-hook firings (0 or 1); RestartMs is the
+	// wall-clock outage the hook took; RestartErr carries its failure.
+	Restarts   int
+	RestartMs  float64
+	RestartErr string
+	Samples    []Sample
+	Elapsed    time.Duration
 }
 
 // Run executes the storm and blocks until every load returns or trips the
@@ -227,6 +240,8 @@ func Run(cfg Config) *Result {
 	jobs := make(chan int)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var completed int
+	var restartFired bool
 	for w := 0; w < cfg.concurrency(); w++ {
 		wg.Add(1)
 		go func() {
@@ -251,7 +266,24 @@ func Run(cfg Config) *Result {
 				res.FailedFetches += s.Failed
 				res.Pushed += s.Pushed
 				res.DegradedResps += s.Degraded
+				completed++
+				fire := cfg.Restart != nil && cfg.RestartAfter > 0 &&
+					!restartFired && completed >= cfg.RestartAfter
+				if fire {
+					restartFired = true // claimed; the hook runs unlocked below
+				}
 				mu.Unlock()
+				if fire {
+					t0 := time.Now()
+					err := cfg.Restart()
+					mu.Lock()
+					res.Restarts++
+					res.RestartMs = float64(time.Since(t0)) / float64(time.Millisecond)
+					if err != nil {
+						res.RestartErr = err.Error()
+					}
+					mu.Unlock()
+				}
 			}
 		}()
 	}

@@ -185,13 +185,16 @@ func Listen(cfg LinkConfig) *Listener {
 
 // Dial opens a new shaped connection to the listener.
 func (l *Listener) Dial() (net.Conn, error) {
+	client, server := Pipe(l.cfg)
+	// The send must happen under the same lock as the closed check: Close
+	// closes l.ch, and a send racing that close panics. The send never
+	// blocks (buffered channel, default arm), so holding the mutex is safe.
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
-		l.mu.Unlock()
+		client.Close()
 		return nil, fmt.Errorf("netem: listener closed")
 	}
-	l.mu.Unlock()
-	client, server := Pipe(l.cfg)
 	select {
 	case l.ch <- server:
 		return client, nil

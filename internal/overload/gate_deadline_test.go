@@ -1,0 +1,131 @@
+package overload
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGateExpiredDeadlineAtEnqueue pins the path where the caller's deadline
+// has already passed when Acquire runs on a full gate: the request must shed
+// immediately (no MaxWait sleep), be counted, and leave no residue in the
+// queue.
+func TestGateExpiredDeadlineAtEnqueue(t *testing.T) {
+	g := NewGate(Config{MaxConcurrent: 1, MaxQueue: 4, MaxWait: time.Minute})
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if err := g.Acquire(time.Now().Add(-time.Millisecond)); !errors.Is(err, ErrShed) {
+			t.Fatalf("expired acquire %d: %v, want ErrShed", i, err)
+		}
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("expired acquire %d waited %v; must not sleep toward MaxWait", i, el)
+		}
+	}
+	st := g.Stats()
+	if st.Queued != 0 {
+		t.Fatalf("expired waiters left %d queue entries behind", st.Queued)
+	}
+	if st.Shed != 3 {
+		t.Fatalf("shed count = %d, want 3", st.Shed)
+	}
+
+	// The slot still works: release it and the next acquire admits.
+	g.Release()
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	g.Release()
+}
+
+// TestGateExpiredDeadlineDoesNotLeakGrantedSlot races expired-at-enqueue
+// acquires against Release: a grant can land in the waiter's buffered slot
+// channel in the window between enqueue and abandon, and abandon must hand
+// it back rather than leak it. After the storm, the gate must still admit a
+// full MaxConcurrent set.
+func TestGateExpiredDeadlineDoesNotLeakGrantedSlot(t *testing.T) {
+	const limit = 4
+	g := NewGate(Config{MaxConcurrent: limit, MaxQueue: 8, MaxWait: time.Minute})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := g.Acquire(time.Now().Add(-time.Nanosecond)); err == nil {
+					// An expired deadline may still be admitted when the gate
+					// has a free slot (no queueing, no wait): release it.
+					g.Release()
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := g.Acquire(time.Time{}); err == nil {
+					g.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := g.Stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("storm left inflight=%d queued=%d", st.Inflight, st.Queued)
+	}
+	// Every slot must still exist: a leak would block the limit-th acquire.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < limit; i++ {
+			if err := g.Acquire(time.Time{}); err != nil {
+				t.Errorf("post-storm acquire %d: %v", i, err)
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-storm acquires blocked: a slot leaked")
+	}
+}
+
+// TestGateExpiredDeadlineStillShedsOverflowVictim: an expired arrival on a
+// full queue still displaces the oldest waiter before abandoning itself —
+// both must observe ErrShed, and the queue must stay bounded.
+func TestGateExpiredDeadlineStillShedsOverflowVictim(t *testing.T) {
+	g := NewGate(Config{MaxConcurrent: 1, MaxQueue: 1, MaxWait: time.Minute})
+	if err := g.Acquire(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	victim := make(chan error, 1)
+	go func() { victim <- g.Acquire(time.Time{}) }()
+	for g.Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := g.Acquire(time.Now().Add(-time.Second)); !errors.Is(err, ErrShed) {
+		t.Fatalf("expired overflow arrival: %v, want ErrShed", err)
+	}
+	select {
+	case err := <-victim:
+		if !errors.Is(err, ErrShed) {
+			t.Fatalf("displaced oldest waiter got %v, want ErrShed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("displaced waiter never shed")
+	}
+	if st := g.Stats(); st.Queued != 0 {
+		t.Fatalf("queue holds %d entries after both sheds", st.Queued)
+	}
+	g.Release()
+}

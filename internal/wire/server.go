@@ -48,6 +48,10 @@ const (
 	DegradedShedHints   = "shed-hints"
 	DegradedShedPush    = "shed-push"
 	DegradedShedRequest = "shed-request"
+	// DegradedStaleRestore tags hints served from a table restored off disk
+	// at cold start that background retraining has not refreshed yet:
+	// correct as of the previous process, possibly behind the site's churn.
+	DegradedStaleRestore = "stale-restore"
 )
 
 // ServerConfig controls the replay server's Vroom behaviour.
@@ -340,6 +344,9 @@ func (s *Server) hintsFor(u urlutil.URL, body string, degraded *[]string, st *se
 	}()
 	if s.Store != nil {
 		hs, res := s.Store.Lookup(u, body)
+		if res.Restored && res.Source != hintstore.Miss {
+			*degraded = append(*degraded, DegradedStaleRestore)
+		}
 		switch res.Source {
 		case hintstore.Fresh:
 			source = "fresh"
