@@ -14,9 +14,14 @@
 // With -faults, every client dial passes through a seeded netem fault shim,
 // so the storm exercises the server's recovery paths, not just its happy
 // path. -scrape reads the server's /metrics after the storm and folds
-// serving-side figures (QPS, hint-lookup p50/p99, shed rate) into the
-// vroom-bench/v1 artifact written by -json-out, which vroom-benchdiff can
-// then gate against a committed baseline.
+// serving-side figures (QPS, hint-lookup p50/p99, shed rate) and the
+// hint-efficacy block (per-origin precision/recall, wasted push bytes)
+// into the vroom-bench/v1 artifact written by -json-out, which
+// vroom-benchdiff can then gate against a committed baseline. With
+// -scrape-every the scrape runs periodically through the whole storm
+// (each failure retried once, two in a row marked as a gap rather than
+// failing the run) and -scrape-out persists the series as a
+// vroom-scrapes/v1 file for offline vroom-audit.
 //
 // Distributed tracing:
 //
@@ -48,6 +53,7 @@ import (
 	"strings"
 	"time"
 
+	"vroom/internal/audit"
 	"vroom/internal/benchfmt"
 	"vroom/internal/faults"
 	"vroom/internal/loadgen"
@@ -69,6 +75,8 @@ func main() {
 		grace       = flag.Duration("grace", 30*time.Second, "hang-watchdog grace beyond each class's load deadline")
 		jsonOut     = flag.String("json-out", "", "write a vroom-bench/v1 artifact to this path")
 		scrapeURL   = flag.String("scrape", "", "server /metrics URL to scrape after the storm")
+		scrapeEvery = flag.Duration("scrape-every", 0, "also scrape -scrape periodically during the storm (0 = final scrape only)")
+		scrapeOut   = flag.String("scrape-out", "", "write the scrape series (vroom-scrapes/v1) here for offline vroom-audit")
 		requireRaw  = flag.String("require-degraded", "", "comma-separated degradation tokens that must be observed (e.g. stale-hints,shed-push)")
 		traceOut    = flag.String("trace-out", "", "write a validated Perfetto trace of the storm to this path")
 		traceScrape = flag.String("trace-scrape", "", "server /trace URL; its recording is merged (tracks prefixed srv:) into -trace-out")
@@ -116,6 +124,15 @@ func main() {
 		}
 	}
 
+	// A periodic scraper runs for the storm's whole life so the artifact can
+	// say how much of the run it actually observed: each failed scrape is
+	// retried once, two failures in a row become a marked gap, never a
+	// crashed storm.
+	var series *loadgen.ScrapeSeries
+	if *scrapeURL != "" && *scrapeEvery > 0 {
+		series = loadgen.StartScrapes(*scrapeURL, *scrapeEvery)
+	}
+
 	reg := telemetry.NewRegistry()
 	res := loadgen.Run(loadgen.Config{
 		Root:         root,
@@ -157,15 +174,44 @@ func main() {
 
 	var srvStats *benchfmt.ServerStats
 	if *scrapeURL != "" {
-		srvStats, err = scrapeServer(*scrapeURL, res.Elapsed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL: scrape: %v\n", err)
+		if series == nil {
+			// No periodic cadence asked for: take one final scrape through
+			// the same retry-once path a mid-storm scrape gets.
+			series = loadgen.StartScrapes(*scrapeURL, 0)
+		}
+		points := series.Stop()
+		if gaps := loadgen.Gaps(points); gaps > 0 {
+			fmt.Printf("scrape: %d/%d point(s) gapped (server unreachable past one retry)\n",
+				gaps, len(points))
+		}
+		sc := loadgen.Last(points)
+		if sc == nil {
+			fmt.Fprintf(os.Stderr, "FAIL: scrape: every attempt failed: %s\n", points[len(points)-1].Err)
 			failed = true
 		} else {
+			srvStats = serverStats(sc, res.Elapsed)
+			rep := audit.Summarize(points)
+			rep.FoldInto(srvStats)
 			fmt.Printf("server: %d requests (%.1f qps), %d shed (%.1f%%), hint lookup p50=%.2fms p99=%.2fms, degraded %.1f%%\n",
 				srvStats.Requests, srvStats.QPS, srvStats.Shed, 100*srvStats.ShedRate,
 				srvStats.HintLookupP50, srvStats.HintLookupP99, 100*srvStats.DegradedRate)
+			if srvStats.HintsEmitted > 0 {
+				fmt.Printf("efficacy: %d hints emitted, precision %.3f recall %.3f, %d origin(s), wasted push %dB\n",
+					srvStats.HintsEmitted, srvStats.HintPrecision, srvStats.HintRecall,
+					len(srvStats.Origins), srvStats.WastedPushBytes)
+			}
 		}
+		if *scrapeOut != "" {
+			if err := loadgen.SaveSeries(*scrapeOut, *scrapeURL, points); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL: scrape-out: %v\n", err)
+				failed = true
+			} else {
+				fmt.Printf("scrapes: %s (%d point(s))\n", *scrapeOut, len(points))
+			}
+		}
+	} else if *scrapeOut != "" {
+		fmt.Fprintln(os.Stderr, "FAIL: -scrape-out needs -scrape")
+		failed = true
 	}
 
 	if *jsonOut != "" {
@@ -302,13 +348,9 @@ func crossProcessJoins(rec *obs.Recording) int {
 	return n
 }
 
-// scrapeServer reads the server's /metrics and distills the serving-side
+// serverStats distills a final /metrics scrape into the serving-side
 // figures for the artifact. elapsed is the storm's wall time, used for QPS.
-func scrapeServer(url string, elapsed time.Duration) (*benchfmt.ServerStats, error) {
-	sc, err := loadgen.ScrapeURL(url)
-	if err != nil {
-		return nil, err
-	}
+func serverStats(sc *loadgen.Scrape, elapsed time.Duration) *benchfmt.ServerStats {
 	reqs := sc.Sum("vroom_server_requests_total", nil)
 	shed := sc.Sum("vroom_server_shed_total", nil)
 	degraded := sc.Sum("vroom_server_degraded_total", nil)
@@ -335,7 +377,7 @@ func scrapeServer(url string, elapsed time.Duration) (*benchfmt.ServerStats, err
 		st.StaleRestoreRate = sc.Sum("vroom_server_degraded_total",
 			map[string]string{"mode": "stale-restore"}) / reqs
 	}
-	return st, nil
+	return st
 }
 
 // writeArtifact distills the storm into a vroom-bench/v1 file: one figure of

@@ -46,6 +46,18 @@
 // vroom-events JSON for a client to merge with its own. The sidecar is
 // observability-only — replay traffic never touches it.
 //
+// With -accounting (on by default) the serving path keeps per-tenant
+// hint-quality ledgers: each served hint opens a bounded prediction
+// window (-accounting-window) that settles used when the client requests
+// the hinted URL and unused when it expires, with unpredicted subresource
+// fetches counted as misses and redundant pushes as wasted bytes. The
+// ledgers surface as bounded-cardinality vroom_hint_quality_* series on
+// /metrics (vroom-audit turns them into a per-origin efficacy report) and
+// persist with -state-dir snapshots. -runtime-metrics-every samples Go
+// runtime vitals (heap, goroutines, GC pause, scheduler latency) into the
+// same registry, and -pprof-labels stamps request goroutines with
+// origin/phase labels for /debug/pprof profiles.
+//
 // All operational output is structured (log/slog): -log-format selects
 // text or json, -log-level the threshold. Message values are single words
 // (msg=trained, msg=checkpoint, msg=drained) so pipelines can grep
@@ -118,6 +130,11 @@ func main() {
 		maxConc  = flag.Int("max-concurrent", 64, "requests admitted at once (0 disables admission control)")
 		maxQueue = flag.Int("max-queue", 0, "admission queue depth (default 2x -max-concurrent)")
 		maxWait  = flag.Duration("max-wait", time.Second, "longest a request waits for admission before shedding")
+
+		accounting  = flag.Bool("accounting", true, "per-tenant hint-quality accounting (precision, recall, wasted push bytes) exported as vroom_hint_quality_* series")
+		acctWindow  = flag.Duration("accounting-window", 0, "how long an emitted hint may wait for its request before settling unused (default 5s)")
+		rtEvery     = flag.Duration("runtime-metrics-every", 5*time.Second, "Go-runtime vitals sampling interval for /metrics (0 disables); needs -telemetry-addr")
+		pprofLabels = flag.Bool("pprof-labels", false, "stamp request goroutines with origin/phase pprof labels (small per-request allocation)")
 	)
 	flag.Parse()
 
@@ -197,10 +214,14 @@ func main() {
 
 	srv := wire.NewServer(archive, fallback, device, wire.ServerConfig{
 		SendHints: *sendHints, Push: *push, ThinkTime: *think,
+		ProfileLabels: *pprofLabels,
 	})
 	srv.Store = store
 	srv.Gate = gate
 	srv.Log = log
+	if *accounting {
+		srv.Acct = wire.NewAccountant(wire.AccountingConfig{Store: store, Window: *acctWindow})
+	}
 	if regime != faults.RegimeNone {
 		plan := faults.New(*faultSeed, faults.RegimeConfig(regime))
 		// The root document must stay loadable or every run is a trivial
@@ -228,6 +249,13 @@ func main() {
 	} else {
 		reg := telemetry.NewRegistry()
 		srv.Instrument(tr, reg)
+		// Runtime vitals ride the same registry: a scrape answers "is the
+		// process healthy", not just "is the protocol".
+		rc := telemetry.NewRuntimeCollector(reg, *rtEvery)
+		if *rtEvery > 0 {
+			rc.Start()
+			defer rc.Stop()
+		}
 		// net/http/pprof registers its handlers on the default mux; put
 		// /metrics and the health endpoints there too so one listener serves
 		// the whole plane.
@@ -305,6 +333,7 @@ func main() {
 		if *proto == "h1" {
 			gate.Drain()
 			h1srv.Drain(*drain)
+			srv.Acct.Flush()
 			cps = store.Drain(*drain)
 		} else {
 			cps = srv.Drain(*drain)

@@ -1,0 +1,173 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vroom/internal/benchfmt"
+	"vroom/internal/loadgen"
+)
+
+const exposition = `
+# HELP vroom_server_requests_total Requests served, by protocol.
+vroom_server_requests_total{proto="h2"} 90
+vroom_server_requests_total{proto="h1"} 10
+vroom_server_shed_total 5
+vroom_server_degraded_total{mode="stale-hints"} 3
+vroom_server_origin_requests_total{origin="news.example"} 80
+vroom_server_origin_requests_total{origin="cdn.example"} 20
+vroom_hint_quality_hints_emitted_total{origin="news.example"} 40
+vroom_hint_quality_hints_used_total{origin="news.example"} 18
+vroom_hint_quality_hints_used_total{origin="cdn.example"} 12
+vroom_hint_quality_hints_unused_total{origin="news.example"} 6
+vroom_hint_quality_hints_unused_total{origin="cdn.example"} 4
+vroom_hint_quality_hints_missed_total{origin="cdn.example"} 10
+vroom_hint_quality_pushed_bytes_total{origin="cdn.example"} 4096
+vroom_hint_quality_wasted_push_bytes_total{origin="cdn.example"} 1024
+vroom_hint_quality_push_lead_ms_bucket{le="5"} 2
+vroom_hint_quality_push_lead_ms_bucket{le="50"} 10
+vroom_hint_quality_push_lead_ms_bucket{le="+Inf"} 10
+vroom_runtime_heap_bytes 1048576
+vroom_runtime_goroutines 42
+vroom_runtime_gc_cycles_total 7
+`
+
+func seriesFrom(t *testing.T, text string) []loadgen.ScrapePoint {
+	t.Helper()
+	sc, err := loadgen.ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(100, 0)
+	return []loadgen.ScrapePoint{
+		{At: base, Gap: true, Err: "connection refused"},
+		{At: base.Add(2 * time.Second), Scrape: sc},
+	}
+}
+
+func TestSummarizeTotalsAndOrigins(t *testing.T) {
+	r := Summarize(seriesFrom(t, exposition))
+
+	if r.Scrapes != 2 || r.ScrapeGaps != 1 {
+		t.Fatalf("scrapes/gaps = %d/%d, want 2/1", r.Scrapes, r.ScrapeGaps)
+	}
+	tot := r.Totals
+	if tot.Requests != 100 || tot.Shed != 5 || tot.Degraded != 3 {
+		t.Fatalf("serving totals wrong: %+v", tot)
+	}
+	// used 30, unused 10 → precision 0.75; missed 10 → recall 0.75.
+	if tot.HintsEmitted != 40 || tot.HintsUsed != 30 || tot.HintsUnused != 10 || tot.HintsMissed != 10 {
+		t.Fatalf("hint totals wrong: %+v", tot)
+	}
+	if tot.Precision != 0.75 || tot.Recall != 0.75 {
+		t.Fatalf("precision/recall = %v/%v, want 0.75/0.75", tot.Precision, tot.Recall)
+	}
+	if tot.PushedBytes != 4096 || tot.WastedPushBytes != 1024 {
+		t.Fatalf("push bytes wrong: %+v", tot)
+	}
+	if tot.PushLeadP50Ms <= 0 || tot.PushLeadP50Ms > 50 {
+		t.Fatalf("push lead p50 = %v, want within (0, 50]", tot.PushLeadP50Ms)
+	}
+
+	if len(r.Origins) != 2 {
+		t.Fatalf("want 2 origin rows, got %+v", r.Origins)
+	}
+	// Sorted by origin: cdn first.
+	cdn, news := r.Origins[0], r.Origins[1]
+	if cdn.Origin != "cdn.example" || news.Origin != "news.example" {
+		t.Fatalf("rows not sorted by origin: %+v", r.Origins)
+	}
+	if cdn.HintsUsed != 12 || cdn.HintsMissed != 10 || cdn.PushedBytes != 4096 {
+		t.Fatalf("cdn row wrong: %+v", cdn)
+	}
+	if got, want := cdn.Precision, 12.0/16.0; got != want {
+		t.Fatalf("cdn precision = %v, want %v", got, want)
+	}
+	if news.HintsEmitted != 40 || news.Requests != 80 {
+		t.Fatalf("news row wrong: %+v", news)
+	}
+
+	if r.Runtime == nil || r.Runtime.Goroutines != 42 || r.Runtime.HeapBytes != 1048576 {
+		t.Fatalf("runtime health missing or wrong: %+v", r.Runtime)
+	}
+}
+
+func TestSummarizeAllGapsDegradesGracefully(t *testing.T) {
+	base := time.Unix(100, 0)
+	r := Summarize([]loadgen.ScrapePoint{{At: base, Gap: true, Err: "down"}})
+	if r.Scrapes != 1 || r.ScrapeGaps != 1 || len(r.Origins) != 0 || r.Totals.Requests != 0 {
+		t.Fatalf("all-gap summary should be empty, got %+v", r)
+	}
+	var sb strings.Builder
+	r.Render(&sb, 0)
+	if !strings.Contains(sb.String(), "no per-origin accounting") {
+		t.Fatalf("render missing empty-table note:\n%s", sb.String())
+	}
+}
+
+func TestFoldInto(t *testing.T) {
+	r := Summarize(seriesFrom(t, exposition))
+	var st benchfmt.ServerStats
+	r.FoldInto(&st)
+	if st.HintPrecision != 0.75 || st.HintRecall != 0.75 || st.HintsEmitted != 40 {
+		t.Fatalf("folded efficacy wrong: %+v", st)
+	}
+	if st.Scrapes != 2 || st.ScrapeGaps != 1 {
+		t.Fatalf("folded scrape counts wrong: %+v", st)
+	}
+	if len(st.Origins) != 2 || st.Origins[0].Origin != "cdn.example" {
+		t.Fatalf("folded origins wrong: %+v", st.Origins)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	r := Summarize(seriesFrom(t, exposition))
+	var sb strings.Builder
+	r.Render(&sb, 1)
+	out := sb.String()
+	for _, want := range []string{"precision 0.750", "news.example", "… 1 more origin(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Top-1 by emitted: news (40) shown, cdn clipped.
+	if strings.Contains(out, "cdn.example") {
+		t.Fatalf("top=1 should clip the cdn row:\n%s", out)
+	}
+}
+
+const stormTrace = `{"traceEvents":[
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"load"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"srv:server"}},
+{"name":"fetch","ph":"B","ts":0,"pid":1,"tid":1,"args":{"url":"https://news.example/","flow":"1:1"}},
+{"name":"fetch","ph":"E","ts":8000,"pid":1,"tid":1},
+{"name":"fetch","ph":"b","ts":1000,"pid":1,"tid":1,"cat":"vroom","id":"0x2","args":{"url":"https://cdn.example/a.js"}},
+{"name":"fetch","ph":"e","ts":3000,"pid":1,"tid":1,"cat":"vroom","id":"0x2"},
+{"name":"serve","ph":"B","ts":2000,"pid":1,"tid":2},
+{"name":"serve","ph":"E","ts":2500,"pid":1,"tid":2},
+{"name":"flow","ph":"s","ts":0,"pid":1,"tid":1,"cat":"vroom-flow","id":"1:1"},
+{"name":"flow","ph":"f","bp":"e","ts":2000,"pid":1,"tid":2,"cat":"vroom-flow","id":"1:1"}
+],"displayTimeUnit":"ms"}`
+
+func TestSummarizeTrace(t *testing.T) {
+	ts, err := summarizeTrace([]byte(stormTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Fetches != 2 {
+		t.Fatalf("fetches = %d, want 2", ts.Fetches)
+	}
+	if ts.ServerSpans != 1 {
+		t.Fatalf("server spans = %d, want 1", ts.ServerSpans)
+	}
+	if ts.CrossFlows != 1 {
+		t.Fatalf("cross flows = %d, want 1", ts.CrossFlows)
+	}
+	if tf := ts.ByOrigin["news.example"]; tf.Fetches != 1 || tf.P50Ms != 8 {
+		t.Fatalf("news fetch digest wrong: %+v", ts.ByOrigin)
+	}
+	if tf := ts.ByOrigin["cdn.example"]; tf.Fetches != 1 || tf.P50Ms != 2 {
+		t.Fatalf("cdn fetch digest wrong: %+v", ts.ByOrigin)
+	}
+}

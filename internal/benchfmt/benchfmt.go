@@ -93,6 +93,49 @@ type ServerStats struct {
 	// of the storm was answered from disk-restored tables not yet refreshed
 	// by background retraining.
 	StaleRestoreRate float64 `json:"stale_restore_rate,omitempty"`
+	// Hint-efficacy block, aggregated across every origin from the
+	// server's vroom_hint_quality_* families. Precision is used hints /
+	// settled hints; Recall is used hints / (used + missed fetches). All
+	// omitted when the server ran without accounting.
+	HintPrecision   float64 `json:"hint_precision,omitempty"`
+	HintRecall      float64 `json:"hint_recall,omitempty"`
+	HintsEmitted    int64   `json:"hints_emitted,omitempty"`
+	PushedBytes     int64   `json:"pushed_bytes,omitempty"`
+	WastedPushBytes int64   `json:"wasted_push_bytes,omitempty"`
+	// PushLeadP50Ms is the median time a pushed resource sat ready before
+	// the client needed it; StalenessP50Ms the median age of served hint
+	// tables.
+	PushLeadP50Ms  float64 `json:"push_lead_p50_ms,omitempty"`
+	StalenessP50Ms float64 `json:"staleness_p50_ms,omitempty"`
+	// Scrapes and ScrapeGaps report the periodic-scrape series the stats
+	// were merged from: how many scrapes landed and how many gapped (both
+	// the attempt and its retry failed). A gappy series means the numbers
+	// above may under-count a mid-storm outage window.
+	Scrapes    int `json:"scrapes,omitempty"`
+	ScrapeGaps int `json:"scrape_gaps,omitempty"`
+	// Origins breaks the efficacy and serving counters down per origin,
+	// sorted by origin name. The telemetry layer bounds cardinality, so a
+	// trailing "other" row may absorb past-cap origins.
+	Origins []OriginStats `json:"origins,omitempty"`
+}
+
+// OriginStats is one origin's row in the per-tenant efficacy breakdown.
+// Settlement counters attribute to the hinted URL's host while emissions
+// attribute to the hinting document's origin, so cross-origin hints make
+// used+unused ≤ emitted hold only over the aggregate, not per row.
+type OriginStats struct {
+	Origin          string  `json:"origin"`
+	Requests        int64   `json:"requests,omitempty"`
+	Shed            int64   `json:"shed,omitempty"`
+	Degraded        int64   `json:"degraded,omitempty"`
+	HintsEmitted    int64   `json:"hints_emitted,omitempty"`
+	HintsUsed       int64   `json:"hints_used,omitempty"`
+	HintsUnused     int64   `json:"hints_unused,omitempty"`
+	HintsMissed     int64   `json:"hints_missed,omitempty"`
+	Precision       float64 `json:"precision,omitempty"`
+	Recall          float64 `json:"recall,omitempty"`
+	PushedBytes     int64   `json:"pushed_bytes,omitempty"`
+	WastedPushBytes int64   `json:"wasted_push_bytes,omitempty"`
 }
 
 // Series is one labelled distribution, distilled to the quartiles the

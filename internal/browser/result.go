@@ -5,15 +5,20 @@ import (
 	"time"
 
 	"vroom/internal/hints"
+	"vroom/internal/webpage"
 )
 
 // ResourceTiming is the per-resource timeline extracted from a finished
 // load, used by the per-resource figures (Fig. 11, Fig. 16).
 type ResourceTiming struct {
-	URL          string
-	Priority     hints.Priority
-	Required     bool
-	Pushed       bool
+	URL      string
+	Priority hints.Priority
+	Required bool
+	Hinted   bool
+	Pushed   bool
+	// Doc marks an HTML document (root or iframe) — exempt from the
+	// hint-miss count, since documents are what hints are served on.
+	Doc          bool
 	Size         int
 	DiscoveredAt time.Duration // relative to load start
 	RequiredAt   time.Duration
@@ -69,7 +74,32 @@ type Result struct {
 	HintsFailed   int
 	NumRequired   int
 	NumFetched    int
-	Resources     []ResourceTiming
+	// Hint-quality ledger, the simulator's half of the per-tenant efficacy
+	// accounting (DESIGN.md §13): a hinted URL is "used" when the page
+	// turned out to require it and "unused" otherwise; a required
+	// non-document resource the hints never named is "missed".
+	HintsEmitted int
+	HintsUsed    int
+	HintsUnused  int
+	HintsMissed  int
+	Resources    []ResourceTiming
+}
+
+// HintPrecision is used / settled hints (0 when no hint settled).
+func (r Result) HintPrecision() float64 {
+	if n := r.HintsUsed + r.HintsUnused; n > 0 {
+		return float64(r.HintsUsed) / float64(n)
+	}
+	return 0
+}
+
+// HintRecall is used hints / (used + missed) — the share of required
+// subresources the hints named ahead of discovery.
+func (r Result) HintRecall() float64 {
+	if n := r.HintsUsed + r.HintsMissed; n > 0 {
+		return float64(r.HintsUsed) / float64(n)
+	}
+	return 0
 }
 
 // Result computes the load summary. It must be called after the load
@@ -108,10 +138,22 @@ func (l *Load) Result() Result {
 			URL:        e.URL.String(),
 			Priority:   e.Priority,
 			Required:   e.Required,
+			Hinted:     e.Hinted,
 			Pushed:     e.Pushed,
+			Doc:        e.Res != nil && e.Res.Type == webpage.HTML,
 			Size:       e.Size,
 			Failed:     e.FailReason != "",
 			FailReason: e.FailReason,
+		}
+		switch {
+		case e.Hinted && e.Required:
+			r.HintsEmitted++
+			r.HintsUsed++
+		case e.Hinted:
+			r.HintsEmitted++
+			r.HintsUnused++
+		case e.Required && !rt.Doc:
+			r.HintsMissed++
 		}
 		if !e.DiscoveredAt.IsZero() {
 			rt.DiscoveredAt = e.DiscoveredAt.Sub(start)

@@ -8,6 +8,7 @@ import (
 	"vroom/internal/faults"
 	"vroom/internal/metrics"
 	"vroom/internal/runner"
+	"vroom/internal/telemetry"
 	"vroom/internal/webpage"
 )
 
@@ -23,7 +24,7 @@ func faultSeed(base int64, site string, nonce uint64) int64 {
 // chaosLoad runs a policy on a site LoadsPerSite times, each load under a
 // fresh fault plan for the regime, and returns the median-PLT load. Fault
 // and degradation counters aggregate into agg.
-func chaosLoad(s *webpage.Site, pol runner.Policy, o Options, reg faults.Regime, agg *metrics.Counters) (browser.Result, error) {
+func chaosLoad(s *webpage.Site, pol runner.Policy, o Options, reg faults.Regime, agg *telemetry.Counters) (browser.Result, error) {
 	var results []browser.Result
 	for i := 0; i < o.LoadsPerSite; i++ {
 		var plan *faults.Plan
@@ -67,11 +68,11 @@ func Ext03(o Options) (*Result, error) {
 		reg faults.Regime
 	}
 	dists := make(map[cell]*metrics.Dist)
-	counters := make(map[faults.Regime]*metrics.Counters)
+	counters := make(map[faults.Regime]*telemetry.Counters)
 	hists := metrics.NewRegistry()
 	var rows []metrics.TableRow
 	for _, reg := range regimes {
-		counters[reg] = metrics.NewCounters()
+		counters[reg] = telemetry.NewCounters()
 		for _, name := range []string{"retries", "timeouts", "failed-fetches", "hints-failed", "wasted-push-bytes"} {
 			counters[reg].Touch(name)
 		}

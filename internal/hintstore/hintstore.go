@@ -191,6 +191,9 @@ type shard struct {
 	lookups atomic.Int64
 	// retrains counts retrain publishes, likewise persisted.
 	retrains atomic.Int64
+	// quality is the tenant's hint-efficacy ledger (see quality.go),
+	// persisted alongside lookups/retrains.
+	quality Quality
 }
 
 // Checkpoint is one shard's state at drain time.
@@ -239,6 +242,9 @@ type Store struct {
 	mTenants  *telemetry.Gauge
 	mEvict    *telemetry.Counter
 	mQFull    *telemetry.Counter
+	// qual is the per-origin efficacy family bundle (quality.go); zero
+	// value no-ops when Instrument was never called.
+	qual qualityVecs
 }
 
 // New returns a running store: its background training workers are started
@@ -306,6 +312,7 @@ func (st *Store) Restore(tables []persist.TableState) {
 		sh.version.Store(t.Version)
 		sh.lookups.Store(t.Lookups)
 		sh.retrains.Store(t.Retrains)
+		sh.quality.restore(t.Quality)
 		sh.lastUsed.Store(st.clock().UnixNano())
 		sh.cur.Store(&table{version: t.Version, trainedAt: t.TrainedAt,
 			resolver: core.NewResolverFromState(t.Resolver), device: t.Device,
@@ -353,6 +360,7 @@ func (st *Store) Instrument(reg *telemetry.Registry) {
 	st.mTenants = reg.Gauge(metricTenants)
 	st.mEvict = reg.Counter(metricEvictions)
 	st.mQFull = reg.Counter(metricQueueFull)
+	st.instrumentQuality(reg)
 	st.pers.Instrument(reg, st.recovery)
 }
 
@@ -563,6 +571,7 @@ func (st *Store) stateOf(sh *shard, tbl *table) persist.TableState {
 		Lookups:   sh.lookups.Load(),
 		Retrains:  sh.retrains.Load(),
 		Resolver:  tbl.resolver.Export(),
+		Quality:   sh.quality.state(),
 	}
 }
 

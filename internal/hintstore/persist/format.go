@@ -41,7 +41,8 @@ import (
 
 // TableState is one origin's complete durable state: the published table's
 // identity plus the shard counters that should survive a restart (lookup
-// and retrain counts feed LRU eviction and capacity planning).
+// and retrain counts feed LRU eviction and capacity planning; the quality
+// ledger feeds efficacy reporting).
 type TableState struct {
 	Origin    string              `json:"origin"`
 	Version   uint64              `json:"version"`
@@ -50,6 +51,26 @@ type TableState struct {
 	Lookups   int64               `json:"lookups"`
 	Retrains  int64               `json:"retrains"`
 	Resolver  core.ResolverState  `json:"resolver"`
+	// Quality is the tenant's hint-efficacy ledger. Added after format
+	// version 1 shipped: JSON decoding leaves it zero for old snapshots and
+	// old readers ignore the key, so no format bump is needed.
+	Quality QualityState `json:"quality"`
+}
+
+// QualityState is the durable form of one tenant's hint-efficacy counters
+// (see hintstore.Quality for the accounting rules).
+type QualityState struct {
+	HintsEmitted    int64 `json:"hints_emitted"`
+	HintsUsed       int64 `json:"hints_used"`
+	HintsUnused     int64 `json:"hints_unused"`
+	HintsMissed     int64 `json:"hints_missed"`
+	PushedCount     int64 `json:"pushed_count"`
+	PushedBytes     int64 `json:"pushed_bytes"`
+	WastedPushBytes int64 `json:"wasted_push_bytes"`
+	PushLeadMsSum   int64 `json:"push_lead_ms_sum"`
+	PushLeads       int64 `json:"push_leads"`
+	StaleServeMsSum int64 `json:"stale_serve_ms_sum"`
+	StaleServes     int64 `json:"stale_serves"`
 }
 
 // Format constants. Bump formatVersion on incompatible change — recovery

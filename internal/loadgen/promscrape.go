@@ -17,7 +17,13 @@ import (
 // and histogram buckets back out of /metrics.
 type Scrape struct {
 	samples map[string][]promSample
+	raw     string
 }
+
+// Raw returns the exposition text the scrape was parsed from, when known
+// (ScrapeURL keeps it; ParseProm from an arbitrary reader does not). The
+// scrape-series writer persists it so an audit can re-parse offline.
+func (s *Scrape) Raw() string { return s.raw }
 
 type promSample struct {
 	labels map[string]string
@@ -35,7 +41,16 @@ func ScrapeURL(url string) (*Scrape, error) {
 	if resp.StatusCode != 200 {
 		return nil, fmt.Errorf("loadgen: scrape %s: status %d", url, resp.StatusCode)
 	}
-	return ParseProm(resp.Body)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ParseProm(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	sc.raw = string(body)
+	return sc, nil
 }
 
 // ParseProm parses a Prometheus text exposition. Comment and malformed
@@ -116,6 +131,41 @@ func splitLabels(s string) []string {
 
 // Has reports whether the scrape contains any sample of the family.
 func (s *Scrape) Has(family string) bool { return len(s.samples[family]) > 0 }
+
+// MetricSample is one exported sample of a scraped family. (Named
+// MetricSample, not Sample — loadgen.Sample is the per-load result row.)
+type MetricSample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Samples returns every sample of family in exposition order.
+func (s *Scrape) Samples(family string) []MetricSample {
+	raw := s.samples[family]
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]MetricSample, len(raw))
+	for i, smp := range raw {
+		out[i] = MetricSample{Labels: smp.labels, Value: smp.value}
+	}
+	return out
+}
+
+// SumBy sums a family's samples grouped by one label's value. Samples
+// missing the label are folded under "". This is how the audit tool turns
+// a flat exposition back into per-origin breakdowns.
+func (s *Scrape) SumBy(family, labelKey string) map[string]float64 {
+	raw := s.samples[family]
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, smp := range raw {
+		out[smp.labels[labelKey]] += smp.value
+	}
+	return out
+}
 
 // Sum adds every sample of family whose labels include match (nil matches
 // all).

@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ScrapePoint is one timed scrape in a series. Either Scrape is set (the
+// parsed exposition) or Gap is — a point where the scrape attempt and its
+// single retry both failed, typically because the server was mid-restart
+// or shedding so hard the metrics endpoint itself went unanswered. Gaps
+// are first-class data: an efficacy report built over a gappy series must
+// say so instead of silently interpolating.
+type ScrapePoint struct {
+	At  time.Time `json:"at"`
+	Gap bool      `json:"gap,omitempty"`
+	Err string    `json:"err,omitempty"`
+	// Raw is the exposition text of a successful scrape, persisted so a
+	// series written to disk can be re-parsed by vroom-audit offline.
+	Raw    string  `json:"raw,omitempty"`
+	Scrape *Scrape `json:"-"`
+}
+
+// ScrapeSeries scrapes one /metrics endpoint on a fixed cadence for the
+// life of a storm. Start it before loadgen.Run, Stop it after: Stop takes
+// one final scrape (the one the artifact's Server block is built from)
+// and returns every point in order.
+type ScrapeSeries struct {
+	url   string
+	every time.Duration
+
+	mu     sync.Mutex
+	points []ScrapePoint
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartScrapes begins scraping url every interval (minimum 100ms,
+// default 1s when non-positive) until Stop.
+func StartScrapes(url string, every time.Duration) *ScrapeSeries {
+	if every <= 0 {
+		every = time.Second
+	}
+	if every < 100*time.Millisecond {
+		every = 100 * time.Millisecond
+	}
+	ss := &ScrapeSeries{url: url, every: every,
+		stop: make(chan struct{}), done: make(chan struct{})}
+	go ss.run()
+	return ss
+}
+
+func (ss *ScrapeSeries) run() {
+	defer close(ss.done)
+	t := time.NewTicker(ss.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ss.scrapeOnce()
+		case <-ss.stop:
+			return
+		}
+	}
+}
+
+// scrapeOnce takes one scrape, retrying once before recording a gap: a
+// single refused connection mid-storm (admission pressure, a restart in
+// progress) should not punch a hole in the series, but two in a row is a
+// real outage worth marking.
+func (ss *ScrapeSeries) scrapeOnce() {
+	p := ScrapePoint{At: time.Now()}
+	sc, err := ScrapeURL(ss.url)
+	if err != nil {
+		time.Sleep(ss.every / 4)
+		sc, err = ScrapeURL(ss.url)
+	}
+	if err != nil {
+		p.Gap = true
+		p.Err = err.Error()
+	} else {
+		p.Scrape = sc
+		p.Raw = sc.Raw()
+	}
+	ss.mu.Lock()
+	ss.points = append(ss.points, p)
+	ss.mu.Unlock()
+}
+
+// Stop ends the series, takes one final scrape, and returns every point
+// in order. Safe to call once.
+func (ss *ScrapeSeries) Stop() []ScrapePoint {
+	close(ss.stop)
+	<-ss.done
+	ss.scrapeOnce()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return append([]ScrapePoint(nil), ss.points...)
+}
+
+// Gaps counts the gap points in a series.
+func Gaps(points []ScrapePoint) int {
+	n := 0
+	for _, p := range points {
+		if p.Gap {
+			n++
+		}
+	}
+	return n
+}
+
+// Last returns the newest non-gap point's scrape, or nil when every point
+// gapped (or the series is empty).
+func Last(points []ScrapePoint) *Scrape {
+	for i := len(points) - 1; i >= 0; i-- {
+		if !points[i].Gap {
+			return points[i].Scrape
+		}
+	}
+	return nil
+}
+
+// seriesFile is the on-disk shape of a scrape series (-scrape-out).
+type seriesFile struct {
+	Schema string        `json:"schema"`
+	URL    string        `json:"url,omitempty"`
+	Points []ScrapePoint `json:"points"`
+}
+
+// SeriesSchema versions the scrape-series file vroom-load writes and
+// vroom-audit reads.
+const SeriesSchema = "vroom-scrapes/v1"
+
+// SaveSeries writes a scrape series to path, raw expositions included.
+func SaveSeries(path, url string, points []ScrapePoint) error {
+	b, err := json.MarshalIndent(seriesFile{Schema: SeriesSchema, URL: url, Points: points}, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadSeries reads a scrape series back, re-parsing each point's raw
+// exposition. A point whose raw text fails to parse becomes a gap rather
+// than failing the whole load.
+func LoadSeries(path string) ([]ScrapePoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f seriesFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	if f.Schema != SeriesSchema {
+		return nil, fmt.Errorf("loadgen: %s: schema %q, want %q", path, f.Schema, SeriesSchema)
+	}
+	for i := range f.Points {
+		p := &f.Points[i]
+		if p.Gap || p.Raw == "" {
+			continue
+		}
+		sc, err := ParseProm(strings.NewReader(p.Raw))
+		if err != nil {
+			p.Gap = true
+			p.Err = "reparse: " + err.Error()
+			continue
+		}
+		sc.raw = p.Raw
+		p.Scrape = sc
+	}
+	return f.Points, nil
+}

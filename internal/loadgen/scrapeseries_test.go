@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A metrics endpoint that fails its first N requests, then recovers.
+func flakyMetrics(failFirst int64) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n <= failFirst {
+			http.Error(w, "mid-restart", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `vroom_server_requests_total{proto="h2"} 42`)
+		fmt.Fprintln(w, `vroom_hint_quality_hints_emitted_total{origin="news.example"} 7`)
+	})
+	return httptest.NewServer(h), &hits
+}
+
+func TestScrapeSeriesRetryMasksSingleFailure(t *testing.T) {
+	// One failure followed by a good response: the retry inside scrapeOnce
+	// should absorb it, so no point in the series gaps.
+	srv, _ := flakyMetrics(1)
+	defer srv.Close()
+
+	ss := StartScrapes(srv.URL, 100*time.Millisecond)
+	time.Sleep(250 * time.Millisecond)
+	points := ss.Stop()
+
+	if len(points) == 0 {
+		t.Fatal("no scrape points recorded")
+	}
+	if g := Gaps(points); g != 0 {
+		t.Fatalf("want 0 gaps (retry should mask a single failure), got %d: %+v", g, points)
+	}
+	last := Last(points)
+	if last == nil {
+		t.Fatal("no usable scrape in series")
+	}
+	if got := last.Sum("vroom_server_requests_total", nil); got != 42 {
+		t.Fatalf("final scrape requests = %v, want 42", got)
+	}
+}
+
+func TestScrapeSeriesMarksGapThenRecovers(t *testing.T) {
+	// Enough consecutive failures to exhaust the retry: the early points
+	// must be marked as gaps (with the error preserved), and once the
+	// endpoint recovers the series resumes with real scrapes.
+	srv, _ := flakyMetrics(4)
+	defer srv.Close()
+
+	ss := StartScrapes(srv.URL, 100*time.Millisecond)
+	time.Sleep(450 * time.Millisecond)
+	points := ss.Stop()
+
+	if g := Gaps(points); g == 0 {
+		t.Fatalf("want at least one gap, got none over %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Gap && p.Err == "" {
+			t.Fatal("gap point recorded without its error")
+		}
+		if p.Gap && p.Scrape != nil {
+			t.Fatal("gap point carries a scrape")
+		}
+	}
+	last := Last(points)
+	if last == nil {
+		t.Fatal("series never recovered to a usable scrape")
+	}
+	if got := last.SumBy("vroom_hint_quality_hints_emitted_total", "origin")["news.example"]; got != 7 {
+		t.Fatalf("per-origin SumBy = %v, want 7", got)
+	}
+}
+
+func TestScrapeSeriesAllGaps(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	ss := StartScrapes(srv.URL, 100*time.Millisecond)
+	time.Sleep(150 * time.Millisecond)
+	points := ss.Stop()
+
+	if g := Gaps(points); g != len(points) || g == 0 {
+		t.Fatalf("want every point gapped, got %d/%d", g, len(points))
+	}
+	if Last(points) != nil {
+		t.Fatal("Last should be nil for an all-gap series")
+	}
+}

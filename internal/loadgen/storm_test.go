@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -78,6 +79,9 @@ func newStormWorld(t *testing.T, ttl time.Duration, maxConcurrent int) *stormWor
 	srv := wire.NewServer(merged, nil, device, wire.ServerConfig{SendHints: true, Push: true})
 	srv.Store = store
 	srv.Gate = gate
+	// Hint-quality accounting runs through the whole storm so the -race run
+	// exercises the accountant's settlement path at full concurrency.
+	srv.Acct = wire.NewAccountant(wire.AccountingConfig{Store: store, Window: 2 * time.Second})
 	reg := telemetry.NewRegistry()
 	srv.Instrument(nil, reg)
 
@@ -149,7 +153,27 @@ func TestStormChaosAcceptance(t *testing.T) {
 	}
 	w := newStormWorld(t, 40*time.Millisecond, 16)
 
+	// A stall watchdog guards the whole storm: if no load finishes for the
+	// timeout it dumps every goroutine stack before the test deadline would
+	// kill the run with no evidence. The baseline feeds the post-storm
+	// goroutine-leak check.
+	baseline := runtime.NumGoroutine()
+	wd := telemetry.NewWatchdog("storm-acceptance", 3*time.Minute, nil, func() {
+		t.Error("storm stalled: no progress within the watchdog timeout (stacks dumped above)")
+	})
+	defer wd.Stop()
+
 	res := Run(w.config(loads, 64))
+
+	if wd.Stop() {
+		t.Fatal("stall watchdog fired during the storm")
+	}
+	// Every load goroutine, per-load watchdog, and client connection the
+	// generator spawned must be gone; only the world's own long-lived
+	// goroutines (store workers, accept loop, draining server conns) remain.
+	if err := telemetry.CheckGoroutineLeak(baseline, 32, 10*time.Second); err != nil {
+		t.Errorf("storm leaked goroutines: %v", err)
+	}
 
 	if res.Hung != 0 {
 		t.Fatalf("%d load(s) hung past deadline+grace", res.Hung)
@@ -181,6 +205,22 @@ func TestStormChaosAcceptance(t *testing.T) {
 	}
 	if n := w.reg.Counter("vroom_store_lookups_total", telemetry.L("source", "stale")).Value(); n == 0 {
 		t.Error("no lookup was served stale")
+	}
+
+	// The hint-quality accountant ran through the whole storm: its aggregate
+	// books must be non-empty and balanced (settlements never outrun
+	// emissions; windows still open at storm end are simply unsettled).
+	var emitted, used, unused int64
+	for _, q := range w.store.QualityAll() {
+		emitted += q.HintsEmitted
+		used += q.HintsUsed
+		unused += q.HintsUnused
+	}
+	if emitted == 0 || used == 0 {
+		t.Errorf("accounting ledgers empty after storm: emitted=%d used=%d", emitted, used)
+	}
+	if used+unused > emitted {
+		t.Errorf("accounting books unbalanced: used %d + unused %d > emitted %d", used, unused, emitted)
 	}
 
 	// The server's books must balance: everything admitted was counted, and

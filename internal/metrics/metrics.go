@@ -1,5 +1,14 @@
 // Package metrics provides the distribution statistics the evaluation
-// reports: CDFs, percentiles, and formatted comparison tables.
+// reports: CDFs, percentiles, significance tests, and formatted comparison
+// tables, plus the constant-memory log-bucketed Histogram that
+// internal/telemetry wraps.
+//
+// Scope note: this package is pure statistics — sample containers rendered
+// into experiment reports (the Registry here is a per-report set of named
+// histograms, not a live scrape surface). Runtime observability — counters,
+// gauges, labeled families, Prometheus/JSON exposition, and the experiment
+// Counters set — lives in internal/telemetry, which is the one runtime
+// registry.
 package metrics
 
 import (

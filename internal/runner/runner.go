@@ -11,6 +11,7 @@ import (
 	"vroom/internal/core"
 	"vroom/internal/event"
 	"vroom/internal/faults"
+	"vroom/internal/hintstore"
 	"vroom/internal/netsim"
 	"vroom/internal/obs"
 	"vroom/internal/polaris"
@@ -84,6 +85,11 @@ type Options struct {
 	// and Polaris graphs. Results are identical with or without it; nil
 	// rebuilds everything per load. Safe for concurrent Runs.
 	Caches *Caches
+	// Quality, when set, accumulates the load's hint-efficacy accounting
+	// (emissions, used/unused/missed, push bytes) into the store's
+	// per-tenant ledgers, mirroring what the wire accountant does for the
+	// served path. Nil disables.
+	Quality *hintstore.Store
 }
 
 func (o *Options) fill() {
@@ -121,6 +127,7 @@ func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 	farm := server.NewFarm(net, sn, resolver, srvPolicy, server.DefaultConfig())
 	farm.Faults = opts.Faults
 	farm.Trace = tracer
+	farm.Quality = opts.Quality
 	// Old fingerprinted assets remain fetchable, as on real CDNs; stale
 	// hints and stale Polaris graph entries hit these.
 	for _, back := range []time.Duration{time.Hour, 2 * time.Hour, 3 * time.Hour, 24 * time.Hour, 7 * 24 * time.Hour} {
@@ -156,7 +163,9 @@ func Run(site *webpage.Site, pol Policy, opts Options) (browser.Result, error) {
 	if !load.Finished() {
 		return browser.Result{}, fmt.Errorf("runner: %s on %s: load did not finish (%s)", pol, site.Name, load)
 	}
-	return load.Result(), nil
+	res := load.Result()
+	farm.SettleQuality(res)
+	return res, nil
 }
 
 // networkConfig picks protocol and link behaviour for a policy.

@@ -1,10 +1,14 @@
 package runner
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"vroom/internal/browser"
+	"vroom/internal/hintstore"
+	"vroom/internal/loadgen"
+	"vroom/internal/telemetry"
 	"vroom/internal/webpage"
 )
 
@@ -97,5 +101,58 @@ func TestWarmCacheFaster(t *testing.T) {
 	t.Logf("cold=%.2fs warm=%.2fs cached=%d", cold.PLT.Seconds(), warm.PLT.Seconds(), cache.Len())
 	if warm.PLT >= cold.PLT {
 		t.Errorf("warm load %.2fs not faster than cold %.2fs", warm.PLT.Seconds(), cold.PLT.Seconds())
+	}
+}
+
+// TestQualityAccountingFeedsStore runs the full Vroom policy with a quality
+// store attached and checks the farm-side settlement agrees exactly with
+// the browser's own ledger: the store's settled counters are fed from the
+// same per-resource records the Result counts.
+func TestQualityAccountingFeedsStore(t *testing.T) {
+	site := newsSite(77)
+	st := hintstore.New(hintstore.Config{TTL: time.Hour})
+	reg := telemetry.NewRegistry()
+	st.Instrument(reg)
+
+	res, err := Run(site, Vroom, Options{Time: loadTime, Nonce: 1, Quality: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HintsEmitted == 0 || res.HintsUsed == 0 {
+		t.Fatalf("vroom load settled no hints: %+v", res)
+	}
+	if p := res.HintPrecision(); p <= 0 || p > 1 {
+		t.Fatalf("precision %v out of (0,1]", p)
+	}
+	if r := res.HintRecall(); r <= 0 || r > 1 {
+		t.Fatalf("recall %v out of (0,1]", r)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	sc, err := loadgen.ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := int(sc.Sum(hintstore.MetricHintsUsed, nil))
+	unused := int(sc.Sum(hintstore.MetricHintsUnused, nil))
+	missed := int(sc.Sum(hintstore.MetricHintsMissed, nil))
+	emitted := int(sc.Sum(hintstore.MetricHintsEmitted, nil))
+	if used != res.HintsUsed || unused != res.HintsUnused || missed != res.HintsMissed {
+		t.Fatalf("store settlement (used %d unused %d missed %d) != result (%d %d %d)",
+			used, unused, missed, res.HintsUsed, res.HintsUnused, res.HintsMissed)
+	}
+	// The farm emits per served document, so repeats across documents can
+	// only push emissions above the deduped settled count.
+	if emitted < used+unused {
+		t.Fatalf("emitted %d < settled %d", emitted, used+unused)
+	}
+	if res.WastedPushBytes > 0 {
+		if got := int64(sc.Sum(hintstore.MetricWastedPush, nil)); got != res.WastedPushBytes {
+			t.Fatalf("wasted push bytes: store %d, result %d", got, res.WastedPushBytes)
+		}
+	}
+	if !strings.Contains(sb.String(), hintstore.MetricHintsUsed+`{origin="`) {
+		t.Fatal("per-origin used series missing from exposition")
 	}
 }

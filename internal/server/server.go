@@ -13,6 +13,7 @@ import (
 	"vroom/internal/core"
 	"vroom/internal/faults"
 	"vroom/internal/hints"
+	"vroom/internal/hintstore"
 	"vroom/internal/netsim"
 	"vroom/internal/obs"
 	"vroom/internal/urlutil"
@@ -103,6 +104,14 @@ type Farm struct {
 	// Trace, when set, records hint emission and push decisions on the
 	// server track. Nil disables.
 	Trace *obs.Tracer
+
+	// Quality, when set, receives the farm's hint-efficacy accounting:
+	// emissions are credited to the hinting document's origin as they are
+	// served, and SettleQuality (called with the finished load's result)
+	// settles used/unused/missed and push-byte outcomes against each
+	// resource's own host — the same attribution split the wire accountant
+	// uses. Nil disables, the zero-overhead path.
+	Quality *hintstore.Store
 
 	pushed map[string]bool
 	// redirects maps stale hinted URLs to the fresh URL they now point at.
@@ -210,6 +219,9 @@ func (f *Farm) handle(rt *netsim.RoundTrip, done func(*browser.Fetched)) {
 			f.Trace.Instant(obs.TrackServer, "hints:"+rt.URL.String(),
 				obs.Arg{Key: "count", Val: fmt.Sprint(len(hs))})
 		}
+		if f.Quality != nil && len(hs) > 0 {
+			f.Quality.NoteQuality(rt.URL.Host, hintstore.QualityDelta{HintsEmitted: int64(len(hs))})
+		}
 		f.push(rt, hs)
 		if !f.Policy.SendHints {
 			hs = nil
@@ -219,6 +231,45 @@ func (f *Farm) handle(rt *netsim.RoundTrip, done func(*browser.Fetched)) {
 	rt.Respond(res.Size, think, func() {
 		done(&browser.Fetched{URL: rt.URL, Res: res, Size: res.Size, Hints: hs})
 	})
+}
+
+// SettleQuality folds a finished load's hint outcomes into the quality
+// store: hinted resources settle used or unused against their own host,
+// required non-document resources the hints never named count missed, and
+// pushed resources settle their byte and lead-time ledgers. No-op without
+// a Quality store.
+func (f *Farm) SettleQuality(r browser.Result) {
+	if f.Quality == nil {
+		return
+	}
+	for _, rt := range r.Resources {
+		u, err := urlutil.Parse(rt.URL)
+		if err != nil {
+			continue
+		}
+		var d hintstore.QualityDelta
+		switch {
+		case rt.Hinted && rt.Required:
+			d.HintsUsed = 1
+		case rt.Hinted:
+			d.HintsUnused = 1
+		case rt.Required && !rt.Doc:
+			d.HintsMissed = 1
+		default:
+			continue
+		}
+		if rt.Pushed {
+			d.PushedCount, d.PushedBytes = 1, int64(rt.Size)
+			if !rt.Required {
+				d.WastedPushBytes = int64(rt.Size)
+			} else if rt.ArrivedAt > 0 && rt.RequiredAt > rt.ArrivedAt {
+				// The push beat the page's need: that headroom is its lead.
+				d.PushLeadMs = float64((rt.RequiredAt - rt.ArrivedAt).Milliseconds())
+				d.PushLeads = 1
+			}
+		}
+		f.Quality.NoteQuality(u.Host, d)
+	}
 }
 
 // staleify passes served hints through the fault plan: a stale hint's URL

@@ -1,4 +1,4 @@
-package metrics
+package telemetry
 
 import (
 	"fmt"
@@ -12,6 +12,12 @@ import (
 // report alongside the PLT distributions. It is safe for concurrent use:
 // experiments share one instance across loads, and callers may fan loads
 // out over goroutines.
+//
+// This is the report-side sibling of Registry: experiments want a flat
+// "name=value" line in a text report, not label sets and exposition, so the
+// simple map stays. Both live here so event counting has one home; package
+// metrics keeps only pure distribution statistics (Dist, Histogram,
+// significance tests).
 type Counters struct {
 	mu     sync.Mutex
 	counts map[string]int64

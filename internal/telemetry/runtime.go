@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"math"
+	rtm "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime metric family names. CI greps for the vroom_runtime_ prefix, so
+// renames here must track .github/workflows/ci.yml and DESIGN.md §13.
+const (
+	MRuntimeHeapBytes    = "vroom_runtime_heap_bytes"
+	MRuntimeTotalBytes   = "vroom_runtime_total_bytes"
+	MRuntimeGoroutines   = "vroom_runtime_goroutines"
+	MRuntimeGCCycles     = "vroom_runtime_gc_cycles_total"
+	MRuntimeGCPauseMs    = "vroom_runtime_gc_pause_ms"
+	MRuntimeSchedLatMs   = "vroom_runtime_sched_latency_ms"
+	MRuntimeSampleErrors = "vroom_runtime_sample_errors_total"
+)
+
+// maxHistObsPerSample bounds how many synthetic observations one sample tick
+// may feed into a telemetry histogram. The runtime's cumulative bucket
+// counts can grow by millions of scheduling events between ticks; replaying
+// each one would stall the collector, so deltas are downsampled
+// proportionally (shape preserved, counts scaled) past this budget.
+const maxHistObsPerSample = 4096
+
+// RuntimeCollector periodically samples Go runtime health — heap in use,
+// goroutine count, GC cycle count, GC pause and scheduler latency
+// distributions — into registry series, so a /metrics scrape shows whether
+// the process (not just the protocol) is healthy under load. Pause and
+// latency distributions come from runtime/metrics cumulative histograms;
+// each tick feeds the since-last-tick delta into log-bucketed telemetry
+// histograms at bucket midpoints.
+//
+// A nil *RuntimeCollector no-ops, mirroring the registry's nil contract.
+type RuntimeCollector struct {
+	reg      *Registry
+	interval time.Duration
+
+	heap    *Gauge
+	total   *Gauge
+	gors    *Gauge
+	cycles  *Counter
+	gcPause *Histogram
+	schedMs *Histogram
+	errs    *Counter
+
+	samples []rtm.Sample
+	// prev holds last tick's cumulative histograms for delta computation.
+	prevGC    *rtm.Float64Histogram
+	prevSched *rtm.Float64Histogram
+	prevCyc   uint64
+	first     bool
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// runtimeSampleNames are the runtime/metrics keys sampled each tick, in the
+// order the samples slice is laid out.
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// NewRuntimeCollector builds a collector registering its series on reg.
+// interval <= 0 defaults to 5s. Returns nil on a nil registry so callers
+// can wire it unconditionally.
+func NewRuntimeCollector(reg *Registry, interval time.Duration) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	reg.Describe(MRuntimeHeapBytes, "Bytes of live heap objects at the last runtime sample.")
+	reg.Describe(MRuntimeTotalBytes, "Total bytes of memory mapped by the Go runtime.")
+	reg.Describe(MRuntimeGoroutines, "Live goroutines at the last runtime sample.")
+	reg.Describe(MRuntimeGCCycles, "Completed GC cycles.")
+	reg.Describe(MRuntimeGCPauseMs, "Stop-the-world GC pause durations (ms), sampled per collection tick.")
+	reg.Describe(MRuntimeSchedLatMs, "Goroutine scheduling latencies (ms), downsampled per collection tick.")
+	reg.Describe(MRuntimeSampleErrors, "Runtime metric samples with an unexpected kind (runtime version skew).")
+	c := &RuntimeCollector{
+		reg:      reg,
+		interval: interval,
+		heap:     reg.Gauge(MRuntimeHeapBytes),
+		total:    reg.Gauge(MRuntimeTotalBytes),
+		gors:     reg.Gauge(MRuntimeGoroutines),
+		cycles:   reg.Counter(MRuntimeGCCycles),
+		gcPause:  reg.Histogram(MRuntimeGCPauseMs),
+		schedMs:  reg.Histogram(MRuntimeSchedLatMs),
+		errs:     reg.Counter(MRuntimeSampleErrors),
+		samples:  make([]rtm.Sample, len(runtimeSampleNames)),
+		first:    true,
+	}
+	for i, n := range runtimeSampleNames {
+		c.samples[i].Name = n
+	}
+	return c
+}
+
+// Start launches the sampling loop. Safe to call on nil; a second Start
+// without Stop is a no-op.
+func (c *RuntimeCollector) Start() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.loop(c.stop, c.done)
+}
+
+// Stop halts the sampling loop and waits for it to exit. Safe on nil and
+// when never started.
+func (c *RuntimeCollector) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (c *RuntimeCollector) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	c.Sample()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			c.Sample()
+		}
+	}
+}
+
+// Sample takes one sample immediately. Exposed so tests and shutdown paths
+// can force a final reading without waiting out the ticker.
+func (c *RuntimeCollector) Sample() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rtm.Read(c.samples)
+	for i, s := range c.samples {
+		switch runtimeSampleNames[i] {
+		case "/memory/classes/heap/objects:bytes":
+			c.setGauge(c.heap, s)
+		case "/memory/classes/total:bytes":
+			c.setGauge(c.total, s)
+		case "/sched/goroutines:goroutines":
+			c.setGauge(c.gors, s)
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() != rtm.KindUint64 {
+				c.errs.Inc()
+				continue
+			}
+			cur := s.Value.Uint64()
+			if !c.first && cur > c.prevCyc {
+				c.cycles.Add(int64(cur - c.prevCyc))
+			}
+			c.prevCyc = cur
+		case "/gc/pauses:seconds":
+			c.prevGC = c.observeHistDelta(c.gcPause, s, c.prevGC)
+		case "/sched/latencies:seconds":
+			c.prevSched = c.observeHistDelta(c.schedMs, s, c.prevSched)
+		}
+	}
+	c.first = false
+}
+
+func (c *RuntimeCollector) setGauge(g *Gauge, s rtm.Sample) {
+	if s.Value.Kind() != rtm.KindUint64 {
+		c.errs.Inc()
+		return
+	}
+	g.Set(int64(s.Value.Uint64()))
+}
+
+// observeHistDelta feeds the delta between the current and previous
+// cumulative runtime histogram into h, observing each bucket's midpoint (in
+// ms) once per new event, downsampled past maxHistObsPerSample. Returns a
+// copy of the current histogram for the next tick's delta.
+func (c *RuntimeCollector) observeHistDelta(h *Histogram, s rtm.Sample, prev *rtm.Float64Histogram) *rtm.Float64Histogram {
+	if s.Value.Kind() != rtm.KindFloat64Histogram {
+		c.errs.Inc()
+		return prev
+	}
+	cur := s.Value.Float64Histogram()
+	if cur == nil {
+		return prev
+	}
+	if prev != nil && len(prev.Counts) == len(cur.Counts) && !c.first {
+		var total uint64
+		for i, n := range cur.Counts {
+			if n > prev.Counts[i] {
+				total += n - prev.Counts[i]
+			}
+		}
+		if total > 0 {
+			scale := 1.0
+			if total > maxHistObsPerSample {
+				scale = float64(maxHistObsPerSample) / float64(total)
+			}
+			for i, n := range cur.Counts {
+				if n <= prev.Counts[i] {
+					continue
+				}
+				delta := float64(n - prev.Counts[i])
+				obs := int(math.Round(delta * scale))
+				if obs == 0 {
+					obs = 1
+				}
+				mid := bucketMidMs(cur.Buckets, i)
+				for k := 0; k < obs; k++ {
+					h.Observe(mid)
+				}
+			}
+		}
+	}
+	// Copy: the runtime may reuse the sample's backing arrays on next Read.
+	cp := &rtm.Float64Histogram{
+		Counts:  append([]uint64(nil), cur.Counts...),
+		Buckets: append([]float64(nil), cur.Buckets...),
+	}
+	return cp
+}
+
+// bucketMidMs returns the midpoint of bucket i (Counts[i] spans
+// Buckets[i]..Buckets[i+1], seconds) converted to milliseconds, clamping
+// the infinite edge buckets to their finite bound.
+func bucketMidMs(bounds []float64, i int) float64 {
+	lo, hi := bounds[i], bounds[i+1]
+	switch {
+	case math.IsInf(lo, -1):
+		lo = 0
+	case math.IsInf(hi, +1):
+		hi = lo
+	}
+	return (lo + hi) / 2 * 1000
+}

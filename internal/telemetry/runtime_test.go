@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRuntimeCollectorSamples proves one forced sample populates the gauge
+// families and that GC/sched histograms pick up activity between samples.
+func TestRuntimeCollectorSamples(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg, time.Hour) // ticker never fires; we drive Sample
+	c.Sample()
+
+	if v := reg.Gauge(MRuntimeGoroutines).Value(); v <= 0 {
+		t.Errorf("goroutines gauge = %d, want > 0", v)
+	}
+	if v := reg.Gauge(MRuntimeHeapBytes).Value(); v <= 0 {
+		t.Errorf("heap gauge = %d, want > 0", v)
+	}
+
+	// Generate runtime activity between samples: allocate and force GCs so
+	// the pause histogram delta is nonzero.
+	for i := 0; i < 3; i++ {
+		sink := make([]byte, 1<<20)
+		_ = sink
+		runtime.GC()
+	}
+	c.Sample()
+	if n := reg.Histogram(MRuntimeGCPauseMs).N(); n == 0 {
+		t.Error("gc pause histogram empty after forced GCs between samples")
+	}
+	if got := reg.Counter(MRuntimeGCCycles).Value(); got < 3 {
+		t.Errorf("gc cycles counter = %d, want >= 3", got)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, fam := range []string{MRuntimeHeapBytes, MRuntimeGoroutines, MRuntimeGCPauseMs, MRuntimeSchedLatMs} {
+		if !strings.Contains(buf.String(), fam) {
+			t.Errorf("exposition missing family %s", fam)
+		}
+	}
+}
+
+// TestRuntimeCollectorLifecycle exercises Start/Stop (idempotent, no leaked
+// sampler goroutine) and the nil no-op contract.
+func TestRuntimeCollectorLifecycle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	c := NewRuntimeCollector(NewRegistry(), 10*time.Millisecond)
+	c.Start()
+	c.Start() // second start is a no-op
+	time.Sleep(30 * time.Millisecond)
+	c.Stop()
+	c.Stop() // second stop is a no-op
+	if err := CheckGoroutineLeak(base, 2, time.Second); err != nil {
+		t.Fatalf("sampler leaked: %v", err)
+	}
+
+	var nc *RuntimeCollector
+	nc.Start()
+	nc.Sample()
+	nc.Stop()
+	if NewRuntimeCollector(nil, time.Second) != nil {
+		t.Error("NewRuntimeCollector(nil) should return nil")
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog turns silent hangs into actionable dumps: it fires once if Pet is
+// not called within the timeout, writing every goroutine stack — including
+// pprof labels such as origin/phase set on the serving path — to the
+// configured writer before the surrounding test or process deadline kills
+// the run with no evidence. Progress loops (the loadgen storm, long tests)
+// arm one and pet it on every unit of forward progress.
+//
+// A nil *Watchdog no-ops on every method, so call sites can arm one
+// conditionally and pet unconditionally.
+type Watchdog struct {
+	name    string
+	timeout time.Duration
+	out     io.Writer
+	onStall func()
+
+	mu    sync.Mutex
+	timer *time.Timer
+	fired atomic.Bool
+}
+
+// NewWatchdog arms a watchdog that fires after timeout without a Pet.
+// out defaults to os.Stderr; onStall (optional) runs after the dump is
+// written — tests use it to fail the run with context. timeout <= 0
+// returns nil (disabled).
+func NewWatchdog(name string, timeout time.Duration, out io.Writer, onStall func()) *Watchdog {
+	if timeout <= 0 {
+		return nil
+	}
+	if out == nil {
+		out = os.Stderr
+	}
+	w := &Watchdog{name: name, timeout: timeout, out: out, onStall: onStall}
+	w.timer = time.AfterFunc(timeout, w.fire)
+	return w
+}
+
+func (w *Watchdog) fire() {
+	if !w.fired.CompareAndSwap(false, true) {
+		return
+	}
+	fmt.Fprintf(w.out, "=== watchdog %q: no progress for %v; %d goroutines ===\n",
+		w.name, w.timeout, runtime.NumGoroutine())
+	DumpGoroutines(w.out)
+	if w.onStall != nil {
+		w.onStall()
+	}
+}
+
+// Pet resets the countdown. Safe on nil and after Stop or a fire.
+func (w *Watchdog) Pet() {
+	if w == nil || w.fired.Load() {
+		return
+	}
+	w.mu.Lock()
+	if w.timer != nil {
+		w.timer.Reset(w.timeout)
+	}
+	w.mu.Unlock()
+}
+
+// Stop disarms the watchdog and reports whether it ever fired. Safe on nil.
+func (w *Watchdog) Stop() (fired bool) {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	w.mu.Unlock()
+	return w.fired.Load()
+}
+
+// Fired reports whether the watchdog has triggered (false on nil).
+func (w *Watchdog) Fired() bool { return w != nil && w.fired.Load() }
+
+// DumpGoroutines writes the goroutine profile twice: debug=1 (stacks
+// deduplicated, with the pprof label sets — origin/phase — that attribute
+// each group to a tenant) followed by debug=2 (every goroutine's full stack
+// with wait reasons and durations). The runtime only renders labels in the
+// debug=1 form, so both are needed to answer "whose goroutines, stuck
+// where".
+func DumpGoroutines(w io.Writer) {
+	p := pprof.Lookup("goroutine")
+	if p == nil {
+		return
+	}
+	fmt.Fprintln(w, "--- goroutine groups (with labels) ---")
+	_ = p.WriteTo(w, 1)
+	fmt.Fprintln(w, "--- full stacks ---")
+	_ = p.WriteTo(w, 2)
+}
+
+// CheckGoroutineLeak waits up to `within` for the live goroutine count to
+// drop back to baseline+slack, polling briefly, and returns an error naming
+// the excess (with a full stack dump appended) if it never does. Tests take
+// a baseline with runtime.NumGoroutine() before spawning work and call this
+// in cleanup to catch leaked workers.
+func CheckGoroutineLeak(baseline, slack int, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var b bytes.Buffer
+			DumpGoroutines(&b)
+			return fmt.Errorf("goroutine leak: %d live, baseline %d (+%d slack) after %v\n%s",
+				n, baseline, slack, within, b.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchdogFiresWithLabels arms a watchdog over a deliberately stalled
+// labeled goroutine and asserts the dump carries the pprof labels — the
+// property that makes a storm hang diagnosable per tenant.
+func TestWatchdogFiresWithLabels(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	go pprof.Do(context.Background(), pprof.Labels("origin", "stalled.example", "phase", "serve"), func(context.Context) {
+		close(started)
+		<-release
+	})
+	<-started
+
+	var buf bytes.Buffer
+	stalled := make(chan struct{})
+	w := NewWatchdog("test-stall", 30*time.Millisecond, &buf, func() { close(stalled) })
+	select {
+	case <-stalled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+	if !w.Fired() {
+		t.Error("Fired() = false after stall callback")
+	}
+	dump := buf.String()
+	if !strings.Contains(dump, "watchdog \"test-stall\"") {
+		t.Errorf("dump missing banner:\n%s", firstLines(dump, 3))
+	}
+	if !strings.Contains(dump, `"stalled.example"`) || !strings.Contains(dump, "origin") {
+		t.Errorf("dump does not carry pprof labels of the stalled goroutine:\n%s", firstLines(dump, 20))
+	}
+	if w.Stop() != true {
+		t.Error("Stop() should report the watchdog fired")
+	}
+}
+
+// TestWatchdogPetPreventsFire pets faster than the timeout and asserts the
+// watchdog stays quiet, then checks nil safety.
+func TestWatchdogPetPreventsFire(t *testing.T) {
+	w := NewWatchdog("test-pet", 80*time.Millisecond, &bytes.Buffer{}, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			time.Sleep(20 * time.Millisecond)
+			w.Pet()
+		}
+	}()
+	wg.Wait()
+	if w.Stop() {
+		t.Error("watchdog fired despite regular petting")
+	}
+
+	var nw *Watchdog
+	nw.Pet()
+	if nw.Stop() || nw.Fired() {
+		t.Error("nil watchdog should be inert")
+	}
+	if NewWatchdog("disabled", 0, nil, nil) != nil {
+		t.Error("timeout <= 0 should return a nil (disabled) watchdog")
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

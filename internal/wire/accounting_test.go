@@ -1,0 +1,323 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"vroom/internal/hints"
+	"vroom/internal/hintstore"
+	"vroom/internal/netem"
+	"vroom/internal/replay"
+	"vroom/internal/telemetry"
+	"vroom/internal/urlutil"
+	"vroom/internal/webpage"
+)
+
+// acctFixture is a store with one registered tenant plus an accountant on
+// a fake clock, so settlement rules are testable without sleeping.
+func acctFixture(t *testing.T, cfg AccountingConfig) (*hintstore.Store, *Accountant, string, *time.Time) {
+	t.Helper()
+	site := webpage.NewSite("acct", webpage.News, 2017)
+	origin := site.RootURL().Host
+	r := TrainResolver(site, recordTime, webpage.PhoneSmall)
+	st := hintstore.New(hintstore.Config{TTL: time.Hour, MaxTenants: 4})
+	t.Cleanup(func() { st.Drain(time.Second) })
+	if err := st.Register(origin, webpage.PhoneSmall, hintstore.StaticTrainer(r)); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	cfg.Store = st
+	cfg.Clock = func() time.Time { return now }
+	return st, NewAccountant(cfg), origin, &now
+}
+
+func hintFor(host, path string) hints.Hint {
+	return hints.Hint{URL: urlutil.URL{Scheme: "https", Host: host, Path: path}, Priority: hints.High}
+}
+
+// TestAccountantSettlement pins every settlement rule: request-in-window →
+// used (plus redundant-push waste), window expiry → unused, unpredicted
+// subresource → missed, documents exempt, Flush drains pushed windows as
+// used and unpushed as unused.
+func TestAccountantSettlement(t *testing.T) {
+	st, acct, origin, now := acctFixture(t, AccountingConfig{Window: 5 * time.Second})
+	a, b, cc, d := hintFor(origin, "/a.css"), hintFor(origin, "/b.js"), hintFor(origin, "/c.png"), hintFor(origin, "/d.css")
+
+	acct.NoteHints(origin, []hints.Hint{a, b, cc}, 2*time.Second, true)
+	acct.NotePush(origin, a.URL.String(), 500)
+	// a was pushed AND requested: used, with the 500 pushed bytes wasted.
+	acct.NoteRequest(origin, a.URL.String(), false)
+	// b was hinted and requested: plain used.
+	acct.NoteRequest(origin, b.URL.String(), false)
+	// Never hinted: a recall miss.
+	acct.NoteRequest(origin, "https://"+origin+"/never-hinted.js", false)
+	// Documents are inputs to hint tables, not predictions — never a miss.
+	acct.NoteRequest(origin, "https://"+origin+"/", true)
+
+	// Advance past the window; the next touch on this origin expires c as
+	// unused. The second emission carries no table identity (fallback).
+	*now = now.Add(6 * time.Second)
+	acct.NoteHints(origin, []hints.Hint{d}, 0, false)
+	// d is still open; Flush settles it unused (it was never pushed).
+	if n := acct.Flush(); n != 1 {
+		t.Errorf("Flush settled %d windows, want 1", n)
+	}
+
+	q := st.QualityOf(origin)
+	if q.HintsEmitted != 4 || q.HintsUsed != 2 || q.HintsUnused != 2 || q.HintsMissed != 1 {
+		t.Fatalf("ledger: %+v", q)
+	}
+	if q.PushedCount != 1 || q.PushedBytes != 500 || q.WastedPushBytes != 500 {
+		t.Errorf("push accounting: %+v", q)
+	}
+	if got := q.Precision(); got != 0.5 {
+		t.Errorf("precision = %v, want 0.5", got)
+	}
+	if got := q.Recall(); got < 0.66 || got > 0.67 {
+		t.Errorf("recall = %v, want 2/3", got)
+	}
+	if got := q.MeanStalenessMs(); got != 2000 {
+		t.Errorf("mean staleness = %v, want 2000 (fallback emission must not observe)", got)
+	}
+	if acct.Drops() != 0 {
+		t.Errorf("drops = %d, want 0", acct.Drops())
+	}
+}
+
+// TestAccountantFlushPushedSettlesUsed pins the push asymmetry rule: a
+// pushed prediction that expires unrequested settles used — the push
+// pre-empted the request — and the client-side ledger owns whether the
+// bytes were worth it.
+func TestAccountantFlushPushedSettlesUsed(t *testing.T) {
+	st, acct, origin, _ := acctFixture(t, AccountingConfig{})
+	a := hintFor(origin, "/a.css")
+	acct.NoteHints(origin, []hints.Hint{a}, 0, true)
+	acct.NotePush(origin, a.URL.String(), 900)
+	acct.Flush()
+	q := st.QualityOf(origin)
+	if q.HintsUsed != 1 || q.HintsUnused != 0 {
+		t.Fatalf("pushed window settled wrong: %+v", q)
+	}
+	if q.WastedPushBytes != 0 {
+		t.Errorf("unclaimed push charged as wasted server-side: %+v", q)
+	}
+}
+
+// TestAccountantBounds proves tracked state cannot grow past its caps:
+// past MaxOpenPerOrigin or MaxOrigins predictions drop (counted), and
+// dropped predictions never skew precision — they just shrink the sample.
+func TestAccountantBounds(t *testing.T) {
+	st, acct, origin, _ := acctFixture(t, AccountingConfig{MaxOpenPerOrigin: 2, MaxOrigins: 1})
+	hs := []hints.Hint{hintFor(origin, "/1"), hintFor(origin, "/2"), hintFor(origin, "/3")}
+	acct.NoteHints(origin, hs, 0, true)
+	if got := acct.Drops(); got != 1 {
+		t.Fatalf("per-origin bound: drops = %d, want 1", got)
+	}
+	// A second origin is past MaxOrigins: all its windows drop.
+	acct.NoteHints("elsewhere.example", []hints.Hint{hintFor("elsewhere.example", "/x")}, 0, true)
+	if got := acct.Drops(); got != 2 {
+		t.Fatalf("origin bound: drops = %d, want 2", got)
+	}
+	acct.Flush()
+	// Emitted counts every hint served; settled outcomes only the tracked.
+	q := st.QualityOf(origin)
+	if q.HintsEmitted != 3 || q.HintsUsed+q.HintsUnused != 2 {
+		t.Errorf("bounded ledger: %+v", q)
+	}
+}
+
+// TestAccountingEndToEndConsistency drives a real push-enabled load with
+// the store and accountant attached and cross-checks all three ledgers:
+// the client's per-origin pushed = used + wasted split against its own
+// per-fetch records, and the server's hint-quality ledger against what
+// the wire actually carried.
+func TestAccountingEndToEndConsistency(t *testing.T) {
+	site := webpage.NewSite("acctwire", webpage.Top100, 4242)
+	sn := site.Snapshot(recordTime, webpage.Profile{Device: webpage.PhoneSmall, UserID: 5}, 1)
+	archive := replay.FromSnapshot(sn)
+	resolver := TrainResolver(site, recordTime, webpage.PhoneSmall)
+	srv := NewServer(archive, resolver, webpage.PhoneSmall, ServerConfig{SendHints: true, Push: true})
+	origin := site.RootURL().Host
+
+	// Register every host in the archive so all settlements — which are
+	// attributed to the hinted URL's own host, not the document's — land in
+	// a resident ledger rather than the metrics-only path.
+	st := hintstore.New(hintstore.Config{TTL: time.Hour, MaxTenants: 64})
+	hosts := map[string]bool{}
+	for _, rec := range archive.Records {
+		if u, err := rec.ParsedURL(); err == nil && !hosts[u.Host] {
+			hosts[u.Host] = true
+			if err := st.Register(u.Host, webpage.PhoneSmall, hintstore.StaticTrainer(resolver)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	reg := telemetry.NewRegistry()
+	srv.Store = st
+	srv.Acct = NewAccountant(AccountingConfig{Store: st, Window: 2 * time.Second})
+	srv.Instrument(nil, reg)
+
+	link := netem.Listen(netem.LinkConfig{
+		Delay:               2 * time.Millisecond,
+		DownlinkBytesPerSec: 20e6,
+		UplinkBytesPerSec:   20e6,
+	})
+	go srv.H2().Serve(link)
+	defer func() { srv.H2().Close(); link.Close() }()
+	dial := func(string) (net.Conn, error) { return link.Dial() }
+	c := &Client{Dial: dial, Staged: true, Metrics: reg}
+	root, err := archive.Records[0].ParsedURL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.LoadPage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Drain(time.Second)
+
+	// Client side: the authoritative pushed = used + wasted split, origin
+	// by origin, and in total against the per-fetch records.
+	if len(rep.PushQuality) == 0 {
+		t.Fatal("push-enabled load produced no PushQuality entries")
+	}
+	totalPushed, totalUsed, totalWasted := 0, 0, 0
+	for _, pq := range rep.PushQuality {
+		if pq.Pushed != pq.Used+pq.Wasted {
+			t.Errorf("%s: pushed %d != used %d + wasted %d", pq.Origin, pq.Pushed, pq.Used, pq.Wasted)
+		}
+		if pq.WastedBytes > pq.PushedBytes {
+			t.Errorf("%s: wasted bytes %d > pushed bytes %d", pq.Origin, pq.WastedBytes, pq.PushedBytes)
+		}
+		totalPushed += pq.Pushed
+		totalUsed += pq.Used
+		totalWasted += pq.Wasted
+	}
+	pushedRecs := 0
+	for _, f := range rep.Fetches {
+		if f.Pushed {
+			pushedRecs++
+		}
+	}
+	if totalPushed != rep.Pushed || totalPushed != pushedRecs {
+		t.Errorf("pushed totals disagree: ledger %d, report %d, fetch records %d",
+			totalPushed, rep.Pushed, pushedRecs)
+	}
+	if totalUsed == 0 {
+		t.Error("no push was ever claimed; staged load should use pushes")
+	}
+
+	// Server side: after Drain every window is settled, so the aggregate
+	// ledger is internally consistent. Emissions are attributed to the
+	// document's origin while settlements go to the hinted URL's host, so
+	// the invariants hold over the sum of all tenants, not per tenant.
+	var agg hintstore.QualitySnapshot
+	for _, q := range st.QualityAll() {
+		agg.HintsEmitted += q.HintsEmitted
+		agg.HintsUsed += q.HintsUsed
+		agg.HintsUnused += q.HintsUnused
+		agg.HintsMissed += q.HintsMissed
+		agg.PushedCount += q.PushedCount
+		agg.PushedBytes += q.PushedBytes
+		agg.WastedPushBytes += q.WastedPushBytes
+	}
+	if agg.HintsEmitted == 0 {
+		t.Fatal("server emitted no accounted hints")
+	}
+	if agg.HintsUsed+agg.HintsUnused > agg.HintsEmitted {
+		t.Errorf("settled %d+%d windows for %d emissions", agg.HintsUsed, agg.HintsUnused, agg.HintsEmitted)
+	}
+	if agg.HintsUsed == 0 {
+		t.Error("no hint settled as used on a hinted load")
+	}
+	if p := agg.Precision(); p <= 0 || p > 1 {
+		t.Errorf("precision = %v, want (0, 1]", p)
+	}
+	if r := agg.Recall(); r <= 0 || r > 1 {
+		t.Errorf("recall = %v, want (0, 1]", r)
+	}
+	if agg.WastedPushBytes > agg.PushedBytes {
+		t.Errorf("wasted push bytes %d > pushed bytes %d", agg.WastedPushBytes, agg.PushedBytes)
+	}
+	// Every push the server accounted arrived at the client, byte for
+	// byte: the two ledgers must agree exactly on this in-memory world.
+	var clientPushedBytes int64
+	for _, pq := range rep.PushQuality {
+		clientPushedBytes += pq.PushedBytes
+	}
+	if agg.PushedBytes == 0 || agg.PushedBytes != clientPushedBytes {
+		t.Errorf("push byte ledgers disagree: server %d, client %d", agg.PushedBytes, clientPushedBytes)
+	}
+	if int(agg.PushedCount) != totalPushed {
+		t.Errorf("push counts disagree: server %d, client %d", agg.PushedCount, totalPushed)
+	}
+
+	// The quality families made it to the exposition with origin labels.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		hintstore.MetricHintsEmitted + `{origin="` + origin + `"}`,
+		"vroom_server_origin_requests_total{origin=",
+	} {
+		if !strings.Contains(sb.String(), fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+}
+
+// TestAccountingDisabledZeroAlloc pins the disabled-path contract: a nil
+// accountant (and nil per-origin vecs) must cost zero allocations on the
+// serving path's hooks.
+func TestAccountingDisabledZeroAlloc(t *testing.T) {
+	var acct *Accountant
+	var cv *telemetry.CounterVec
+	hs := []hints.Hint{hintFor("origin.example", "/a.css")}
+	allocs := testing.AllocsPerRun(1000, func() {
+		acct.NoteHints("origin.example", hs, time.Second, true)
+		acct.NotePush("origin.example", "https://origin.example/a.css", 100)
+		acct.NoteRequest("origin.example", "https://origin.example/a.css", false)
+		acct.Flush()
+		cv.With("origin.example").Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled accounting path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkAccountingDisabled is the CI-greppable form of the same pin.
+func BenchmarkAccountingDisabled(b *testing.B) {
+	var acct *Accountant
+	var cv *telemetry.CounterVec
+	hs := []hints.Hint{hintFor("origin.example", "/a.css")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acct.NoteHints("origin.example", hs, time.Second, true)
+		acct.NoteRequest("origin.example", "https://origin.example/a.css", false)
+		cv.With("origin.example").Inc()
+	}
+}
+
+// BenchmarkAccountingEnabled measures the live cost of one settled
+// prediction cycle (hint emitted, then its request).
+func BenchmarkAccountingEnabled(b *testing.B) {
+	site := webpage.NewSite("acctbench", webpage.News, 2017)
+	origin := site.RootURL().Host
+	r := TrainResolver(site, recordTime, webpage.PhoneSmall)
+	st := hintstore.New(hintstore.Config{TTL: time.Hour})
+	defer st.Drain(time.Second)
+	if err := st.Register(origin, webpage.PhoneSmall, hintstore.StaticTrainer(r)); err != nil {
+		b.Fatal(err)
+	}
+	acct := NewAccountant(AccountingConfig{Store: st})
+	hs := []hints.Hint{hintFor(origin, "/a.css")}
+	url := hs[0].URL.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acct.NoteHints(origin, hs, time.Second, true)
+		acct.NoteRequest(origin, url, false)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -66,6 +67,39 @@ type FetchRecord struct {
 // Failed reports whether this fetch ended in an error.
 func (f *FetchRecord) Failed() bool { return f.ErrKind != FetchOK }
 
+// PushQuality is one origin's push outcomes as the client saw them. This
+// is the authoritative pushed = used + wasted split: a used push is
+// claimed from the push cache and never re-crosses the wire, so only the
+// client can tell a hit from pure waste (the server sees just the
+// redundant subset — pushes the client fetched anyway).
+type PushQuality struct {
+	// Origin is the pushed resource's host.
+	Origin string
+	// Pushed counts push promises whose response arrived; always equal to
+	// Used + Wasted once the load finishes.
+	Pushed int
+	// Used counts pushes a fetch claimed from the push cache.
+	Used int
+	// Wasted counts pushes the page never referenced.
+	Wasted int
+	// PushedBytes and WastedBytes are the corresponding body byte totals.
+	PushedBytes int64
+	WastedBytes int64
+	// LeadMsSum sums, over used pushes, how long the pushed response sat in
+	// the cache before a fetch needed it (milliseconds); LeadCount is the
+	// number of observations. Lead time is the head start push bought.
+	LeadMsSum float64
+	LeadCount int
+}
+
+// MeanLeadMs returns the mean push lead time, 0 with no observations.
+func (p *PushQuality) MeanLeadMs() float64 {
+	if p.LeadCount == 0 {
+		return 0
+	}
+	return p.LeadMsSum / float64(p.LeadCount)
+}
+
 // Report summarizes a wire page load.
 type Report struct {
 	Root     string
@@ -84,6 +118,9 @@ type Report struct {
 	// Degraded counts completed fetches the server tagged as degraded
 	// (stale or shed hints, shed push).
 	Degraded int
+	// PushQuality breaks push outcomes down per origin, sorted by origin.
+	// Empty when the server pushed nothing.
+	PushQuality []PushQuality
 }
 
 // Total returns the wall-clock load duration.
@@ -207,11 +244,22 @@ type Client struct {
 	pendLow     []fetchJob
 	pushedResp  map[string]*h2.Response
 	pushWaiters map[string][]chan *h2.Response
+	// Push-quality ledger: when each pushed response arrived (for lead
+	// times), which URLs were already claimed (so a re-claim can't break
+	// the pushed = used + wasted invariant), and the per-origin rollup.
+	pushArrival map[string]time.Time
+	pushClaimed map[string]bool
+	pushQual    map[string]*PushQuality
 	report      *Report
 	doneCh      chan struct{}
 	cancel      chan struct{}
 	finished    bool
 	lt          loadTelemetry
+
+	// vecs bounds the per-origin metric families; built once on first use
+	// (zero value no-ops when Metrics is nil).
+	vecsOnce sync.Once
+	vecs     clientVecs
 
 	// traceID is the per-load trace identity (zero unless Propagate);
 	// fetchSeq numbers the fetch contexts minted under it.
@@ -356,6 +404,9 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 	c.inflight = make(map[string]*inflightFetch)
 	c.pushedResp = make(map[string]*h2.Response)
 	c.pushWaiters = make(map[string][]chan *h2.Response)
+	c.pushArrival = make(map[string]time.Time)
+	c.pushClaimed = make(map[string]bool)
+	c.pushQual = make(map[string]*PushQuality)
 	c.stage = hints.High
 	c.report = &Report{Root: root.String(), Started: time.Now()}
 	c.doneCh = make(chan struct{})
@@ -428,6 +479,23 @@ func (c *Client) LoadPage(root urlutil.URL) (*Report, error) {
 		c.report.Pushed++
 		c.lt.pushUnclaimed.Inc()
 	}
+	// Settle the push ledger: every pushed URL no fetch claimed is waste
+	// (the page may have "seen" it without ever reaching the cache — e.g. a
+	// fetch the deadline killed — so waste keys off claims, not seen).
+	for key, resp := range c.pushedResp {
+		if c.pushClaimed[key] {
+			continue
+		}
+		pq := c.pushQualLocked(resp.Request.Authority)
+		pq.Wasted++
+		pq.WastedBytes += int64(len(resp.Body))
+	}
+	for _, pq := range c.pushQual {
+		c.report.PushQuality = append(c.report.PushQuality, *pq)
+	}
+	sort.Slice(c.report.PushQuality, func(i, j int) bool {
+		return c.report.PushQuality[i].Origin < c.report.PushQuality[j].Origin
+	})
 	conns := make([]OriginConn, 0, len(c.origins))
 	for _, os := range c.origins {
 		if os.conn != nil {
@@ -525,13 +593,12 @@ func (c *Client) fetch(u urlutil.URL, prio hints.Priority) {
 		ms := float64(done.Sub(fl.start)) / float64(time.Millisecond)
 		if rec.Failed() {
 			c.lt.fetchErrMs.ObserveExemplar(ms, fl.flow)
-			c.Metrics.Counter(mFailures, telemetry.L("origin", u.Origin()),
-				telemetry.L("kind", string(rec.ErrKind))).Inc()
+			c.cv().fails.WithLabels(u.Origin(), telemetry.L("kind", string(rec.ErrKind))).Inc()
 		} else {
 			c.lt.fetchOkMs.ObserveExemplar(ms, fl.flow)
 		}
 		if rec.Redirects > 0 {
-			c.Metrics.Counter(mRedirects, telemetry.L("origin", u.Origin())).Add(int64(rec.Redirects))
+			c.cv().redirects.With(u.Origin()).Add(int64(rec.Redirects))
 		}
 	}
 
@@ -737,7 +804,7 @@ func (c *Client) fetchOne(u urlutil.URL, fl *inflightFetch) (*h2.Response, fetch
 				return nil, last
 			}
 			if c.Metrics != nil {
-				c.Metrics.Counter(mRetries, telemetry.L("origin", u.Origin())).Inc()
+				c.cv().retries.With(u.Origin()).Inc()
 			}
 			var bs obs.Span
 			if c.Trace.Enabled() {
@@ -814,6 +881,7 @@ func (c *Client) attempt(u urlutil.URL, fl *inflightFetch) (*h2.Response, error)
 	origin := u.Origin()
 	c.mu.Lock()
 	if resp, ok := c.pushedResp[key]; ok {
+		c.notePushClaimLocked(u.Host, key)
 		c.mu.Unlock()
 		c.lt.pushClaimed.Inc()
 		return resp, nil
@@ -842,6 +910,9 @@ func (c *Client) attempt(u urlutil.URL, fl *inflightFetch) (*h2.Response, error)
 		select {
 		case resp := <-ch:
 			wait.Stop()
+			c.mu.Lock()
+			c.notePushClaimLocked(u.Host, key)
+			c.mu.Unlock()
 			c.lt.pushClaimed.Inc()
 			return resp, nil
 		case <-wait.C:
@@ -899,6 +970,43 @@ func (c *Client) dropPushWaiter(key string, ch chan *h2.Response) {
 	c.mu.Unlock()
 }
 
+// cv returns the client's bounded per-origin metric families, building
+// them on first use. Safe (and free) when Metrics is nil.
+func (c *Client) cv() *clientVecs {
+	c.vecsOnce.Do(func() { c.vecs = newClientVecs(c.Metrics) })
+	return &c.vecs
+}
+
+// pushQualLocked returns (creating) one origin's push ledger. Caller
+// holds c.mu.
+func (c *Client) pushQualLocked(host string) *PushQuality {
+	pq := c.pushQual[host]
+	if pq == nil {
+		pq = &PushQuality{Origin: host}
+		c.pushQual[host] = pq
+	}
+	return pq
+}
+
+// notePushClaimLocked credits a push-cache hit to the origin's push
+// ledger: the push was used, and its lead time is how long the response
+// sat in the cache before this fetch needed it. Idempotent per URL so a
+// re-claim cannot break pushed = used + wasted. Caller holds c.mu.
+func (c *Client) notePushClaimLocked(host, key string) {
+	if c.pushClaimed[key] {
+		return
+	}
+	c.pushClaimed[key] = true
+	pq := c.pushQualLocked(host)
+	pq.Used++
+	if at, ok := c.pushArrival[key]; ok {
+		ms := float64(time.Since(at)) / float64(time.Millisecond)
+		pq.LeadMsSum += ms
+		pq.LeadCount++
+		c.lt.pushLeadMs.Observe(ms)
+	}
+}
+
 // originState returns (creating if needed) an origin's lifecycle state.
 // Caller holds c.mu.
 func (c *Client) originState(origin string) *originState {
@@ -906,10 +1014,10 @@ func (c *Client) originState(origin string) *originState {
 	if !ok {
 		os = &originState{}
 		if c.Metrics != nil {
-			os.mReqs = c.Metrics.Counter(mRequests, telemetry.L("origin", origin))
-			os.mBreaker = c.Metrics.Gauge(mBreakOpen, telemetry.L("origin", origin))
-			os.mConns = c.Metrics.Gauge(mActiveConn,
-				telemetry.L("origin", origin), telemetry.L("proto", "h2"))
+			cv := c.cv()
+			os.mReqs = cv.reqs.With(origin)
+			os.mBreaker = cv.breakOpen.With(origin)
+			os.mConns = cv.conns.WithLabels(origin, telemetry.L("proto", "h2"))
 		}
 		c.origins[origin] = os
 	}
@@ -1078,7 +1186,7 @@ func (c *Client) noteConnFailure(origin string, cc OriginConn, err error) {
 	c.mu.Unlock()
 	if tripped {
 		if c.Metrics != nil {
-			c.Metrics.Counter(mBreakTrips, telemetry.L("origin", origin)).Inc()
+			c.cv().trips.With(origin).Inc()
 		}
 		if c.Trace.Enabled() {
 			c.Trace.Instant(obs.TrackNet, "breaker-open", obs.Arg{Key: "origin", Val: origin})
@@ -1167,6 +1275,14 @@ func (c *Client) onPush(host string, resp *h2.Response) {
 		c.Trace.Instant(obs.TrackLoad, "push-received", obs.Arg{Key: "url", Val: key})
 	}
 	c.mu.Lock()
+	if _, dup := c.pushedResp[key]; !dup {
+		// Count each pushed URL once even if the server ever re-pushes it,
+		// so Pushed stays exactly Used + Wasted.
+		c.pushArrival[key] = time.Now()
+		pq := c.pushQualLocked(u.Host)
+		pq.Pushed++
+		pq.PushedBytes += int64(len(resp.Body))
+	}
 	c.pushedResp[key] = resp
 	waiters := c.pushWaiters[key]
 	delete(c.pushWaiters, key)

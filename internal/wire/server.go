@@ -7,8 +7,10 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log/slog"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -63,6 +65,11 @@ type ServerConfig struct {
 	Push bool
 	// ThinkTime delays every response, emulating backend work.
 	ThinkTime time.Duration
+	// ProfileLabels stamps every request's handler goroutine with pprof
+	// labels (origin, phase) so CPU and goroutine profiles decompose per
+	// tenant. Off by default: labeling allocates a label set per request,
+	// which the zero-alloc serving contract only tolerates opt-in.
+	ProfileLabels bool
 }
 
 // Server replays an archive over HTTP/2, serving every authority in the
@@ -96,6 +103,11 @@ type Server struct {
 	// was propagated), drains at Info. Nil disables logging.
 	Log *slog.Logger
 
+	// Acct, when set, reconciles emitted hints and pushed resources against
+	// the requests that arrive (see Accountant). Nil disables accounting at
+	// zero cost. Set before Serve.
+	Acct *Accountant
+
 	h2srv *h2.Server
 
 	mu     sync.Mutex
@@ -114,6 +126,11 @@ type Server struct {
 	mReqs map[string]*telemetry.Counter // by proto
 	mPush *telemetry.Counter
 	mShed *telemetry.Counter
+	// Bounded per-origin breakdowns (requests/shed/degraded), nil when
+	// uninstrumented.
+	vReqs *telemetry.CounterVec
+	vShed *telemetry.CounterVec
+	vDegr *telemetry.CounterVec
 
 	// bodies memoizes the per-record response bytes (archive bodies are
 	// strings; fillers are synthesized). Keyed by *replay.Record, so the
@@ -191,18 +208,25 @@ func (s *Server) Instrument(tr *obs.Tracer, reg *telemetry.Registry) {
 	}
 	s.mPush = reg.Counter("vroom_server_pushes_total")
 	s.mShed = reg.Counter("vroom_server_shed_total")
+	reg.Describe("vroom_server_origin_requests_total", "Requests served, by origin (bounded cardinality).")
+	reg.Describe("vroom_server_origin_shed_total", "Requests refused by admission control, by origin.")
+	reg.Describe("vroom_server_origin_degraded_total", "Degraded responses, by origin and mode.")
+	s.vReqs = reg.CounterVec("vroom_server_origin_requests_total", "origin", 0)
+	s.vShed = reg.CounterVec("vroom_server_origin_shed_total", "origin", 0)
+	s.vDegr = reg.CounterVec("vroom_server_origin_degraded_total", "origin", 0)
 	if s.Store != nil {
 		s.Store.Instrument(reg)
 	}
 }
 
 // noteRequest counts one served request.
-func (s *Server) noteRequest(proto string) {
+func (s *Server) noteRequest(proto, origin string) {
 	s.mu.Lock()
 	s.requests++
 	ctr := s.mReqs[proto]
 	s.mu.Unlock()
 	ctr.Inc()
+	s.vReqs.With(origin).Inc()
 }
 
 // serveTrace is one request's adopted trace context: the serve span
@@ -257,11 +281,12 @@ func (s *Server) child(st *serveTrace, name string, extra ...obs.Arg) obs.Span {
 }
 
 // noteShed counts one request refused by admission.
-func (s *Server) noteShed(st *serveTrace) {
+func (s *Server) noteShed(st *serveTrace, origin string) {
 	s.mu.Lock()
 	s.shed++
 	s.mu.Unlock()
 	s.mShed.Inc()
+	s.vShed.With(origin).Inc()
 	if s.trace.Enabled() {
 		s.trace.Instant(obs.TrackServer, "request-shed", st.traceArgs()...)
 	}
@@ -272,7 +297,7 @@ func (s *Server) noteShed(st *serveTrace) {
 
 // noteDegraded counts a response's degradation modes and records the
 // ladder decision against the caller's trace.
-func (s *Server) noteDegraded(modes []string, st *serveTrace) {
+func (s *Server) noteDegraded(modes []string, st *serveTrace, origin string) {
 	if len(modes) == 0 {
 		return
 	}
@@ -287,6 +312,7 @@ func (s *Server) noteDegraded(modes []string, st *serveTrace) {
 			reg.Counter("vroom_server_degraded_total", telemetry.L("mode", m)).Inc()
 		}
 	}
+	s.vDegr.With(origin).Add(int64(len(modes)))
 	if s.trace.Enabled() {
 		s.trace.Instant(obs.TrackServer, "degrade",
 			st.traceArgs(obs.Arg{Key: "modes", Val: strings.Join(modes, ",")})...)
@@ -322,7 +348,7 @@ func (s *Server) admit(r *h2.Request, st *serveTrace) (release func(), refusal *
 		return func() { s.Gate.Release() }, nil
 	}
 	as.End(obs.Arg{Key: "result", Val: "shed"})
-	s.noteShed(st)
+	s.noteShed(st, r.Authority)
 	return nil, &h2.Response{Status: 503,
 		Header: map[string][]string{
 			"content-type": {"text/plain"},
@@ -350,11 +376,15 @@ func (s *Server) hintsFor(u urlutil.URL, body string, degraded *[]string, st *se
 		switch res.Source {
 		case hintstore.Fresh:
 			source = "fresh"
-			return s.staleify(hs)
+			out := s.staleify(hs)
+			s.Acct.NoteHints(u.Host, out, res.Age, true)
+			return out
 		case hintstore.Stale:
 			source = "stale"
 			*degraded = append(*degraded, DegradedStaleHints)
-			return s.staleify(hs)
+			out := s.staleify(hs)
+			s.Acct.NoteHints(u.Host, out, res.Age, true)
+			return out
 		case hintstore.Shed:
 			source = "shed"
 			*degraded = append(*degraded, DegradedShedHints)
@@ -366,7 +396,10 @@ func (s *Server) hintsFor(u urlutil.URL, body string, degraded *[]string, st *se
 		return nil
 	}
 	source = "fallback"
-	return s.staleify(s.Resolver.HintsFor(u, body, s.Device))
+	// Fallback hints carry no table identity, so no staleness age.
+	out := s.staleify(s.Resolver.HintsFor(u, body, s.Device))
+	s.Acct.NoteHints(u.Host, out, 0, false)
+	return out
 }
 
 // noteFault counts one injected fault served to a client.
@@ -395,6 +428,9 @@ func (s *Server) Drain(timeout time.Duration) []hintstore.Checkpoint {
 	}
 	s.Gate.Drain()
 	s.h2srv.Drain(timeout)
+	if n := s.Acct.Flush(); n > 0 && s.Log != nil {
+		s.Log.Debug("accounting flushed", "windows", n)
+	}
 	cps := s.Store.Drain(timeout)
 	if s.Log != nil {
 		s.Log.Info("drain finished", "checkpoints", len(cps))
@@ -406,6 +442,16 @@ func (s *Server) Drain(timeout time.Duration) []hintstore.Checkpoint {
 // Dependency hints still work (Link headers predate HTTP/2) but there is
 // no push.
 func (s *Server) ServeH1(r *h2.Request) *h2.Response {
+	if !s.Cfg.ProfileLabels {
+		return s.serveH1(r)
+	}
+	var resp *h2.Response
+	pprof.Do(context.Background(), pprof.Labels("origin", r.Authority, "phase", "serve-h1"),
+		func(context.Context) { resp = s.serveH1(r) })
+	return resp
+}
+
+func (s *Server) serveH1(r *h2.Request) *h2.Response {
 	st := s.beginServe("h1", r)
 	defer st.span.End()
 	release, refusal := s.admit(r, &st)
@@ -416,10 +462,11 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 	if s.Cfg.ThinkTime > 0 {
 		time.Sleep(s.Cfg.ThinkTime)
 	}
-	s.noteRequest("h1")
+	s.noteRequest("h1", r.Authority)
 
 	key := "https://" + r.Authority + r.Path
 	if fresh := s.redirectFor(key); fresh != "" {
+		s.Acct.NoteRequest(r.Authority, key, false)
 		s.noteFault("stale-redirect", key, &st)
 		return &h2.Response{Status: 301,
 			Header: map[string][]string{"content-type": {"text/plain"}, "location": {fresh}},
@@ -427,9 +474,11 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 	}
 	rec, ok := s.Archive.Lookup(key)
 	if !ok {
+		s.Acct.NoteRequest(r.Authority, key, false)
 		return &h2.Response{Status: 404, Header: map[string][]string{"content-type": {"text/plain"}},
 			Body: []byte("not in archive")}
 	}
+	s.Acct.NoteRequest(r.Authority, key, rec.ResourceType() == webpage.HTML)
 	if s.faulted(rec) {
 		s.noteFault("transient-503", key, &st)
 		return &h2.Response{Status: 503, Header: map[string][]string{"content-type": {"text/plain"}},
@@ -448,13 +497,22 @@ func (s *Server) ServeH1(r *h2.Request) *h2.Response {
 	}
 	if len(degraded) > 0 {
 		resp.Header[HeaderDegraded] = []string{strings.Join(degraded, ", ")}
-		s.noteDegraded(degraded, &st)
+		s.noteDegraded(degraded, &st, r.Authority)
 	}
 	return resp
 }
 
 // ServeH2 implements h2.Handler.
 func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
+	if !s.Cfg.ProfileLabels {
+		s.serveH2(w, r)
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("origin", r.Authority, "phase", "serve-h2"),
+		func(context.Context) { s.serveH2(w, r) })
+}
+
+func (s *Server) serveH2(w *h2.ResponseWriter, r *h2.Request) {
 	st := s.beginServe("h2", r)
 	defer st.span.End()
 	release, refusal := s.admit(r, &st)
@@ -470,10 +528,11 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 	if s.Cfg.ThinkTime > 0 {
 		time.Sleep(s.Cfg.ThinkTime)
 	}
-	s.noteRequest("h2")
+	s.noteRequest("h2", r.Authority)
 
 	key := "https://" + r.Authority + r.Path
 	if fresh := s.redirectFor(key); fresh != "" {
+		s.Acct.NoteRequest(r.Authority, key, false)
 		s.noteFault("stale-redirect", key, &st)
 		w.Header()["content-type"] = []string{"text/plain"}
 		w.Header()["location"] = []string{fresh}
@@ -487,11 +546,13 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 		rec, ok = s.Archive.Lookup(r.Scheme + "://" + r.Authority + r.Path)
 	}
 	if !ok {
+		s.Acct.NoteRequest(r.Authority, key, false)
 		w.Header()["content-type"] = []string{"text/plain"}
 		w.WriteHeader(404)
 		w.Write([]byte("not in archive: " + key))
 		return
 	}
+	s.Acct.NoteRequest(r.Authority, key, rec.ResourceType() == webpage.HTML)
 	if s.faulted(rec) {
 		s.noteFault("transient-503", key, &st)
 		w.Header()["content-type"] = []string{"text/plain"}
@@ -531,7 +592,7 @@ func (s *Server) ServeH2(w *h2.ResponseWriter, r *h2.Request) {
 	}
 	if len(degraded) > 0 {
 		w.Header()[HeaderDegraded] = []string{strings.Join(degraded, ", ")}
-		s.noteDegraded(degraded, &st)
+		s.noteDegraded(degraded, &st, r.Authority)
 	}
 	w.Write(s.body(rec))
 }
@@ -564,6 +625,11 @@ func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint, st *
 		s.pushes++
 		s.mu.Unlock()
 		s.mPush.Inc()
+		// Body bytes are known at push-decision time (memoized), so the
+		// accountant can mark the prediction window pushed before the client
+		// could possibly react to it.
+		body := s.body(rec)
+		s.Acct.NotePush(u.Host, key, int64(len(body)))
 		if s.trace.Enabled() {
 			s.trace.Instant(obs.TrackServer, "push", st.traceArgs(obs.Arg{Key: "url", Val: key})...)
 		}
@@ -572,13 +638,12 @@ func (s *Server) push(w *h2.ResponseWriter, r *h2.Request, hs []hints.Hint, st *
 		// can possibly see the HTML (a snapshot taken after the load always
 		// contains it); the End still marks when the bytes were flushed.
 		ps := s.child(st, "push-write", obs.Arg{Key: "url", Val: key})
-		go func(rec *replay.Record, ps obs.Span) {
-			body := s.body(rec)
+		go func(rec *replay.Record, body []byte, ps obs.Span) {
 			pw.Header()["content-type"] = []string{contentType(rec)}
 			pw.Write(body)
 			pw.Close()
 			ps.End(obs.Arg{Key: "bytes", Val: strconv.Itoa(len(body))})
-		}(rec, ps)
+		}(rec, body, ps)
 	}
 }
 

@@ -18,6 +18,7 @@ const (
 	mFetchMs    = "vroom_wire_fetch_ms"
 	mPhaseMs    = "vroom_wire_fetch_phase_ms"
 	mPush       = "vroom_wire_push_total"
+	mPushLeadMs = "vroom_wire_push_lead_ms"
 	mBreakTrips = "vroom_wire_breaker_trips_total"
 	mBreakOpen  = "vroom_wire_breaker_open"
 	mActiveConn = "vroom_wire_active_conns"
@@ -38,6 +39,7 @@ type loadTelemetry struct {
 	pushReceived  *telemetry.Counter
 	pushClaimed   *telemetry.Counter
 	pushUnclaimed *telemetry.Counter
+	pushLeadMs    *telemetry.Histogram
 }
 
 func newLoadTelemetry(reg *telemetry.Registry) loadTelemetry {
@@ -54,6 +56,7 @@ func newLoadTelemetry(reg *telemetry.Registry) loadTelemetry {
 		pushReceived:  reg.Counter(mPush, telemetry.L("state", "received")),
 		pushClaimed:   reg.Counter(mPush, telemetry.L("state", "claimed")),
 		pushUnclaimed: reg.Counter(mPush, telemetry.L("state", "unclaimed")),
+		pushLeadMs:    reg.Histogram(mPushLeadMs),
 	}
 }
 
@@ -66,11 +69,39 @@ func describeClientMetrics(reg *telemetry.Registry) {
 	reg.Describe(mFetchMs, "Whole-fetch latency in milliseconds by outcome.")
 	reg.Describe(mPhaseMs, "Fetch phase latency in milliseconds (dial, headers, body, exchange).")
 	reg.Describe(mPush, "Server pushes by fate: received on the wire, claimed by a fetch, unclaimed at load end.")
+	reg.Describe(mPushLeadMs, "How long claimed pushes sat in the push cache before a fetch needed them, in milliseconds.")
 	reg.Describe(mBreakTrips, "Circuit-breaker trips per origin.")
 	reg.Describe(mBreakOpen, "Whether an origin's circuit breaker is currently open.")
 	reg.Describe(mActiveConn, "Live transport connections per origin and protocol.")
 	reg.Describe(mLoads, "Page loads started.")
 	reg.Describe(mDeadlines, "Page loads cut short by the load deadline.")
+}
+
+// clientVecs bounds every client-side per-origin metric family: a
+// hostile or merely huge origin set must not grow the exposition without
+// limit, so each family folds past-cap origins into the shared
+// telemetry.OverflowLabel series. Built lazily once per Client; the zero
+// value (nil handles, as when metrics are off) no-ops.
+type clientVecs struct {
+	reqs      *telemetry.CounterVec
+	retries   *telemetry.CounterVec
+	fails     *telemetry.CounterVec
+	redirects *telemetry.CounterVec
+	trips     *telemetry.CounterVec
+	breakOpen *telemetry.GaugeVec
+	conns     *telemetry.GaugeVec
+}
+
+func newClientVecs(reg *telemetry.Registry) clientVecs {
+	return clientVecs{
+		reqs:      reg.CounterVec(mRequests, "origin", 0),
+		retries:   reg.CounterVec(mRetries, "origin", 0),
+		fails:     reg.CounterVec(mFailures, "origin", 0),
+		redirects: reg.CounterVec(mRedirects, "origin", 0),
+		trips:     reg.CounterVec(mBreakTrips, "origin", 0),
+		breakOpen: reg.GaugeVec(mBreakOpen, "origin", 0),
+		conns:     reg.GaugeVec(mActiveConn, "origin", 0),
+	}
 }
 
 // beginFetchSpan opens the per-fetch span on the load track, minting the
